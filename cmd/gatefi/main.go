@@ -1,0 +1,97 @@
+// Command gatefi runs steps 2-3 of the methodology: exhaustive gate-level
+// stuck-at fault injection campaigns on the WSC, fetch and decoder units,
+// classifying every fault and mapping corruptions to the 13 instruction-
+// level error models (paper Tables 4 and 5, Figure 9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gpufaultsim/internal/artifact"
+
+	"gpufaultsim/internal/campaign"
+	"gpufaultsim/internal/errclass"
+	"gpufaultsim/internal/gatesim"
+	"gpufaultsim/internal/profiler"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/units"
+	"gpufaultsim/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gatefi: ")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	maxPatterns := flag.Int("patterns", 512, "exciting patterns per unit campaign")
+	unitName := flag.String("unit", "all", "unit to inject: wsc, fetch, decoder, all")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write a JSON artifact per unit to <path>_<unit>.json")
+	flag.Parse()
+
+	prof, err := profiler.Collect(workloads.Profiling(), profiler.Config{
+		Seed: *seed, MaxPatterns: *maxPatterns,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	patterns := prof.TopPatterns(*maxPatterns)
+	fmt.Printf("driving %d exciting patterns (from %d dynamic instructions)\n\n",
+		len(patterns), prof.DynInstrs)
+
+	var targets []*units.Unit
+	for _, u := range units.All() {
+		if *unitName == "all" || u.Name == *unitName {
+			targets = append(targets, u)
+		}
+	}
+	if len(targets) == 0 {
+		log.Fatalf("unknown unit %q", *unitName)
+	}
+
+	start := time.Now()
+	type outcome struct {
+		sum *gatesim.Summary
+		col *errclass.Collector
+	}
+	outs := campaign.ParallelMap(targets, *workers, func(u *units.Unit) outcome {
+		col := errclass.NewCollector(u.Name)
+		sum := gatesim.Campaign(u, patterns, col)
+		return outcome{sum, col}
+	})
+	fmt.Printf("campaigns finished in %.2fs\n\n", time.Since(start).Seconds())
+
+	var sums []*gatesim.Summary
+	var reports []*errclass.UnitReport
+	cols := map[string]*errclass.Collector{}
+	totals := map[string]int{}
+	for i, u := range targets {
+		fmt.Println(u.NL.Stats())
+		sums = append(sums, outs[i].sum)
+		reports = append(reports, errclass.Report(outs[i].sum, outs[i].col))
+		cols[u.Name] = outs[i].col
+		totals[u.Name] = u.NL.NumFaults()
+		fmt.Printf("  multi-model faults: %d\n", outs[i].col.MultiModelFaults())
+		if *jsonPath != "" {
+			path := fmt.Sprintf("%s_%s.json", *jsonPath, u.Name)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := artifact.Write(f, artifact.NewGateReport(*seed, outs[i].sum, outs[i].col)); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("  artifact: %s\n", path)
+		}
+	}
+	fmt.Println()
+	fmt.Print(report.Table4(sums))
+	fmt.Println()
+	fmt.Print(report.Table5(reports))
+	fmt.Println()
+	fmt.Print(report.Fig9(cols, totals))
+}

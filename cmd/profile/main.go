@@ -1,0 +1,46 @@
+// Command profile runs step 1 of the methodology: hardware unit profiling
+// over the representative workloads, printing the exciting-pattern
+// statistics and the area/utilization table (paper Table 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/profiler"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profile: ")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	maxPatterns := flag.Int("max-patterns", 4096, "cap on deduplicated exciting patterns")
+	flag.Parse()
+
+	prof, err := profiler.Collect(workloads.Profiling(), profiler.Config{
+		Seed: *seed, MaxPatterns: *maxPatterns,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("profiled %d dynamic warp-instructions from %d workloads\n",
+		prof.DynInstrs, len(prof.PerWorkload))
+	fmt.Printf("deduplicated exciting patterns: %d (%.1fx compression)\n",
+		len(prof.Patterns), float64(prof.DynInstrs)/float64(len(prof.Patterns)))
+	for _, w := range workloads.Profiling() {
+		fmt.Printf("  %-12s %8d dynamic instructions\n", w.Name(), prof.PerWorkload[w.Name()])
+	}
+	fmt.Println()
+	for u := isa.UnitNone; u <= isa.UnitCTRL; u++ {
+		fmt.Printf("  %-5v utilization %5.1f%%\n", u, 100*prof.Utilization(u))
+	}
+	fmt.Println()
+	fmt.Print(report.Table3(prof))
+	os.Exit(0)
+}

@@ -1,0 +1,197 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation in one run (or a selected exhibit), at a configurable scale.
+//
+//	repro                 # everything, scaled-down defaults
+//	repro -exhibit fig10  # one exhibit
+//	repro -scale paper    # paper-scale campaign sizes (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"gpufaultsim/internal/campaign"
+	"gpufaultsim/internal/cnn"
+	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/mitigate"
+	"gpufaultsim/internal/perfi"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/rtlfi"
+	"gpufaultsim/internal/syndrome"
+	"gpufaultsim/internal/workloads"
+)
+
+type scale struct {
+	patterns    int
+	injections  int
+	microValues int
+	microLanes  int
+	tmxmValues  int
+	tmxmStride  int
+}
+
+var scales = map[string]scale{
+	"quick":   {patterns: 128, injections: 20, microValues: 1, microLanes: 1, tmxmValues: 1, tmxmStride: 32},
+	"default": {patterns: 512, injections: 100, microValues: 2, microLanes: 2, tmxmValues: 2, tmxmStride: 8},
+	"paper":   {patterns: 4096, injections: 1000, microValues: 4, microLanes: 4, tmxmValues: 4, tmxmStride: 1},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	exhibit := flag.String("exhibit", "all",
+		"table1|table2|table3|table4|table5|fig2|fig45|fig6|fig7|fig8|fig9|fig10|fig11|speedup|discussion|mitigation|all")
+	scaleName := flag.String("scale", "default", "quick|default|paper")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	sc, ok := scales[*scaleName]
+	if !ok {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	want := func(names ...string) bool {
+		if *exhibit == "all" {
+			return true
+		}
+		for _, n := range names {
+			if n == *exhibit {
+				return true
+			}
+		}
+		return false
+	}
+	section := func(s string) {
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println(s)
+	}
+
+	if want("table1") {
+		section("")
+		fmt.Print(report.Table1(cnn.Evaluation15()))
+	}
+
+	// RTL study: Figure 2, Figures 4-5, Figure 6, Table 2/Figure 7, Figure 8.
+	if want("fig2", "fig45") {
+		section("")
+		mcfg := rtlfi.MicroConfig{Seed: *seed, ValuesPerRange: sc.microValues,
+			LanesSampled: sc.microLanes}
+		rows, syn := rtlfi.Figure2(mcfg)
+		if want("fig2") {
+			fmt.Print(report.Fig2(rows))
+			fmt.Println()
+		}
+		if want("fig45") {
+			fmt.Println("Figures 4-5 — fault syndrome (relative error) distributions")
+			for _, op := range []isa.Opcode{isa.OpFADD, isa.OpFMUL, isa.OpFFMA,
+				isa.OpIADD, isa.OpIMUL, isa.OpIMAD} {
+				for _, m := range rtlfi.ModulesFor(op) {
+					pairs := syn[[2]int{int(op), int(m)}]
+					res := rtlfi.RelativeErrors(pairs, op.Unit() == isa.UnitFP32)
+					if len(res) == 0 {
+						continue
+					}
+					fmt.Print(report.SyndromeHistogram(
+						fmt.Sprintf("%v / %v", op, m), syndrome.Build(res)))
+					if fit, err := syndrome.Fit(res); err == nil {
+						_, p, swErr := syndrome.ShapiroWilk(res[:min(len(res), 5000)])
+						fmt.Printf("  power-law fit: alpha=%.2f xmin=%.3g KS=%.3f",
+							fit.Alpha, fit.Xmin, fit.KS)
+						if swErr == nil {
+							fmt.Printf("  Shapiro-Wilk p=%.3g (non-Gaussian: %v)", p, p < 0.05)
+						}
+						fmt.Println()
+					}
+				}
+			}
+		}
+	}
+
+	if want("fig6", "fig7", "table2", "fig8") {
+		section("")
+		st := rtlfi.RunTMxMStudy(rtlfi.TMxMConfig{Seed: *seed,
+			ValuesPerTile: sc.tmxmValues, SiteStride: sc.tmxmStride})
+		if want("fig6") {
+			fmt.Print(report.Fig6(st.Rows))
+			fmt.Println()
+		}
+		if want("fig7", "table2") {
+			fmt.Print(report.Table2(st))
+			fmt.Println()
+		}
+		if want("fig8") {
+			fmt.Print(report.Fig8(st))
+		}
+	}
+
+	// Two-level methodology: Table 3, Table 4, Table 5, Figure 9, Figures
+	// 10-11, speed-up accounting.
+	if want("table3", "table4", "table5", "fig9", "fig10", "fig11", "speedup", "discussion") {
+		section("")
+		res, err := campaign.RunTwoLevel(campaign.TwoLevelConfig{
+			Seed:        *seed,
+			MaxPatterns: sc.patterns,
+			Injections:  sc.injections,
+			EvalApps:    cnn.Evaluation15(),
+			Workers:     *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("table3") {
+			fmt.Print(report.Table3(res.Profile))
+			fmt.Println()
+		}
+		if want("table4") {
+			fmt.Print(report.Table4(res.Summaries()))
+			fmt.Println()
+		}
+		if want("table5") {
+			fmt.Print(report.Table5(res.UnitReports()))
+			fmt.Println()
+		}
+		if want("fig9") {
+			fmt.Print(report.Fig9(res.Collectors(), res.FaultTotals()))
+			fmt.Println()
+		}
+		if want("fig10") {
+			fmt.Print(report.Fig10(res.Apps, errmodel.Injectable()))
+			fmt.Println()
+		}
+		if want("fig11") {
+			fmt.Print(report.Fig11(perfi.Average(res.Apps), errmodel.Injectable()))
+			fmt.Println()
+		}
+		if want("speedup") {
+			fmt.Print(res.Timing.Report())
+		}
+		if want("discussion") {
+			fmt.Print(report.Discussion(report.CorrelateUnits(
+				res.Collectors(), res.FaultTotals(), perfi.Average(res.Apps))))
+			fmt.Println()
+		}
+	}
+
+	// Extension: the Section-6.3 mitigation proposal, measured.
+	if want("mitigation") {
+		section("")
+		for _, name := range []string{"mxm", "gemm"} {
+			var w workloads.Workload
+			for _, cand := range cnn.Evaluation15() {
+				if cand.Name() == name {
+					w = cand
+				}
+			}
+			dets, err := mitigate.Evaluate(w, mitigate.Config{
+				Injections: sc.injections / 2, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(mitigate.Render(name, dets))
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command rtlfi runs the paper's RTL-level study standalone (Section 4):
+// the per-instruction micro-benchmark AVF campaign (Figure 2), the fault
+// syndrome analysis per input range (Figures 4-5), and the t-MxM mini-app
+// with spatial patterns (Figures 6-8, Table 2).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/rtlfi"
+	"gpufaultsim/internal/syndrome"
+)
+
+// avfJSON is the serializable Figure-2 dataset.
+type avfJSON struct {
+	Instr        string  `json:"instr"`
+	Module       string  `json:"module"`
+	Injections   int     `json:"injections"`
+	SDCSingle    float64 `json:"sdc_single"`
+	SDCMulti     float64 `json:"sdc_multi"`
+	DUE          float64 `json:"due"`
+	Masked       float64 `json:"masked"`
+	AvgCorrupted float64 `json:"avg_corrupted_threads_per_warp"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtlfi: ")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	values := flag.Int("values", 4, "value sets per input range (paper: 4)")
+	lanes := flag.Int("lanes", 4, "hardware lanes sampled per site structure")
+	tmxmValues := flag.Int("tmxm-values", 2, "input draws per tile kind")
+	tmxmStride := flag.Int("tmxm-stride", 4, "inject every k-th t-MxM site")
+	study := flag.String("study", "all", "micro|syndrome|tmxm|all")
+	jsonPath := flag.String("json", "", "write the Figure-2 dataset as JSON")
+	flag.Parse()
+
+	cfg := rtlfi.MicroConfig{Seed: *seed, ValuesPerRange: *values, LanesSampled: *lanes}
+
+	if *study == "micro" || *study == "all" || *jsonPath != "" {
+		rows, _ := rtlfi.Figure2(cfg)
+		if *study == "micro" || *study == "all" {
+			fmt.Print(report.Fig2(rows))
+			fmt.Println()
+		}
+		if *jsonPath != "" {
+			var out []avfJSON
+			for _, r := range rows {
+				out = append(out, avfJSON{
+					Instr: r.Op.String(), Module: r.Module.String(),
+					Injections: r.Injections,
+					SDCSingle:  r.SDCSingle, SDCMulti: r.SDCMulti,
+					DUE: r.DUE, Masked: r.Masked,
+					AvgCorrupted: r.AvgCorruptedThreads,
+				})
+			}
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("artifact: %s\n\n", *jsonPath)
+		}
+	}
+
+	if *study == "syndrome" || *study == "all" {
+		fmt.Println("Figures 4-5 — per-range fault syndromes")
+		for _, op := range []isa.Opcode{isa.OpFADD, isa.OpFMUL, isa.OpFFMA,
+			isa.OpIADD, isa.OpIMUL, isa.OpIMAD} {
+			for _, rg := range rtlfi.Ranges() {
+				pairs := rtlfi.MicroSyndrome(op, moduleFor(op), rg, cfg)
+				res := rtlfi.RelativeErrors(pairs, op.Unit() == isa.UnitFP32)
+				if len(res) == 0 {
+					continue
+				}
+				fmt.Print(report.SyndromeHistogram(
+					fmt.Sprintf("%v / FU / range %v", op, rg), syndrome.Build(res)))
+				fmt.Printf("  median relative error: %.4g\n", syndrome.Median(res))
+			}
+		}
+		fmt.Println()
+	}
+
+	if *study == "tmxm" || *study == "all" {
+		st := rtlfi.RunTMxMStudy(rtlfi.TMxMConfig{Seed: *seed,
+			ValuesPerTile: *tmxmValues, SiteStride: *tmxmStride})
+		fmt.Print(report.Fig6(st.Rows))
+		fmt.Println()
+		fmt.Print(report.Table2(st))
+		fmt.Println()
+		fmt.Print(report.Fig8(st))
+	}
+}
+
+func moduleFor(op isa.Opcode) rtlfi.Module {
+	switch op.Unit() {
+	case isa.UnitFP32:
+		return rtlfi.ModFP32
+	case isa.UnitSFU:
+		return rtlfi.ModSFU
+	default:
+		return rtlfi.ModINT
+	}
+}

@@ -1,0 +1,3 @@
+module gpufaultsim
+
+go 1.22

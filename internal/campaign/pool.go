@@ -1,0 +1,48 @@
+// Package campaign orchestrates the reproduction's experiment campaigns:
+// a deterministic bounded-worker pool, parallel software-injection suites,
+// and the end-to-end two-level pipeline (profile → gate-level campaigns →
+// error classification) with the timing breakdown behind the paper's
+// speed-up discussion.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMap applies f to every item on up to workers goroutines and
+// returns the results in input order. It is deterministic as long as f is
+// a pure function of its input: scheduling never changes which result
+// lands at which index. workers <= 0 selects GOMAXPROCS.
+func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = f(it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"gpufaultsim/internal/errclass"
+	"gpufaultsim/internal/gatesim"
+	"gpufaultsim/internal/perfi"
+	"gpufaultsim/internal/profiler"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/units"
+	"gpufaultsim/internal/workloads"
+)
+
+// TwoLevelConfig parameterizes the full methodology run.
+type TwoLevelConfig struct {
+	Seed int64
+	// ProfilingWorkloads drive the exciting-pattern extraction (default:
+	// the paper's 14 representative codes).
+	ProfilingWorkloads []workloads.Workload
+	// MaxPatterns caps the gate-level stimulus count (0 = 512; exhaustive
+	// dedup typically yields a few thousand).
+	MaxPatterns int
+	// EvalApps are the software-level injection targets (default: the 13
+	// non-CNN evaluation apps; callers add LeNet/YOLOv3 via cnn).
+	EvalApps []workloads.Workload
+	// Injections per app per model for the software level.
+	Injections int
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// UnitOutcome couples one unit's gate-level campaign artifacts.
+type UnitOutcome struct {
+	Unit      *units.Unit
+	Summary   *gatesim.Summary
+	Collector *errclass.Collector
+	Report    *errclass.UnitReport
+}
+
+// Results is everything the two-level methodology produces.
+type Results struct {
+	Profile *profiler.Profile
+	Units   []*UnitOutcome // wsc, fetch, decoder
+	Apps    []*perfi.AppResult
+	Timing  report.Speedup
+}
+
+// Summaries extracts the gate-level summaries in unit order.
+func (r *Results) Summaries() []*gatesim.Summary {
+	out := make([]*gatesim.Summary, len(r.Units))
+	for i, u := range r.Units {
+		out[i] = u.Summary
+	}
+	return out
+}
+
+// Collectors maps unit name to its classification collector.
+func (r *Results) Collectors() map[string]*errclass.Collector {
+	m := make(map[string]*errclass.Collector, len(r.Units))
+	for _, u := range r.Units {
+		m[u.Unit.Name] = u.Collector
+	}
+	return m
+}
+
+// FaultTotals maps unit name to fault-list size.
+func (r *Results) FaultTotals() map[string]int {
+	m := make(map[string]int, len(r.Units))
+	for _, u := range r.Units {
+		m[u.Unit.Name] = u.Unit.NL.NumFaults()
+	}
+	return m
+}
+
+// UnitReports extracts the Table-5 views in unit order.
+func (r *Results) UnitReports() []*errclass.UnitReport {
+	out := make([]*errclass.UnitReport, len(r.Units))
+	for i, u := range r.Units {
+		out[i] = u.Report
+	}
+	return out
+}
+
+// RunTwoLevel executes the five-step methodology: (1) unit profiling, (2)
+// gate-level stuck-at campaigns on WSC/fetch/decoder, (3) error
+// identification and classification, (4-5) software-level error
+// propagation on the evaluation applications. All steps are timed for the
+// speed-up accounting.
+func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
+	if cfg.ProfilingWorkloads == nil {
+		cfg.ProfilingWorkloads = workloads.Profiling()
+	}
+	if cfg.EvalApps == nil {
+		cfg.EvalApps = workloads.Evaluation()
+	}
+	if cfg.MaxPatterns == 0 {
+		cfg.MaxPatterns = 512
+	}
+	if cfg.Injections == 0 {
+		cfg.Injections = 50
+	}
+	res := &Results{}
+
+	// Step 1: hardware unit profiling.
+	t0 := time.Now()
+	prof, err := profiler.Collect(cfg.ProfilingWorkloads,
+		profiler.Config{Seed: cfg.Seed, MaxPatterns: cfg.MaxPatterns})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: profiling: %w", err)
+	}
+	res.Profile = prof
+	res.Timing.ProfilingSec = time.Since(t0).Seconds()
+
+	// Steps 2-3: gate-level campaigns with inline classification, one
+	// worker per unit.
+	patterns := prof.TopPatterns(cfg.MaxPatterns)
+	t1 := time.Now()
+	outcomes := ParallelMap(units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
+		col := errclass.NewCollector(u.Name)
+		sum := gatesim.Campaign(u, patterns, col)
+		return &UnitOutcome{Unit: u, Summary: sum, Collector: col,
+			Report: errclass.Report(sum, col)}
+	})
+	res.Units = outcomes
+	res.Timing.GateSec = time.Since(t1).Seconds()
+	res.Timing.GatePatterns = len(patterns)
+	for _, u := range outcomes {
+		res.Timing.GateFaults += u.Unit.NL.NumFaults()
+	}
+	res.Timing.AnalysisSec = 0 // classification runs inline with step 2
+
+	// Steps 4-5: software-level error propagation.
+	t2 := time.Now()
+	apps, err := RunSuiteParallel(cfg.EvalApps, perfi.Config{
+		Injections: cfg.Injections, Seed: cfg.Seed,
+	}, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Apps = apps
+	res.Timing.SoftwareSec = time.Since(t2).Seconds()
+	res.Timing.AppDynInstrs = prof.DynInstrs
+	for _, a := range apps {
+		for _, t := range a.ByModel {
+			res.Timing.SWInjections += t.Total()
+		}
+	}
+	return res, nil
+}
+
+// RunSuiteParallel runs one software-injection campaign per application on
+// the worker pool. Each worker owns its devices, so results are identical
+// to the sequential perfi.RunSuite.
+func RunSuiteParallel(apps []workloads.Workload, cfg perfi.Config, workers int) ([]*perfi.AppResult, error) {
+	type outcome struct {
+		res *perfi.AppResult
+		err error
+	}
+	outs := ParallelMap(apps, workers, func(w workloads.Workload) outcome {
+		r, err := perfi.RunApp(w, cfg)
+		return outcome{r, err}
+	})
+	results := make([]*perfi.AppResult, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[i] = o.res
+	}
+	return results, nil
+}

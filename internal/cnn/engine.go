@@ -1,0 +1,234 @@
+package cnn
+
+import (
+	"math"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/kasm"
+	"gpufaultsim/internal/workloads"
+)
+
+// ffma mirrors the simulator's fused multiply-add (bit-exact references).
+func ffma(a, b, c float32) float32 {
+	return float32(float64(a)*float64(b) + float64(c))
+}
+
+// builder assembles a network's memory image, kernel launches and the
+// host-side reference evaluation (one mirror closure per kernel, applied
+// to a host copy of the memory image in launch order).
+type builder struct {
+	mem     []uint32
+	kernels []workloads.Kernel
+	hostOps []func(mem []uint32)
+
+	progGather  *kasm.Program
+	progMatmul  *kasm.Program
+	progBiasAct *kasm.Program
+	progPool    *kasm.Program
+}
+
+func newBuilder() *builder {
+	return &builder{
+		progGather:  gatherKernel(),
+		progMatmul:  matmulKernel(),
+		progBiasAct: biasActKernel(),
+		progPool:    maxpoolKernel(),
+	}
+}
+
+// alloc reserves n zeroed words and returns the base offset.
+func (b *builder) alloc(n int) int {
+	base := len(b.mem)
+	b.mem = append(b.mem, make([]uint32, n)...)
+	return base
+}
+
+// dataF stores float32 constants and returns the base offset.
+func (b *builder) dataF(vals []float32) int {
+	base := len(b.mem)
+	for _, v := range vals {
+		b.mem = append(b.mem, math.Float32bits(v))
+	}
+	return base
+}
+
+// dataI stores int32 constants (index tables) and returns the base offset.
+func (b *builder) dataI(vals []int32) int {
+	base := len(b.mem)
+	for _, v := range vals {
+		b.mem = append(b.mem, uint32(v))
+	}
+	return base
+}
+
+func grid1(n, blk int) gpu.Dim3 { return gpu.Dim3{X: (n + blk - 1) / blk} }
+
+// Gather emits out[i] = idx[i]<0 ? 0 : mem[idx[i]] for i in [0,n).
+func (b *builder) Gather(idxBase, outBase, n int) {
+	b.kernels = append(b.kernels, workloads.Kernel{Prog: b.progGather,
+		Cfg: gpu.LaunchConfig{
+			Grid: grid1(n, 64), Block: gpu.Dim3{X: 64},
+			Params: []uint32{uint32(idxBase), uint32(outBase), uint32(n)},
+		}})
+	b.hostOps = append(b.hostOps, func(mem []uint32) {
+		for i := 0; i < n; i++ {
+			idx := int32(mem[idxBase+i])
+			if idx < 0 {
+				mem[outBase+i] = 0
+			} else {
+				mem[outBase+i] = mem[idx]
+			}
+		}
+	})
+}
+
+// Matmul emits C[MxN] = A[MxK]·B[KxN]. M must be <= 16.
+func (b *builder) Matmul(aBase, bBase, cBase, m, k, n int) {
+	if m > 16 {
+		panic("cnn: matmul M must be <= 16")
+	}
+	b.kernels = append(b.kernels, workloads.Kernel{Prog: b.progMatmul,
+		Cfg: gpu.LaunchConfig{
+			Grid: grid1(n, 16), Block: gpu.Dim3{X: 16, Y: m},
+			Params: []uint32{uint32(aBase), uint32(bBase), uint32(cBase),
+				uint32(k), uint32(n)},
+		}})
+	b.hostOps = append(b.hostOps, func(mem []uint32) {
+		f := math.Float32frombits
+		for row := 0; row < m; row++ {
+			for col := 0; col < n; col++ {
+				var acc float32
+				for kk := 0; kk < k; kk++ {
+					acc = ffma(f(mem[aBase+row*k+kk]), f(mem[bBase+kk*n+col]), acc)
+				}
+				mem[cBase+row*n+col] = math.Float32bits(acc)
+			}
+		}
+	})
+}
+
+// BiasAct emits out[ch*p+e] = act(x[ch*p+e] + bias[ch]) over channels
+// [0,c) and elements [0,p); relu applies max(v, 0).
+func (b *builder) BiasAct(xBase, biasBase, outBase, c, p int, relu bool) {
+	rl := uint32(0)
+	if relu {
+		rl = 1
+	}
+	b.kernels = append(b.kernels, workloads.Kernel{Prog: b.progBiasAct,
+		Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (p + 31) / 32, Y: c}, Block: gpu.Dim3{X: 32},
+			Params: []uint32{uint32(xBase), uint32(biasBase), uint32(outBase),
+				uint32(p), rl},
+		}})
+	b.hostOps = append(b.hostOps, func(mem []uint32) {
+		f := math.Float32frombits
+		for ch := 0; ch < c; ch++ {
+			for e := 0; e < p; e++ {
+				v := f(mem[xBase+ch*p+e]) + f(mem[biasBase+ch])
+				if relu {
+					v = float32(math.Max(float64(v), 0))
+				}
+				mem[outBase+ch*p+e] = math.Float32bits(v)
+			}
+		}
+	})
+}
+
+// MaxPool emits out[i] = max(0, mem[tab[4i..4i+3]]) over n outputs; the
+// table holds absolute addresses (-1 = out of window).
+func (b *builder) MaxPool(tabBase, outBase, n int) {
+	b.kernels = append(b.kernels, workloads.Kernel{Prog: b.progPool,
+		Cfg: gpu.LaunchConfig{
+			Grid: grid1(n, 64), Block: gpu.Dim3{X: 64},
+			Params: []uint32{uint32(tabBase), uint32(outBase), uint32(n)},
+		}})
+	b.hostOps = append(b.hostOps, func(mem []uint32) {
+		f := math.Float32frombits
+		for i := 0; i < n; i++ {
+			best := float32(0)
+			for kk := 0; kk < 4; kk++ {
+				addr := int32(mem[tabBase+i*4+kk])
+				if addr < 0 {
+					continue
+				}
+				best = float32(math.Max(float64(best), float64(f(mem[addr]))))
+			}
+			mem[outBase+i] = math.Float32bits(best)
+		}
+	})
+}
+
+// Conv2D lowers a same-padded 3x3 (or kxk) convolution to im2col + matmul:
+// weights [outC x inC·kh·kw] · columns [inC·kh·kw x H·W].
+// Returns the output buffer base (outC x H x W) before bias/activation.
+func (b *builder) Conv2D(inBase, inC, h, w int, weights []float32, outC, kh, kw int) int {
+	kdim := inC * kh * kw
+	p := h * w
+	// im2col index table: absolute addresses into the input buffer.
+	idx := make([]int32, kdim*p)
+	pos := 0
+	for c := 0; c < inC; c++ {
+		for dy := 0; dy < kh; dy++ {
+			for dx := 0; dx < kw; dx++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						sy := y + dy - kh/2
+						sx := x + dx - kw/2
+						if sy < 0 || sy >= h || sx < 0 || sx >= w {
+							idx[pos] = -1
+						} else {
+							idx[pos] = int32(inBase + c*h*w + sy*w + sx)
+						}
+						pos++
+					}
+				}
+			}
+		}
+	}
+	idxBase := b.dataI(idx)
+	colBase := b.alloc(kdim * p)
+	wBase := b.dataF(weights)
+	outBase := b.alloc(outC * p)
+	b.Gather(idxBase, colBase, kdim*p)
+	b.Matmul(wBase, colBase, outBase, outC, kdim, p)
+	return outBase
+}
+
+// Pool2x2 lowers a stride-2 2x2 max pool; returns the output base
+// (c x h/2 x w/2).
+func (b *builder) Pool2x2(inBase, c, h, w int) (outBase, oh, ow int) {
+	oh, ow = h/2, w/2
+	tab := make([]int32, 0, c*oh*ow*4)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						tab = append(tab, int32(inBase+ch*h*w+(2*y+dy)*w+2*x+dx))
+					}
+				}
+			}
+		}
+	}
+	tabBase := b.dataI(tab)
+	outBase = b.alloc(c * oh * ow)
+	b.MaxPool(tabBase, outBase, c*oh*ow)
+	return outBase, oh, ow
+}
+
+// Build finalizes the job: the output region is [outBase, outBase+outLen).
+func (b *builder) Build(outBase, outLen int) *workloads.Job {
+	host := make([]uint32, len(b.mem))
+	copy(host, b.mem)
+	for _, op := range b.hostOps {
+		op(host)
+	}
+	ref := make([]uint32, outLen)
+	copy(ref, host[outBase:outBase+outLen])
+	return &workloads.Job{
+		Init:      b.mem,
+		Kernels:   b.kernels,
+		OutputOff: outBase, OutputLen: outLen,
+		Reference: ref,
+	}
+}

@@ -1,0 +1,156 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpufaultsim/internal/gpu"
+)
+
+// runBuilder executes a builder's job and cross-checks the device output
+// region against the host mirror.
+func runBuilder(t *testing.T, b *builder, outBase, outLen int) {
+	t.Helper()
+	job := b.Build(outBase, outLen)
+	dev := gpu.NewDevice(gpu.DefaultConfig())
+	rr, err := job.Run(dev)
+	if err != nil || rr.Hung() {
+		t.Fatalf("run failed: %v %v", err, rr)
+	}
+	for i := range job.Reference {
+		if rr.Output[i] != job.Reference[i] {
+			t.Fatalf("out[%d] = %#x, host mirror says %#x", i, rr.Output[i], job.Reference[i])
+		}
+	}
+}
+
+func TestGatherWithPadding(t *testing.T) {
+	b := newBuilder()
+	src := b.dataF([]float32{1.5, 2.5, 3.5})
+	idx := b.dataI([]int32{int32(src + 2), -1, int32(src)})
+	out := b.alloc(3)
+	b.Gather(idx, out, 3)
+	job := b.Build(out, 3)
+	dev := gpu.NewDevice(gpu.DefaultConfig())
+	rr, err := job.Run(dev)
+	if err != nil || rr.Hung() {
+		t.Fatalf("%v %v", err, rr)
+	}
+	want := []float32{3.5, 0, 1.5}
+	for i, w := range want {
+		if got := math.Float32frombits(rr.Output[i]); got != w {
+			t.Errorf("gather[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestMatmulRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dims := range [][3]int{{1, 4, 7}, {3, 5, 16}, {10, 9, 33}, {16, 2, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		b := newBuilder()
+		a := b.dataF(randWeights(rng, m*k, 2))
+		bb := b.dataF(randWeights(rng, k*n, 2))
+		c := b.alloc(m * n)
+		b.Matmul(a, bb, c, m, k, n)
+		runBuilder(t, b, c, m*n)
+	}
+}
+
+func TestMatmulRejectsWideM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Matmul accepted M > 16")
+		}
+	}()
+	b := newBuilder()
+	b.Matmul(0, 0, 0, 17, 4, 4)
+}
+
+func TestBiasActBothModes(t *testing.T) {
+	for _, relu := range []bool{true, false} {
+		b := newBuilder()
+		x := b.dataF([]float32{-2, -1, 1, 2, -3, 5})
+		bias := b.dataF([]float32{0.5, -0.5})
+		out := b.alloc(6)
+		b.BiasAct(x, bias, out, 2, 3, relu)
+		runBuilder(t, b, out, 6)
+		// Spot-check semantics directly.
+		job := b.Build(out, 6)
+		dev := gpu.NewDevice(gpu.DefaultConfig())
+		rr, _ := job.Run(dev)
+		got := math.Float32frombits(rr.Output[0]) // -2 + 0.5 = -1.5
+		if relu && got != 0 {
+			t.Errorf("relu(-1.5) = %v", got)
+		}
+		if !relu && got != -1.5 {
+			t.Errorf("linear(-2+0.5) = %v", got)
+		}
+	}
+}
+
+func TestPool2x2Shape(t *testing.T) {
+	b := newBuilder()
+	// One channel, 4x4 ramp: pooling must pick each 2x2 block's max.
+	vals := make([]float32, 16)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	in := b.dataF(vals)
+	out, oh, ow := b.Pool2x2(in, 1, 4, 4)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("pooled dims %dx%d", oh, ow)
+	}
+	job := b.Build(out, 4)
+	dev := gpu.NewDevice(gpu.DefaultConfig())
+	rr, err := job.Run(dev)
+	if err != nil || rr.Hung() {
+		t.Fatalf("%v %v", err, rr)
+	}
+	want := []float32{5, 7, 13, 15}
+	for i, w := range want {
+		if got := math.Float32frombits(rr.Output[i]); got != w {
+			t.Errorf("pool[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 convolution with weight 1 must reproduce its input channel.
+	b := newBuilder()
+	vals := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	in := b.dataF(vals)
+	out := b.Conv2D(in, 1, 3, 3, []float32{1}, 1, 1, 1)
+	job := b.Build(out, 9)
+	dev := gpu.NewDevice(gpu.DefaultConfig())
+	rr, err := job.Run(dev)
+	if err != nil || rr.Hung() {
+		t.Fatalf("%v %v", err, rr)
+	}
+	for i, w := range vals {
+		if got := math.Float32frombits(rr.Output[i]); got != w {
+			t.Errorf("conv1x1[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestGlyphAndSceneDeterministic(t *testing.T) {
+	g1, g2 := glyph(4, 14), glyph(4, 14)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("glyph not deterministic")
+		}
+	}
+	if len(Detections(make([]uint32, yoHead*64), 0.25)) != 0 {
+		t.Error("empty scene has detections")
+	}
+	s := scene(1, 16)
+	sum := float32(0)
+	for _, v := range s {
+		sum += v
+	}
+	if sum == 0 {
+		t.Error("scene is empty")
+	}
+}

@@ -1,0 +1,96 @@
+package errclass
+
+import (
+	"testing"
+
+	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/units"
+)
+
+func TestCollectorAccumulation(t *testing.T) {
+	col := NewCollector("decoder")
+	p := units.Pattern{Word: isa.Instruction{Op: isa.OpIADD, Rd: 1, Rs1: 2, Rs2: 3}.Encode()}
+
+	col.Corruption(5, p, "rd", 1, 2)     // IRA
+	col.Corruption(5, p, "rd", 1, 3)     // IRA again (same fault)
+	col.Corruption(5, p, "imm", 0, 7)    // IIO (same fault, second model)
+	col.Corruption(9, p, "opcode", 1, 2) // IOC (different fault)
+	col.Hang(11, p, "decode_valid")
+
+	if got := col.FaultsCausing(errmodel.IRA); got != 1 {
+		t.Errorf("IRA faults = %d, want 1", got)
+	}
+	if got := col.Events[errmodel.IRA]; got != 2 {
+		t.Errorf("IRA events = %d, want 2", got)
+	}
+	if got := col.MultiModelFaults(); got != 1 {
+		t.Errorf("multi-model faults = %d, want 1 (fault 5: IRA+IIO)", got)
+	}
+	if !col.HangFaults[11] || len(col.HangFaults) != 1 {
+		t.Errorf("hang faults = %v", col.HangFaults)
+	}
+	if col.Unmapped != 0 {
+		t.Errorf("unmapped = %d", col.Unmapped)
+	}
+	// FAPR: 2 of 100 faults cause IRA or IOC respectively 1.
+	if got := col.FAPR(errmodel.IRA, 100); got != 0.01 {
+		t.Errorf("FAPR = %v, want 0.01", got)
+	}
+}
+
+func TestCollectorUnmappedField(t *testing.T) {
+	col := NewCollector("decoder")
+	col.Corruption(0, units.Pattern{}, "no_such_field", 0, 1)
+	if col.Unmapped != 1 {
+		t.Errorf("unmapped = %d, want 1", col.Unmapped)
+	}
+	if len(col.FaultModels) != 0 {
+		t.Error("unmapped corruption must not record a model")
+	}
+}
+
+func TestWSCFieldMap(t *testing.T) {
+	p := units.Pattern{}
+	cases := []struct {
+		field string
+		want  errmodel.Model
+	}{
+		{"sel_warp", errmodel.IAW},
+		{"issued_state", errmodel.IAW},
+		{"active_mask", errmodel.IAT},
+		{"cta_id", errmodel.IAC},
+		{"shmem_base", errmodel.IPP},
+		{"regfile_base", errmodel.IPP},
+		{"lane_enable", errmodel.IAL},
+	}
+	for _, c := range cases {
+		m, ok := ModelFor("wsc", c.field, p, 0, 1)
+		if !ok || m != c.want {
+			t.Errorf("wsc %s -> %v,%v want %v", c.field, m, ok, c.want)
+		}
+	}
+	// op_route: valid opcode -> IOC, invalid -> IVOC.
+	if m, _ := ModelFor("wsc", "op_route", p, 1, uint64(isa.OpFMUL)); m != errmodel.IOC {
+		t.Errorf("op_route valid -> %v", m)
+	}
+	if m, _ := ModelFor("wsc", "op_route", p, 1, 0xEE); m != errmodel.IVOC {
+		t.Errorf("op_route invalid -> %v", m)
+	}
+	if _, ok := ModelFor("unknown-unit", "x", p, 0, 1); ok {
+		t.Error("unknown unit mapped")
+	}
+}
+
+func TestDecoderSRSelSplit(t *testing.T) {
+	p := units.Pattern{Word: isa.Instruction{Op: isa.OpS2R, Rd: 1, Imm: isa.SRTidX}.Encode()}
+	if m, _ := ModelFor("decoder", "sr_sel", p, uint64(isa.SRTidX), uint64(isa.SRTidY)); m != errmodel.IAT {
+		t.Errorf("tid->tid corruption = %v, want IAT", m)
+	}
+	if m, _ := ModelFor("decoder", "sr_sel", p, uint64(isa.SRTidX), uint64(isa.SRCtaidX)); m != errmodel.IAC {
+		t.Errorf("tid->ctaid corruption = %v, want IAC", m)
+	}
+	if m, _ := ModelFor("decoder", "sr_sel", p, uint64(isa.SRCtaidY), uint64(isa.SRTidX)); m != errmodel.IAC {
+		t.Errorf("ctaid->tid corruption = %v, want IAC", m)
+	}
+}

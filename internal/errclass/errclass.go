@@ -1,0 +1,271 @@
+// Package errclass implements step 3 of the methodology: correlating the
+// gate-level fault injection results with the hardware profile to express
+// every fault effect as one of the 13 instruction-level error models.
+//
+// The mapping keys on which architectural output field of the unit a fault
+// corrupted, and — where the paper's taxonomy distinguishes incorrect from
+// invalid effects — on the corrupted value itself (a wrong-but-valid
+// opcode is IOC, an undefined one IVOC; a register within the per-thread
+// budget is IRA, beyond it IVRA).
+package errclass
+
+import (
+	"fmt"
+
+	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/gatesim"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/units"
+)
+
+// ModelFor maps a corrupted output field of a unit to an error model.
+// It reports false for fields that do not become instruction-level errors
+// (handled as hangs upstream).
+func ModelFor(unit string, field string, p units.Pattern, golden, faulty uint64) (errmodel.Model, bool) {
+	switch unit {
+	case "decoder":
+		return decoderModel(field, p, golden, faulty)
+	case "fetch":
+		return fetchModel(field, p, golden, faulty)
+	case "wsc":
+		return wscModel(field, p, golden, faulty)
+	}
+	return 0, false
+}
+
+// regModel distinguishes IRA from IVRA by the corrupted register number.
+func regModel(faulty uint64) errmodel.Model {
+	if faulty < isa.RegsPerThread || faulty == isa.RZ {
+		return errmodel.IRA
+	}
+	return errmodel.IVRA
+}
+
+// opcodeModel distinguishes IOC from IVOC by the corrupted opcode.
+func opcodeModel(faulty uint64) errmodel.Model {
+	if isa.Opcode(faulty).Valid() {
+		return errmodel.IOC
+	}
+	return errmodel.IVOC
+}
+
+func decoderModel(field string, p units.Pattern, golden, faulty uint64) (errmodel.Model, bool) {
+	switch field {
+	case "opcode":
+		return opcodeModel(faulty), true
+	case "valid":
+		// The validity flag itself flipping makes a valid instruction
+		// undefined (or an undefined one "valid"): invalid operation.
+		return errmodel.IVOC, true
+	case "unit_sel":
+		// The operation executes on the wrong functional unit: a different
+		// (but defined) operation happens.
+		return errmodel.IOC, true
+	case "rd", "rs1", "rs2", "rs3":
+		return regModel(faulty), true
+	case "reg_ok":
+		return errmodel.IVRA, true
+	case "imm", "has_imm":
+		return errmodel.IIO, true
+	case "pred", "flags", "writes_pred":
+		return errmodel.WV, true
+	case "mem_space", "is_load", "is_store":
+		in := isa.Decode(p.Word)
+		if in.Op == isa.OpGST || in.Op == isa.OpSTS || field == "is_store" {
+			return errmodel.IMD, true
+		}
+		return errmodel.IMS, true
+	case "sr_sel":
+		if golden >= uint64(isa.SRCtaidX) && golden <= uint64(isa.SRCtaidZ) ||
+			faulty >= uint64(isa.SRCtaidX) && faulty <= uint64(isa.SRCtaidZ) {
+			return errmodel.IAC, true
+		}
+		return errmodel.IAT, true
+	case "wen":
+		return errmodel.IAL, true
+	}
+	return 0, false
+}
+
+func fetchModel(field string, p units.Pattern, golden, faulty uint64) (errmodel.Model, bool) {
+	switch field {
+	case "ir":
+		// Classify by which instruction field of the fetched word broke,
+		// in decode priority order.
+		g := isa.Decode(isa.Word(golden))
+		f := isa.Decode(isa.Word(faulty))
+		switch {
+		case g.Op != f.Op:
+			return opcodeModel(uint64(f.Op)), true
+		case g.Rd != f.Rd:
+			return regModel(uint64(f.Rd)), true
+		case g.Rs1 != f.Rs1:
+			return regModel(uint64(f.Rs1)), true
+		case g.Rs2 != f.Rs2:
+			return regModel(uint64(f.Rs2)), true
+		case g.Rs3 != f.Rs3:
+			return regModel(uint64(f.Rs3)), true
+		case g.Imm != f.Imm:
+			return errmodel.IIO, true
+		case g.Pred != f.Pred || g.Flags != f.Flags:
+			return errmodel.WV, true
+		}
+		return errmodel.IOC, true
+	case "pc":
+		// A wrong fetch address delivers a different (valid) instruction
+		// stream: incorrect operation.
+		return errmodel.IOC, true
+	case "warp_sel_out":
+		return errmodel.IAW, true
+	}
+	return 0, false
+}
+
+func wscModel(field string, p units.Pattern, golden, faulty uint64) (errmodel.Model, bool) {
+	switch field {
+	case "sel_warp", "issued_state":
+		return errmodel.IAW, true
+	case "active_mask":
+		return errmodel.IAT, true
+	case "cta_id":
+		return errmodel.IAC, true
+	case "shmem_base", "regfile_base":
+		return errmodel.IPP, true
+	case "lane_enable":
+		return errmodel.IAL, true
+	case "op_route":
+		return opcodeModel(faulty), true
+	}
+	return 0, false
+}
+
+// Collector is a gatesim.EventSink that accumulates the per-unit,
+// per-model statistics behind Table 5 and Figure 9.
+type Collector struct {
+	Unit string
+
+	// FaultModels[faultIdx] is the set of models the fault produced.
+	FaultModels map[int]map[errmodel.Model]bool
+	// Events counts corruption events ("times an error was produced").
+	Events map[errmodel.Model]int
+	// HangFaults is the set of faults that hit a hang field.
+	HangFaults map[int]bool
+	// Unmapped counts corruptions of fields with no model mapping
+	// (should stay zero; tracked for validation).
+	Unmapped int
+}
+
+// NewCollector builds a collector for one unit's campaign.
+func NewCollector(unit string) *Collector {
+	return &Collector{
+		Unit:        unit,
+		FaultModels: make(map[int]map[errmodel.Model]bool),
+		Events:      make(map[errmodel.Model]int),
+		HangFaults:  make(map[int]bool),
+	}
+}
+
+// Corruption implements gatesim.EventSink.
+func (c *Collector) Corruption(faultIdx int, p units.Pattern, field string, golden, faulty uint64) {
+	m, ok := ModelFor(c.Unit, field, p, golden, faulty)
+	if !ok {
+		c.Unmapped++
+		return
+	}
+	set := c.FaultModels[faultIdx]
+	if set == nil {
+		set = make(map[errmodel.Model]bool)
+		c.FaultModels[faultIdx] = set
+	}
+	set[m] = true
+	c.Events[m]++
+}
+
+// Hang implements gatesim.EventSink.
+func (c *Collector) Hang(faultIdx int, p units.Pattern, field string) {
+	c.HangFaults[faultIdx] = true
+}
+
+// FaultsCausing returns how many distinct faults produced the model.
+func (c *Collector) FaultsCausing(m errmodel.Model) int {
+	n := 0
+	for _, set := range c.FaultModels {
+		if set[m] {
+			n++
+		}
+	}
+	return n
+}
+
+// FAPR returns the Fault Activation and Propagation Rate for the model:
+// the fraction of the unit's faults that were activated, propagated, and
+// manifested as that instruction-level error (Figure 9).
+func (c *Collector) FAPR(m errmodel.Model, totalFaults int) float64 {
+	if totalFaults == 0 {
+		return 0
+	}
+	return float64(c.FaultsCausing(m)) / float64(totalFaults)
+}
+
+// MultiModelFaults returns how many faults produced more than one error
+// model (the paper: "the same permanent fault may produce different types
+// of software errors").
+func (c *Collector) MultiModelFaults() int {
+	n := 0
+	for _, set := range c.FaultModels {
+		if len(set) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// UnitReport is the per-unit slice of Table 5.
+type UnitReport struct {
+	Unit        string
+	TotalFaults int
+	HangFaults  int
+	Rows        []UnitReportRow
+	Summary     *gatesim.Summary
+}
+
+// UnitReportRow is one (unit, error model) row of Table 5.
+type UnitReportRow struct {
+	Model       errmodel.Model
+	FaultsCause int     // HW faults causing the error
+	AVFPerError float64 // percentage of the unit's faults
+	TimesSW     int     // times the error was produced
+}
+
+// Report assembles the Table-5 view from a campaign summary and its
+// collector.
+func Report(sum *gatesim.Summary, col *Collector) *UnitReport {
+	r := &UnitReport{
+		Unit:        sum.Unit,
+		TotalFaults: len(sum.Faults),
+		HangFaults:  sum.NumHang,
+		Summary:     sum,
+	}
+	for _, m := range errmodel.All() {
+		n := col.FaultsCausing(m)
+		if n == 0 {
+			continue
+		}
+		r.Rows = append(r.Rows, UnitReportRow{
+			Model:       m,
+			FaultsCause: n,
+			AVFPerError: 100 * float64(n) / float64(r.TotalFaults),
+			TimesSW:     col.Events[m],
+		})
+	}
+	return r
+}
+
+func (r *UnitReport) String() string {
+	s := fmt.Sprintf("%s: %d faults, %d hang\n", r.Unit, r.TotalFaults, r.HangFaults)
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("  %-5v %6d faults  AVF %6.2f%%  %8d events\n",
+			row.Model, row.FaultsCause, row.AVFPerError, row.TimesSW)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// TestThreeDimensionalGridAndBlock exercises Y/Z dimensions end to end:
+// every (ctaid, tid) combination writes its linear id exactly once.
+func TestThreeDimensionalGridAndBlock(t *testing.T) {
+	b := kasm.New("lin3d")
+	// linear = ((cz*gy + cy)*gx + cx) * blockSize + ((tz*by + ty)*bx + tx)
+	b.S2R(0, isa.SRCtaidZ)
+	b.S2R(1, isa.SRNCtaidY)
+	b.IMUL(0, 0, 1)
+	b.S2R(1, isa.SRCtaidY)
+	b.IADD(0, 0, 1)
+	b.S2R(1, isa.SRNCtaidX)
+	b.IMUL(0, 0, 1)
+	b.S2R(1, isa.SRCtaidX)
+	b.IADD(0, 0, 1) // R0 = linear cta
+	// block size = ntid.x*ntid.y*ntid.z
+	b.S2R(2, isa.SRNTidX)
+	b.S2R(3, isa.SRNTidY)
+	b.IMUL(2, 2, 3)
+	b.S2R(3, isa.SRNTidZ)
+	b.IMUL(2, 2, 3)
+	b.IMUL(0, 0, 2) // R0 = cta * blockSize
+	// thread linear id
+	b.S2R(4, isa.SRTidZ)
+	b.S2R(5, isa.SRNTidY)
+	b.IMUL(4, 4, 5)
+	b.S2R(5, isa.SRTidY)
+	b.IADD(4, 4, 5)
+	b.S2R(5, isa.SRNTidX)
+	b.IMUL(4, 4, 5)
+	b.S2R(5, isa.SRTidX)
+	b.IADD(4, 4, 5)
+	b.IADD(0, 0, 4) // global linear id
+	b.GST(0, 0, 0)  // global[id] = id
+	b.EXIT()
+
+	d := NewDevice(DefaultConfig())
+	grid := Dim3{X: 2, Y: 3, Z: 2}
+	block := Dim3{X: 4, Y: 2, Z: 2}
+	res, err := d.Launch(b.Build(), LaunchConfig{Grid: grid, Block: block})
+	if err != nil || res.Hung() {
+		t.Fatalf("err=%v res=%v", err, res)
+	}
+	total := grid.Count() * block.Count()
+	for i := 0; i < total; i++ {
+		if d.Global[i] != uint32(i) {
+			t.Fatalf("global[%d] = %d (3D indexing broken)", i, d.Global[i])
+		}
+	}
+	if d.Global[total] != 0 {
+		t.Fatal("wrote past the launch extent")
+	}
+}
+
+// TestLDCWithRegisterOffset loads parameters through a register-indexed
+// constant access (the error models corrupt exactly this path).
+func TestLDCWithRegisterOffset(t *testing.T) {
+	b := kasm.New("ldcreg")
+	b.S2R(0, isa.SRTidX)
+	b.LDC(1, 0, 0) // R1 = const[tid]
+	b.GST(0, 0, 1)
+	b.EXIT()
+	d := NewDevice(DefaultConfig())
+	res, _ := d.Launch(b.Build(), LaunchConfig{
+		Grid: Dim3{X: 1}, Block: Dim3{X: 4},
+		Params: []uint32{10, 20, 30, 40},
+	})
+	if res.Hung() {
+		t.Fatalf("trap: %v", res)
+	}
+	for i, want := range []uint32{10, 20, 30, 40} {
+		if d.Global[i] != want {
+			t.Errorf("const[%d] = %d, want %d", i, d.Global[i], want)
+		}
+	}
+	// Past the parameter array: trap.
+	res, _ = d.Launch(b.Build(), LaunchConfig{
+		Grid: Dim3{X: 1}, Block: Dim3{X: 8},
+		Params: []uint32{10, 20, 30, 40},
+	})
+	if res.Trap != TrapBadConstAddr {
+		t.Errorf("trap = %v, want bad-const-address", res.Trap)
+	}
+}
+
+// TestPSETPLogicOps covers the AND/XOR/OR encodings.
+func TestPSETPLogicOps(t *testing.T) {
+	for _, c := range []struct {
+		logic isa.CmpOp
+		want  [4]uint32 // results for (a,b) in {00,01,10,11}
+	}{
+		{isa.CmpEQ, [4]uint32{0, 0, 0, 1}}, // AND
+		{isa.CmpNE, [4]uint32{0, 1, 1, 0}}, // XOR
+		{isa.CmpGT, [4]uint32{0, 1, 1, 1}}, // OR (any other op)
+	} {
+		b := kasm.New("psetp")
+		b.S2R(0, isa.SRTidX)
+		b.MOVI(9, 1)
+		b.IAND(1, 0, 9) // bit0 -> a
+		b.SHR(2, 0, 1)
+		b.IAND(2, 2, 9) // bit1 -> b
+		b.ISETP(isa.CmpEQ, 1, 1, 9)
+		b.ISETP(isa.CmpEQ, 2, 2, 9)
+		b.PSETP(c.logic, 0, 1, 2)
+		b.MOVI(3, 0)
+		b.P(0).MOVI(3, 1)
+		b.GST(0, 0, 3)
+		b.EXIT()
+		d := NewDevice(DefaultConfig())
+		res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 4}})
+		if res.Hung() {
+			t.Fatalf("trap: %v", res)
+		}
+		for i := 0; i < 4; i++ {
+			if d.Global[i] != c.want[i] {
+				t.Errorf("PSETP %v: case %02b = %d, want %d", c.logic, i, d.Global[i], c.want[i])
+			}
+		}
+	}
+}

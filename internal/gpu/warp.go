@@ -1,0 +1,127 @@
+package gpu
+
+import "gpufaultsim/internal/isa"
+
+// Warp holds the architectural state of one warp: per-lane program
+// counters (min-PC reconvergence scheduling), registers, predicates and
+// thread identity.
+//
+// The per-lane PC model makes arbitrary divergent control flow correct
+// without compiler-inserted reconvergence points: each issue executes the
+// lanes whose PC equals the minimum PC across schedulable lanes, so
+// diverged lanes serialize and implicitly reconverge — the same observable
+// behaviour as a G80 SIMT stack for structured code.
+type Warp struct {
+	IDInSM int  // warp slot within the SM (used by error descriptors)
+	PPB    int  // sub-partition the warp is bound to
+	SM     int  // owning SM
+	CTA    Dim3 // block index of the owning CTA
+
+	Valid uint32 // lanes that carry a live thread (block tail may be partial)
+
+	PC      [isa.WarpSize]int32
+	Exited  [isa.WarpSize]bool
+	Barrier [isa.WarpSize]bool // lane is parked at a CTA barrier
+
+	TIDs  [isa.WarpSize]Dim3 // per-lane thread index within the block
+	Regs  [isa.WarpSize * isa.RegsPerThread]uint32
+	Preds [isa.WarpSize]uint8 // bitmask of P0..P6 per lane
+}
+
+// Reg returns register r of lane. RZ reads zero; architecturally invalid
+// registers must be rejected before calling (the simulator traps first).
+func (w *Warp) Reg(lane int, r uint8) uint32 {
+	if r == isa.RZ {
+		return 0
+	}
+	return w.Regs[lane*isa.RegsPerThread+int(r)]
+}
+
+// SetReg writes register r of lane. Writes to RZ are discarded.
+func (w *Warp) SetReg(lane int, r uint8, v uint32) {
+	if r == isa.RZ {
+		return
+	}
+	w.Regs[lane*isa.RegsPerThread+int(r)] = v
+}
+
+// Pred returns predicate p of lane (PT is constant true).
+func (w *Warp) Pred(lane, p int) bool {
+	if p == isa.PT {
+		return true
+	}
+	return w.Preds[lane]&(1<<p) != 0
+}
+
+// SetPred writes predicate p of lane. Writes to PT are discarded.
+func (w *Warp) SetPred(lane, p int, v bool) {
+	if p == isa.PT {
+		return
+	}
+	if v {
+		w.Preds[lane] |= 1 << p
+	} else {
+		w.Preds[lane] &^= 1 << p
+	}
+}
+
+// LaneLive reports whether the lane holds a thread that has not exited.
+func (w *Warp) LaneLive(lane int) bool {
+	return w.Valid&(1<<lane) != 0 && !w.Exited[lane]
+}
+
+// schedulable returns the set of lanes that could issue (live and not
+// parked at a barrier) and the minimum PC among them.
+func (w *Warp) schedulable() (mask uint32, minPC int32, ok bool) {
+	minPC = 1<<31 - 1
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if !w.LaneLive(lane) || w.Barrier[lane] {
+			continue
+		}
+		ok = true
+		if w.PC[lane] < minPC {
+			minPC = w.PC[lane]
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if w.LaneLive(lane) && !w.Barrier[lane] && w.PC[lane] == minPC {
+			mask |= 1 << lane
+		}
+	}
+	return mask, minPC, true
+}
+
+// Done reports whether every live lane has exited.
+func (w *Warp) Done() bool {
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if w.Valid&(1<<lane) != 0 && !w.Exited[lane] {
+			return false
+		}
+	}
+	return true
+}
+
+// allAtBarrier reports whether every live lane is parked at a barrier.
+func (w *Warp) allAtBarrier() bool {
+	any := false
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if !w.LaneLive(lane) {
+			continue
+		}
+		if !w.Barrier[lane] {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// releaseBarrier unparks all lanes.
+func (w *Warp) releaseBarrier() {
+	for lane := range w.Barrier {
+		w.Barrier[lane] = false
+	}
+}

@@ -1,0 +1,260 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Architectural limits. These mirror the FlexGripPlus configuration used in
+// the paper (one PPB per SM cluster, 32 SP cores per PPB) and the G80-class
+// register budget.
+const (
+	WarpSize      = 32  // threads per warp
+	RegsPerThread = 64  // valid architectural registers R0..R63
+	NumPredicates = 7   // P0..P6; PT (7) is the constant-true predicate
+	PT            = 7   // the always-true predicate
+	RZ            = 255 // the always-zero register (reads 0, writes discarded)
+)
+
+// Special registers readable through S2R (immediate selects which one).
+const (
+	SRTidX uint16 = iota
+	SRTidY
+	SRTidZ
+	SRCtaidX
+	SRCtaidY
+	SRCtaidZ
+	SRNTidX
+	SRNTidY
+	SRNTidZ
+	SRNCtaidX
+	SRNCtaidY
+	SRNCtaidZ
+	SRLaneID
+	SRWarpID
+	SRSMID
+	srCount
+)
+
+// SpecialRegCount is the number of defined special registers.
+const SpecialRegCount = int(srCount)
+
+var srNames = [...]string{
+	"SR_TID.X", "SR_TID.Y", "SR_TID.Z",
+	"SR_CTAID.X", "SR_CTAID.Y", "SR_CTAID.Z",
+	"SR_NTID.X", "SR_NTID.Y", "SR_NTID.Z",
+	"SR_NCTAID.X", "SR_NCTAID.Y", "SR_NCTAID.Z",
+	"SR_LANEID", "SR_WARPID", "SR_SMID",
+}
+
+// SpecialRegName returns the assembly name of special register sr.
+func SpecialRegName(sr uint16) string {
+	if int(sr) < len(srNames) {
+		return srNames[sr]
+	}
+	return fmt.Sprintf("SR_%d", sr)
+}
+
+// CmpOp selects the comparison performed by ISETP/FSETP (stored in Flags).
+type CmpOp uint8
+
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+var cmpNames = [...]string{"EQ", "NE", "LT", "LE", "GT", "GE"}
+
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("CMP(%d)", uint8(c))
+}
+
+// Instruction is the decoded form of one 64-bit instruction word.
+//
+// Pred encodes the guard predicate in its low 3 bits and negation in bit 3;
+// PT (7) with no negation means unconditional. Rd/Rs1/Rs2/Rs3 are register
+// indices (RZ = 255 reads as zero). Imm is a 16-bit immediate whose
+// interpretation depends on the opcode (sign-extended for MOV32I and memory
+// offsets, absolute instruction index for BRA, special-register selector for
+// S2R). Flags carries the comparison selector for ISETP/FSETP/PSETP and the
+// destination predicate index for predicate-writing instructions.
+type Instruction struct {
+	Op    Opcode
+	Pred  uint8 // guard predicate: low 3 bits index, bit 3 = negate
+	Rd    uint8
+	Rs1   uint8
+	Rs2   uint8
+	Rs3   uint8
+	Imm   uint16
+	Flags uint8 // [2:0] CmpOp or dest predicate; [3] dest-pred negate source
+}
+
+// Word is the raw 64-bit encoding of an instruction, the value latched by
+// the fetch unit's instruction register and presented to the decoder unit.
+// Bit layout (LSB first):
+//
+//	[7:0]   opcode
+//	[11:8]  guard predicate (3-bit index + negate bit)
+//	[19:12] Rd
+//	[27:20] Rs1
+//	[35:28] Rs2
+//	[43:36] Rs3
+//	[59:44] imm16
+//	[63:60] flags
+type Word uint64
+
+// Field bit offsets within a Word (used by the gate-level decoder netlist
+// and by the fault-to-error-model classifier).
+const (
+	FieldOpcodeLo = 0
+	FieldOpcodeHi = 7
+	FieldPredLo   = 8
+	FieldPredHi   = 11
+	FieldRdLo     = 12
+	FieldRdHi     = 19
+	FieldRs1Lo    = 20
+	FieldRs1Hi    = 27
+	FieldRs2Lo    = 28
+	FieldRs2Hi    = 35
+	FieldRs3Lo    = 36
+	FieldRs3Hi    = 43
+	FieldImmLo    = 44
+	FieldImmHi    = 59
+	FieldFlagsLo  = 60
+	FieldFlagsHi  = 63
+)
+
+// Encode packs the instruction into its 64-bit word.
+func (in Instruction) Encode() Word {
+	var w uint64
+	w |= uint64(in.Op)
+	w |= uint64(in.Pred&0xF) << FieldPredLo
+	w |= uint64(in.Rd) << FieldRdLo
+	w |= uint64(in.Rs1) << FieldRs1Lo
+	w |= uint64(in.Rs2) << FieldRs2Lo
+	w |= uint64(in.Rs3) << FieldRs3Lo
+	w |= uint64(in.Imm) << FieldImmLo
+	w |= uint64(in.Flags&0xF) << FieldFlagsLo
+	return Word(w)
+}
+
+// Decode unpacks a 64-bit instruction word. Decode never fails: invalid
+// opcodes are preserved so the simulator can raise the illegal-instruction
+// trap that the IVOC error model predicts.
+func Decode(w Word) Instruction {
+	u := uint64(w)
+	return Instruction{
+		Op:    Opcode(u & 0xFF),
+		Pred:  uint8(u >> FieldPredLo & 0xF),
+		Rd:    uint8(u >> FieldRdLo & 0xFF),
+		Rs1:   uint8(u >> FieldRs1Lo & 0xFF),
+		Rs2:   uint8(u >> FieldRs2Lo & 0xFF),
+		Rs3:   uint8(u >> FieldRs3Lo & 0xFF),
+		Imm:   uint16(u >> FieldImmLo & 0xFFFF),
+		Flags: uint8(u >> FieldFlagsLo & 0xF),
+	}
+}
+
+// SImm returns the immediate sign-extended to 32 bits.
+func (in Instruction) SImm() int32 { return int32(int16(in.Imm)) }
+
+// PredIndex returns the guard predicate register index (0..7).
+func (in Instruction) PredIndex() int { return int(in.Pred & 0x7) }
+
+// PredNegated reports whether the guard predicate is negated.
+func (in Instruction) PredNegated() bool { return in.Pred&0x8 != 0 }
+
+// Unconditional reports whether the instruction executes regardless of
+// predicate state.
+func (in Instruction) Unconditional() bool {
+	return in.PredIndex() == PT && !in.PredNegated()
+}
+
+// Cmp returns the comparison selector for ISETP/FSETP.
+func (in Instruction) Cmp() CmpOp { return CmpOp(in.Flags & 0x7) }
+
+// DestPred returns the destination predicate index for predicate-writing
+// instructions (stored in the low bits of Rd).
+func (in Instruction) DestPred() int { return int(in.Rd & 0x7) }
+
+// ValidRegs reports whether every register operand actually used by the
+// instruction is architecturally valid (within RegsPerThread, or RZ).
+// A violation corresponds to the Invalid Register Addressed (IVRA) error
+// model and traps at execution.
+func (in Instruction) ValidRegs() bool {
+	valid := func(r uint8) bool { return r < RegsPerThread || r == RZ }
+	if in.Op.WritesReg() && !valid(in.Rd) {
+		return false
+	}
+	n := in.Op.SrcRegs()
+	srcs := [3]uint8{in.Rs1, in.Rs2, in.Rs3}
+	for i := 0; i < n; i++ {
+		if !valid(srcs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func regName(r uint8) string {
+	if r == RZ {
+		return "RZ"
+	}
+	return fmt.Sprintf("R%d", r)
+}
+
+// memRef renders a memory operand "[Rn+off]" (the sign folds into off).
+func memRef(base uint8, off int32) string {
+	if off < 0 {
+		return fmt.Sprintf("[%s%d]", regName(base), off)
+	}
+	return fmt.Sprintf("[%s+%d]", regName(base), off)
+}
+
+// String renders the instruction in SASS-like assembly syntax.
+func (in Instruction) String() string {
+	var b strings.Builder
+	if !in.Unconditional() {
+		if in.PredNegated() {
+			fmt.Fprintf(&b, "@!P%d ", in.PredIndex())
+		} else {
+			fmt.Fprintf(&b, "@P%d ", in.PredIndex())
+		}
+	}
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpNOP, OpEXIT, OpBAR:
+	case OpBRA:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case OpMOV32I:
+		fmt.Fprintf(&b, " %s, %d", regName(in.Rd), in.SImm())
+	case OpS2R:
+		fmt.Fprintf(&b, " %s, %s", regName(in.Rd), SpecialRegName(in.Imm))
+	case OpGLD, OpLDS, OpLDC:
+		fmt.Fprintf(&b, " %s, %s", regName(in.Rd), memRef(in.Rs1, in.SImm()))
+	case OpGST, OpSTS:
+		fmt.Fprintf(&b, " %s, %s", memRef(in.Rs1, in.SImm()), regName(in.Rs2))
+	case OpISETP, OpFSETP:
+		fmt.Fprintf(&b, ".%s P%d, %s, %s", in.Cmp(), in.DestPred(),
+			regName(in.Rs1), regName(in.Rs2))
+	case OpPSETP:
+		fmt.Fprintf(&b, " P%d, P%d, P%d", in.DestPred(), in.Rs1&0x7, in.Rs2&0x7)
+	case OpSHL, OpSHR:
+		fmt.Fprintf(&b, " %s, %s, %d", regName(in.Rd), regName(in.Rs1), in.Imm)
+	default:
+		fmt.Fprintf(&b, " %s", regName(in.Rd))
+		n := in.Op.SrcRegs()
+		srcs := [3]uint8{in.Rs1, in.Rs2, in.Rs3}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, ", %s", regName(srcs[i]))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package kasm_test
+
+import (
+	"fmt"
+
+	"gpufaultsim/internal/kasm"
+)
+
+// ExampleParse assembles a SASS-like text kernel and disassembles it back.
+func ExampleParse() {
+	prog, err := kasm.Parse("double", `
+		S2R R0, SR_TID.X
+		GLD R1, [R0+0]
+		FADD R1, R1, R1
+		GST [R0+0], R1
+		EXIT
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog.Disassemble())
+	// Output:
+	//     0: S2R R0, SR_TID.X
+	//     1: GLD R1, [R0+0]
+	//     2: FADD R1, R1, R1
+	//     3: GST [R0+0], R1
+	//     4: EXIT
+}
+
+// ExampleBuilder builds the same kernel programmatically.
+func ExampleBuilder() {
+	b := kasm.New("count")
+	b.MOVI(0, 3)
+	b.Label("loop")
+	b.MOVI(1, 1)
+	b.Op2(12 /* isa.OpISUB */, 0, 0, 1)
+	b.ISETP(2 /* CmpLT */, 0, 1, 0) // P0 = 1 < R0
+	b.P(0).BRA("loop")
+	b.EXIT()
+	p := b.Build()
+	fmt.Println(p.Len(), "instructions")
+	// Output:
+	// 6 instructions
+}

@@ -1,0 +1,260 @@
+// Package kasm provides a small assembler ("kernel asm") for building GPU
+// programs in Go. All evaluation workloads and micro-benchmarks are written
+// against this builder, playing the role the CUDA toolchain plays in the
+// paper's software stack.
+//
+// The builder supports forward label references, predicated emission, and a
+// handful of composite helpers (thread-index computation, bounds guards)
+// that keep kernel sources compact.
+package kasm
+
+import (
+	"fmt"
+
+	"gpufaultsim/internal/isa"
+)
+
+// Program is an assembled kernel: a flat slice of instruction words plus
+// metadata used by launches.
+type Program struct {
+	Name   string
+	Code   []isa.Word
+	Labels map[string]int // label -> instruction index
+}
+
+// At decodes the instruction at index i.
+func (p *Program) At(i int) isa.Instruction { return isa.Decode(p.Code[i]) }
+
+// Len reports the number of instructions in the program.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Disassemble renders the whole program as SASS-like text.
+func (p *Program) Disassemble() string {
+	rev := make(map[int]string, len(p.Labels))
+	for name, idx := range p.Labels {
+		rev[idx] = name
+	}
+	var s string
+	for i := range p.Code {
+		if name, ok := rev[i]; ok {
+			s += name + ":\n"
+		}
+		s += fmt.Sprintf("  %3d: %s\n", i, p.At(i))
+	}
+	return s
+}
+
+type fixup struct {
+	index int    // instruction to patch
+	label string // target label
+}
+
+// Builder assembles a Program instruction by instruction.
+//
+// Register allocation is the caller's business: helpers return isa register
+// numbers. The builder panics on malformed programs (unknown labels,
+// duplicate labels) at Build time — assembling happens at test/benchmark
+// setup, never on a fault-injection fast path, so fail-fast is the right
+// trade-off.
+type Builder struct {
+	name   string
+	code   []isa.Instruction
+	labels map[string]int
+	fixups []fixup
+	pred   uint8 // predicate applied to the next emitted instruction
+}
+
+// New returns a Builder for a kernel with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int), pred: isa.PT}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("kasm: duplicate label %q in %s", name, b.name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// P sets the guard predicate for the next emitted instruction only.
+func (b *Builder) P(pred int) *Builder {
+	b.pred = uint8(pred & 0x7)
+	return b
+}
+
+// PNot sets the negated guard predicate for the next emitted instruction.
+func (b *Builder) PNot(pred int) *Builder {
+	b.pred = uint8(pred&0x7) | 0x8
+	return b
+}
+
+func (b *Builder) emit(in isa.Instruction) *Builder {
+	in.Pred = b.pred
+	b.pred = isa.PT
+	b.code = append(b.code, in)
+	return b
+}
+
+// Build resolves fixups and returns the finished Program.
+func (b *Builder) Build() *Program {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("kasm: undefined label %q in %s", f.label, b.name))
+		}
+		b.code[f.index].Imm = uint16(target)
+	}
+	p := &Program{Name: b.name, Code: make([]isa.Word, len(b.code)),
+		Labels: b.labels}
+	for i, in := range b.code {
+		p.Code[i] = in.Encode()
+	}
+	return p
+}
+
+// --- raw emit helpers -------------------------------------------------
+
+// Op3 emits a three-source-register instruction (IMAD, FFMA).
+func (b *Builder) Op3(op isa.Opcode, rd, ra, rb, rc int) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: uint8(rd), Rs1: uint8(ra),
+		Rs2: uint8(rb), Rs3: uint8(rc)})
+}
+
+// Op2 emits a two-source-register instruction (IADD, FMUL, ...).
+func (b *Builder) Op2(op isa.Opcode, rd, ra, rb int) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: uint8(rd), Rs1: uint8(ra),
+		Rs2: uint8(rb)})
+}
+
+// Op1 emits a single-source instruction (MOV, FSIN, I2F, ...).
+func (b *Builder) Op1(op isa.Opcode, rd, ra int) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: uint8(rd), Rs1: uint8(ra)})
+}
+
+// --- mnemonic helpers --------------------------------------------------
+
+func (b *Builder) IADD(rd, ra, rb int) *Builder { return b.Op2(isa.OpIADD, rd, ra, rb) }
+func (b *Builder) ISUB(rd, ra, rb int) *Builder { return b.Op2(isa.OpISUB, rd, ra, rb) }
+func (b *Builder) IMUL(rd, ra, rb int) *Builder { return b.Op2(isa.OpIMUL, rd, ra, rb) }
+func (b *Builder) IMIN(rd, ra, rb int) *Builder { return b.Op2(isa.OpIMIN, rd, ra, rb) }
+func (b *Builder) IMAX(rd, ra, rb int) *Builder { return b.Op2(isa.OpIMAX, rd, ra, rb) }
+func (b *Builder) IAND(rd, ra, rb int) *Builder { return b.Op2(isa.OpIAND, rd, ra, rb) }
+func (b *Builder) IOR(rd, ra, rb int) *Builder  { return b.Op2(isa.OpIOR, rd, ra, rb) }
+func (b *Builder) IXOR(rd, ra, rb int) *Builder { return b.Op2(isa.OpIXOR, rd, ra, rb) }
+func (b *Builder) FADD(rd, ra, rb int) *Builder { return b.Op2(isa.OpFADD, rd, ra, rb) }
+func (b *Builder) FSUB(rd, ra, rb int) *Builder { return b.Op2(isa.OpFSUB, rd, ra, rb) }
+func (b *Builder) FMUL(rd, ra, rb int) *Builder { return b.Op2(isa.OpFMUL, rd, ra, rb) }
+func (b *Builder) FMIN(rd, ra, rb int) *Builder { return b.Op2(isa.OpFMIN, rd, ra, rb) }
+func (b *Builder) FMAX(rd, ra, rb int) *Builder { return b.Op2(isa.OpFMAX, rd, ra, rb) }
+
+func (b *Builder) IMAD(rd, ra, rb, rc int) *Builder { return b.Op3(isa.OpIMAD, rd, ra, rb, rc) }
+func (b *Builder) FFMA(rd, ra, rb, rc int) *Builder { return b.Op3(isa.OpFFMA, rd, ra, rb, rc) }
+
+func (b *Builder) FSIN(rd, ra int) *Builder  { return b.Op1(isa.OpFSIN, rd, ra) }
+func (b *Builder) FEXP(rd, ra int) *Builder  { return b.Op1(isa.OpFEXP, rd, ra) }
+func (b *Builder) FRCP(rd, ra int) *Builder  { return b.Op1(isa.OpFRCP, rd, ra) }
+func (b *Builder) FSQRT(rd, ra int) *Builder { return b.Op1(isa.OpFSQRT, rd, ra) }
+func (b *Builder) I2F(rd, ra int) *Builder   { return b.Op1(isa.OpI2F, rd, ra) }
+func (b *Builder) F2I(rd, ra int) *Builder   { return b.Op1(isa.OpF2I, rd, ra) }
+func (b *Builder) MOV(rd, ra int) *Builder   { return b.Op1(isa.OpMOV, rd, ra) }
+
+// MOVI loads a signed 16-bit immediate into rd.
+func (b *Builder) MOVI(rd int, imm int) *Builder {
+	if imm < -32768 || imm > 32767 {
+		panic(fmt.Sprintf("kasm: MOVI immediate %d out of range in %s", imm, b.name))
+	}
+	return b.emit(isa.Instruction{Op: isa.OpMOV32I, Rd: uint8(rd), Imm: uint16(int16(imm))})
+}
+
+// S2R reads special register sr into rd.
+func (b *Builder) S2R(rd int, sr uint16) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpS2R, Rd: uint8(rd), Imm: sr})
+}
+
+// SEL emits rd <- guard ? ra : rb. The guard is the instruction predicate
+// set via P/PNot; with no guard it always selects ra.
+func (b *Builder) SEL(rd, ra, rb int) *Builder { return b.Op2(isa.OpSEL, rd, ra, rb) }
+
+// SHL/SHR shift ra by an immediate count.
+func (b *Builder) SHL(rd, ra, count int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpSHL, Rd: uint8(rd), Rs1: uint8(ra), Imm: uint16(count)})
+}
+func (b *Builder) SHR(rd, ra, count int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpSHR, Rd: uint8(rd), Rs1: uint8(ra), Imm: uint16(count)})
+}
+
+// Memory ops: address = R[ra] + offset (word-addressed).
+func (b *Builder) GLD(rd, ra, offset int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpGLD, Rd: uint8(rd), Rs1: uint8(ra), Imm: uint16(int16(offset))})
+}
+func (b *Builder) GST(ra, offset, rs int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpGST, Rs1: uint8(ra), Rs2: uint8(rs), Imm: uint16(int16(offset))})
+}
+func (b *Builder) LDS(rd, ra, offset int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpLDS, Rd: uint8(rd), Rs1: uint8(ra), Imm: uint16(int16(offset))})
+}
+func (b *Builder) STS(ra, offset, rs int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpSTS, Rs1: uint8(ra), Rs2: uint8(rs), Imm: uint16(int16(offset))})
+}
+
+// LDC loads kernel parameter word at constant-memory index (R[ra]+offset).
+// Use ra = isa.RZ with a literal offset for fixed parameter slots.
+func (b *Builder) LDC(rd, ra, offset int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpLDC, Rd: uint8(rd), Rs1: uint8(ra), Imm: uint16(int16(offset))})
+}
+
+// Param loads kernel parameter slot i into rd (sugar over LDC).
+func (b *Builder) Param(rd, i int) *Builder { return b.LDC(rd, isa.RZ, i) }
+
+// ISETP/FSETP compare and write predicate pd.
+func (b *Builder) ISETP(cmp isa.CmpOp, pd, ra, rb int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpISETP, Rd: uint8(pd & 0x7),
+		Rs1: uint8(ra), Rs2: uint8(rb), Flags: uint8(cmp)})
+}
+func (b *Builder) FSETP(cmp isa.CmpOp, pd, ra, rb int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpFSETP, Rd: uint8(pd & 0x7),
+		Rs1: uint8(ra), Rs2: uint8(rb), Flags: uint8(cmp)})
+}
+
+// PSETP combines two predicates into pd. The logic op rides in the Cmp
+// flags field: CmpEQ = AND, CmpNE = XOR, anything else = OR.
+func (b *Builder) PSETP(logic isa.CmpOp, pd, pa, pb int) *Builder {
+	return b.emit(isa.Instruction{Op: isa.OpPSETP, Rd: uint8(pd & 0x7),
+		Rs1: uint8(pa & 0x7), Rs2: uint8(pb & 0x7), Flags: uint8(logic)})
+}
+
+// BRA branches to a label (subject to the pending guard predicate).
+func (b *Builder) BRA(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{index: len(b.code), label: label})
+	return b.emit(isa.Instruction{Op: isa.OpBRA})
+}
+
+func (b *Builder) BAR() *Builder  { return b.emit(isa.Instruction{Op: isa.OpBAR}) }
+func (b *Builder) EXIT() *Builder { return b.emit(isa.Instruction{Op: isa.OpEXIT}) }
+func (b *Builder) NOP() *Builder  { return b.emit(isa.Instruction{Op: isa.OpNOP}) }
+
+// --- composite helpers --------------------------------------------------
+
+// GlobalThreadIdX computes the linear thread id
+// (ctaid.x*ntid.x + tid.x) into rd, using rt as scratch.
+func (b *Builder) GlobalThreadIdX(rd, rt int) *Builder {
+	b.S2R(rd, isa.SRCtaidX)
+	b.S2R(rt, isa.SRNTidX)
+	b.IMUL(rd, rd, rt)
+	b.S2R(rt, isa.SRTidX)
+	return b.IADD(rd, rd, rt)
+}
+
+// GuardGE emits "if R[ra] >= R[rb] goto label" using predicate p.
+func (b *Builder) GuardGE(p, ra, rb int, label string) *Builder {
+	b.ISETP(isa.CmpGE, p, ra, rb)
+	return b.P(p).BRA(label)
+}
+
+// LoopLT emits the back-edge "if R[ra] < R[rb] goto label" using predicate p.
+func (b *Builder) LoopLT(p, ra, rb int, label string) *Builder {
+	b.ISETP(isa.CmpLT, p, ra, rb)
+	return b.P(p).BRA(label)
+}

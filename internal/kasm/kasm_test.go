@@ -1,0 +1,144 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"gpufaultsim/internal/isa"
+)
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	b := New("labels")
+	b.Label("top")
+	b.MOVI(0, 1)
+	b.BRA("end") // forward reference
+	b.BRA("top") // backward reference
+	b.Label("end").EXIT()
+	p := b.Build()
+	if p.At(1).Imm != 3 {
+		t.Errorf("forward branch target = %d, want 3", p.At(1).Imm)
+	}
+	if p.At(2).Imm != 0 {
+		t.Errorf("backward branch target = %d, want 0", p.At(2).Imm)
+	}
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with undefined label did not panic")
+		}
+	}()
+	New("bad").BRA("nowhere").Build()
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label did not panic")
+		}
+	}()
+	New("dup").Label("a").Label("a")
+}
+
+func TestMOVIRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range MOVI did not panic")
+		}
+	}()
+	New("movi").MOVI(0, 1<<20)
+}
+
+func TestPredicateAppliesToNextInstructionOnly(t *testing.T) {
+	b := New("pred")
+	b.P(2).MOVI(0, 1)
+	b.MOVI(1, 2)
+	p := b.Build()
+	if p.At(0).PredIndex() != 2 || p.At(0).Unconditional() {
+		t.Error("P(2) not applied to first instruction")
+	}
+	if !p.At(1).Unconditional() {
+		t.Error("predicate leaked to second instruction")
+	}
+}
+
+func TestPNotSetsNegation(t *testing.T) {
+	p := New("pnot").PNot(1).MOVI(0, 5).Build()
+	in := p.At(0)
+	if !in.PredNegated() || in.PredIndex() != 1 {
+		t.Errorf("PNot encoding wrong: %+v", in)
+	}
+}
+
+func TestParamSugar(t *testing.T) {
+	p := New("param").Param(3, 2).Build()
+	in := p.At(0)
+	if in.Op != isa.OpLDC || in.Rd != 3 || in.Rs1 != isa.RZ || in.SImm() != 2 {
+		t.Errorf("Param encoding wrong: %v", in)
+	}
+}
+
+func TestNegativeMemoryOffsets(t *testing.T) {
+	p := New("neg").GLD(0, 1, -4).Build()
+	if p.At(0).SImm() != -4 {
+		t.Errorf("negative offset = %d, want -4", p.At(0).SImm())
+	}
+}
+
+func TestDisassembleContainsLabelsAndMnemonics(t *testing.T) {
+	b := New("dis")
+	b.Label("start").MOVI(0, 7).BRA("start")
+	text := b.Build().Disassemble()
+	for _, want := range []string{"start:", "MOV32I R0, 7", "BRA 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGlobalThreadIdXSequence(t *testing.T) {
+	p := New("gid").GlobalThreadIdX(0, 1).Build()
+	ops := []isa.Opcode{isa.OpS2R, isa.OpS2R, isa.OpIMUL, isa.OpS2R, isa.OpIADD}
+	if p.Len() != len(ops) {
+		t.Fatalf("GlobalThreadIdX emitted %d instructions, want %d", p.Len(), len(ops))
+	}
+	for i, op := range ops {
+		if p.At(i).Op != op {
+			t.Errorf("instr %d = %v, want %v", i, p.At(i).Op, op)
+		}
+	}
+}
+
+func TestAllMnemonicHelpersEncodeTheirOpcode(t *testing.T) {
+	b := New("all")
+	b.IADD(0, 1, 2).ISUB(0, 1, 2).IMUL(0, 1, 2).IMIN(0, 1, 2).IMAX(0, 1, 2)
+	b.IAND(0, 1, 2).IOR(0, 1, 2).IXOR(0, 1, 2)
+	b.FADD(0, 1, 2).FSUB(0, 1, 2).FMUL(0, 1, 2).FMIN(0, 1, 2).FMAX(0, 1, 2)
+	b.IMAD(0, 1, 2, 3).FFMA(0, 1, 2, 3)
+	b.FSIN(0, 1).FEXP(0, 1).FRCP(0, 1).FSQRT(0, 1).I2F(0, 1).F2I(0, 1).MOV(0, 1)
+	b.SHL(0, 1, 2).SHR(0, 1, 2)
+	b.GLD(0, 1, 0).GST(1, 0, 2).LDS(0, 1, 0).STS(1, 0, 2).LDC(0, 1, 0)
+	b.ISETP(isa.CmpEQ, 0, 1, 2).FSETP(isa.CmpLT, 0, 1, 2)
+	b.S2R(0, isa.SRTidX).SEL(0, 1, 2).BAR().NOP().EXIT()
+	p := b.Build()
+	want := []isa.Opcode{
+		isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMIN, isa.OpIMAX,
+		isa.OpIAND, isa.OpIOR, isa.OpIXOR,
+		isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFMIN, isa.OpFMAX,
+		isa.OpIMAD, isa.OpFFMA,
+		isa.OpFSIN, isa.OpFEXP, isa.OpFRCP, isa.OpFSQRT, isa.OpI2F, isa.OpF2I, isa.OpMOV,
+		isa.OpSHL, isa.OpSHR,
+		isa.OpGLD, isa.OpGST, isa.OpLDS, isa.OpSTS, isa.OpLDC,
+		isa.OpISETP, isa.OpFSETP,
+		isa.OpS2R, isa.OpSEL, isa.OpBAR, isa.OpNOP, isa.OpEXIT,
+	}
+	if p.Len() != len(want) {
+		t.Fatalf("program has %d instructions, want %d", p.Len(), len(want))
+	}
+	for i, op := range want {
+		if p.At(i).Op != op {
+			t.Errorf("instr %d: got %v, want %v", i, p.At(i).Op, op)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package kasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpufaultsim/internal/isa"
+)
+
+// Parse assembles SASS-like text into a Program. The accepted syntax is
+// exactly what Program.Disassemble emits, so text kernels round-trip:
+//
+//	entry:
+//	  S2R R0, SR_TID.X
+//	  MOV32I R1, 128
+//	  ISETP.GE P0, R0, R1
+//	  @P0 BRA done
+//	  GLD R2, [R0+0]
+//	  IADD R2, R2, R1
+//	  GST [R0+0], R2
+//	done:
+//	  EXIT
+//
+// Line comments start with "//" or "#". Labels end with ':'. Branch
+// targets may be labels or absolute instruction indices.
+func Parse(name, src string) (*Program, error) {
+	b := New(name)
+	type pendingBranch struct {
+		line   int
+		target string
+	}
+	var branches []pendingBranch
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Strip a leading "NN:" instruction index (disassembler output).
+		if f := strings.Fields(line); len(f) > 1 {
+			if idx := strings.TrimSuffix(f[0], ":"); idx != f[0] {
+				if _, err := strconv.Atoi(idx); err == nil {
+					line = strings.TrimSpace(line[len(f[0]):])
+				}
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if !validIdent(label) {
+				return nil, fmt.Errorf("kasm: line %d: bad label %q", lineNo, label)
+			}
+			if _, dup := b.labels[label]; dup {
+				return nil, fmt.Errorf("kasm: line %d: duplicate label %q", lineNo, label)
+			}
+			b.Label(label)
+			continue
+		}
+		in, branchTo, err := parseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("kasm: line %d: %w", lineNo, err)
+		}
+		if branchTo != "" {
+			branches = append(branches, pendingBranch{len(b.code), branchTo})
+		}
+		b.code = append(b.code, in)
+	}
+
+	for _, br := range branches {
+		if n, err := strconv.Atoi(br.target); err == nil {
+			b.code[br.line].Imm = uint16(n)
+			continue
+		}
+		b.fixups = append(b.fixups, fixup{index: br.line, label: br.target})
+	}
+
+	// Resolve via Build, converting its panics into errors.
+	var p *Program
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("kasm: %v", r)
+			}
+		}()
+		p = b.Build()
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstruction decodes one instruction line. branchTo is non-empty for
+// BRA with an unresolved target.
+func parseInstruction(line string) (in isa.Instruction, branchTo string, err error) {
+	in.Pred = isa.PT
+
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return in, "", fmt.Errorf("empty instruction")
+	}
+	// Guard predicate prefix: @Pn or @!Pn.
+	if strings.HasPrefix(fields[0], "@") {
+		g := strings.TrimPrefix(fields[0], "@")
+		neg := strings.HasPrefix(g, "!")
+		g = strings.TrimPrefix(g, "!")
+		p, perr := parsePred(g)
+		if perr != nil {
+			return in, "", perr
+		}
+		in.Pred = uint8(p)
+		if neg {
+			in.Pred |= 0x8
+		}
+		fields = fields[1:]
+		if len(fields) == 0 {
+			return in, "", fmt.Errorf("guard without instruction")
+		}
+	}
+
+	mnemonic := fields[0]
+	operands := strings.Split(strings.Join(fields[1:], " "), ",")
+	for i := range operands {
+		operands[i] = strings.TrimSpace(operands[i])
+	}
+	if len(operands) == 1 && operands[0] == "" {
+		operands = nil
+	}
+
+	// Comparison suffix (ISETP.GE etc.).
+	var cmp isa.CmpOp
+	hasCmp := false
+	if i := strings.IndexByte(mnemonic, '.'); i >= 0 {
+		c, cerr := parseCmp(mnemonic[i+1:])
+		if cerr != nil {
+			return in, "", cerr
+		}
+		cmp, hasCmp = c, true
+		mnemonic = mnemonic[:i]
+	}
+
+	op, ok := opcodeByName(mnemonic)
+	if !ok {
+		return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(operands) {
+			return 0, fmt.Errorf("%s: missing operand %d", op, i)
+		}
+		return parseReg(operands[i])
+	}
+
+	switch op {
+	case isa.OpNOP, isa.OpEXIT, isa.OpBAR:
+		return in, "", nil
+
+	case isa.OpBRA:
+		if len(operands) != 1 {
+			return in, "", fmt.Errorf("BRA needs one target")
+		}
+		return in, operands[0], nil
+
+	case isa.OpMOV32I:
+		rd, rerr := reg(0)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		v, verr := strconv.ParseInt(operands[1], 10, 32)
+		if verr != nil || v < -32768 || v > 32767 {
+			return in, "", fmt.Errorf("MOV32I immediate %q out of int16 range", operands[1])
+		}
+		in.Rd, in.Imm = rd, uint16(int16(v))
+		return in, "", nil
+
+	case isa.OpS2R:
+		rd, rerr := reg(0)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		sr, serr := parseSpecialReg(operands[1])
+		if serr != nil {
+			return in, "", serr
+		}
+		in.Rd, in.Imm = rd, sr
+		return in, "", nil
+
+	case isa.OpSHL, isa.OpSHR:
+		rd, e1 := reg(0)
+		rs, e2 := reg(1)
+		if e1 != nil || e2 != nil {
+			return in, "", fmt.Errorf("%v: bad registers", op)
+		}
+		n, nerr := strconv.Atoi(operands[2])
+		if nerr != nil || n < 0 || n > 31 {
+			return in, "", fmt.Errorf("%v: bad shift count %q", op, operands[2])
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs, uint16(n)
+		return in, "", nil
+
+	case isa.OpGLD, isa.OpLDS, isa.OpLDC:
+		rd, rerr := reg(0)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		base, off, merr := parseMemRef(operands[1])
+		if merr != nil {
+			return in, "", merr
+		}
+		in.Rd, in.Rs1, in.Imm = rd, base, off
+		return in, "", nil
+
+	case isa.OpGST, isa.OpSTS:
+		base, off, merr := parseMemRef(operands[0])
+		if merr != nil {
+			return in, "", merr
+		}
+		rs, rerr := reg(1)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		in.Rs1, in.Rs2, in.Imm = base, rs, off
+		return in, "", nil
+
+	case isa.OpISETP, isa.OpFSETP:
+		if !hasCmp {
+			return in, "", fmt.Errorf("%v needs a comparison suffix", op)
+		}
+		pd, perr := parsePred(operands[0])
+		if perr != nil {
+			return in, "", perr
+		}
+		ra, e1 := reg(1)
+		rb, e2 := reg(2)
+		if e1 != nil || e2 != nil {
+			return in, "", fmt.Errorf("%v: bad registers", op)
+		}
+		in.Rd, in.Rs1, in.Rs2, in.Flags = uint8(pd), ra, rb, uint8(cmp)
+		return in, "", nil
+
+	case isa.OpPSETP:
+		pd, e0 := parsePred(operands[0])
+		pa, e1 := parsePred(operands[1])
+		pb, e2 := parsePred(operands[2])
+		if e0 != nil || e1 != nil || e2 != nil {
+			return in, "", fmt.Errorf("PSETP: bad predicates")
+		}
+		in.Rd, in.Rs1, in.Rs2 = uint8(pd), uint8(pa), uint8(pb)
+		if hasCmp {
+			in.Flags = uint8(cmp)
+		}
+		return in, "", nil
+	}
+
+	// Generic register-operand instructions.
+	n := op.SrcRegs()
+	if op.WritesReg() {
+		rd, rerr := reg(0)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		in.Rd = rd
+	}
+	srcBase := 0
+	if op.WritesReg() {
+		srcBase = 1
+	}
+	if len(operands) != srcBase+n {
+		return in, "", fmt.Errorf("%v: want %d operands, got %d", op, srcBase+n, len(operands))
+	}
+	srcs := [3]*uint8{&in.Rs1, &in.Rs2, &in.Rs3}
+	for i := 0; i < n; i++ {
+		r, rerr := reg(srcBase + i)
+		if rerr != nil {
+			return in, "", rerr
+		}
+		*srcs[i] = r
+	}
+	return in, "", nil
+}
+
+func opcodeByName(name string) (isa.Opcode, bool) {
+	for op := isa.Opcode(0); int(op) < isa.Count(); op++ {
+		if op.String() == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	if s == "RZ" {
+		return isa.RZ, nil
+	}
+	if !strings.HasPrefix(s, "R") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.RegsPerThread {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(s string) (int, error) {
+	if s == "PT" {
+		return isa.PT, nil
+	}
+	if !strings.HasPrefix(s, "P") {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumPredicates {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return n, nil
+}
+
+func parseCmp(s string) (isa.CmpOp, error) {
+	for c := isa.CmpEQ; c <= isa.CmpGE; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("bad comparison %q", s)
+}
+
+func parseSpecialReg(s string) (uint16, error) {
+	for sr := uint16(0); int(sr) < isa.SpecialRegCount; sr++ {
+		if isa.SpecialRegName(sr) == s {
+			return sr, nil
+		}
+	}
+	return 0, fmt.Errorf("bad special register %q", s)
+}
+
+// parseMemRef parses "[Rn+off]" / "[Rn-off]" / "[Rn]".
+func parseMemRef(s string) (base uint8, off uint16, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory reference %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sign := 1
+	regPart, offPart := body, ""
+	if i := strings.IndexAny(body[1:], "+-"); i >= 0 {
+		i++
+		if body[i] == '-' {
+			sign = -1
+		}
+		regPart, offPart = body[:i], body[i+1:]
+	}
+	r, rerr := parseReg(strings.TrimSpace(regPart))
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	if offPart == "" {
+		return r, 0, nil
+	}
+	v, verr := strconv.Atoi(strings.TrimSpace(offPart))
+	if verr != nil || v < 0 || v > 32767 {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, uint16(int16(sign * v)), nil
+}

@@ -1,0 +1,164 @@
+package kasm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpufaultsim/internal/isa"
+)
+
+func TestParseBasicKernel(t *testing.T) {
+	src := `
+		// simple bounded increment kernel
+		S2R R0, SR_TID.X
+		MOV32I R1, 128
+		ISETP.GE P0, R0, R1
+		@P0 BRA done
+		GLD R2, [R0+0]
+		IADD R2, R2, R1
+		GST [R0+0], R2
+	done:
+		EXIT
+	`
+	p, err := Parse("inc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("parsed %d instructions, want 8", p.Len())
+	}
+	if p.At(3).Op != isa.OpBRA || p.At(3).Imm != 7 {
+		t.Errorf("branch = %v", p.At(3))
+	}
+	if !p.At(3).PredNegated() == false && p.At(3).PredIndex() != 0 {
+		t.Errorf("branch guard = %v", p.At(3))
+	}
+	if p.At(2).Cmp() != isa.CmpGE {
+		t.Errorf("cmp = %v", p.At(2).Cmp())
+	}
+}
+
+func TestParseDisassembleRoundTrip(t *testing.T) {
+	// Generate random well-formed programs with the builder, disassemble,
+	// reparse, and compare instruction words exactly.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		b := New("rt")
+		n := 3 + rng.Intn(20)
+		b.Label("top")
+		for i := 0; i < n; i++ {
+			r := func() int { return rng.Intn(32) }
+			switch rng.Intn(12) {
+			case 0:
+				b.IADD(r(), r(), r())
+			case 1:
+				b.FFMA(r(), r(), r(), r())
+			case 2:
+				b.MOVI(r(), rng.Intn(65536)-32768)
+			case 3:
+				b.S2R(r(), uint16(rng.Intn(isa.SpecialRegCount)))
+			case 4:
+				b.GLD(r(), r(), rng.Intn(100)-50)
+			case 5:
+				b.GST(r(), rng.Intn(100)-50, r())
+			case 6:
+				b.ISETP(isa.CmpOp(rng.Intn(6)), rng.Intn(7), r(), r())
+			case 7:
+				b.P(rng.Intn(7)).BRA("top")
+			case 8:
+				b.PNot(rng.Intn(7)).MOV(r(), r())
+			case 9:
+				b.SHL(r(), r(), rng.Intn(32))
+			case 10:
+				b.LDS(r(), r(), rng.Intn(32))
+			default:
+				b.FSIN(r(), r())
+			}
+		}
+		b.EXIT()
+		p1 := b.Build()
+		p2, err := Parse("rt", p1.Disassemble())
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, p1.Disassemble())
+		}
+		if p2.Len() != p1.Len() {
+			t.Fatalf("trial %d: %d vs %d instructions", trial, p2.Len(), p1.Len())
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				t.Fatalf("trial %d: instruction %d differs:\n  built:  %v\n  parsed: %v",
+					trial, i, p1.At(i), p2.At(i))
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"FROB R1, R2",         // unknown mnemonic
+		"IADD R1, R2",         // missing operand
+		"IADD R99, R1, R2",    // register out of range
+		"BRA nowhere",         // unresolved label
+		"MOV32I R1, 99999",    // immediate out of range
+		"ISETP P0, R1, R2",    // missing comparison
+		"@P9 IADD R1, R2, R3", // bad predicate
+		"GLD R1, R2",          // not a memory reference
+		"S2R R1, SR_BOGUS",    // bad special register
+		"done:\ndone:\nEXIT",  // duplicate label
+		"9bad:\nEXIT",         // invalid label
+		"SHL R1, R2, 99",      // shift count out of range
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestParseCommentsAndIndices(t *testing.T) {
+	// Disassembler emits "NN:" prefixes; comments in both styles parse.
+	src := `
+	  0: MOV32I R0, 5   // load five
+	  1: EXIT           # done
+	`
+	p, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.At(0).SImm() != 5 {
+		t.Fatalf("parsed %v", p.Disassemble())
+	}
+}
+
+func TestParseNumericBranchTarget(t *testing.T) {
+	p, err := Parse("n", "BRA 2\nNOP\nEXIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0).Imm != 2 {
+		t.Fatalf("branch target = %d", p.At(0).Imm)
+	}
+}
+
+func TestParsedKernelExecutes(t *testing.T) {
+	// End-to-end: a text kernel must run on the simulator. (Uses only the
+	// kasm surface here; execution is covered in gpu's tests via builders,
+	// so just validate structural integrity.)
+	src := strings.Join([]string{
+		"S2R R0, SR_TID.X",
+		"MOV32I R1, 1",
+		"IADD R2, R0, R1",
+		"GST [R0+0], R2",
+		"EXIT",
+	}, "\n")
+	p, err := Parse("exec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Len(); i++ {
+		if !p.At(i).ValidRegs() {
+			t.Fatalf("instruction %d invalid: %v", i, p.At(i))
+		}
+	}
+}

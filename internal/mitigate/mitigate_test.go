@@ -1,0 +1,102 @@
+package mitigate
+
+import (
+	"strings"
+	"testing"
+
+	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/workloads"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	dets, err := Evaluate(workloads.MxM{}, Config{
+		Injections: 16, Seed: 3,
+		Models: []errmodel.Model{errmodel.IAT, errmodel.IAW, errmodel.WV, errmodel.IOC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 4 {
+		t.Fatalf("detections for %d models, want 4", len(dets))
+	}
+	for _, d := range dets {
+		if d.Injections != 16 {
+			t.Errorf("%v: %d injections, want 16", d.Model, d.Injections)
+		}
+		if d.CFC > d.SDCs || d.DWC > d.SDCs || d.Combined > d.SDCs {
+			t.Errorf("%v: detections exceed SDC count: %+v", d.Model, d)
+		}
+		if d.Combined < d.CFC || d.Combined < d.DWC {
+			t.Errorf("%v: combined coverage below a component: %+v", d.Model, d)
+		}
+	}
+}
+
+func TestSpatialReplicationCatchesParallelManagementSDCs(t *testing.T) {
+	// The paper's proposal: replication on different resources detects WSC
+	// errors, because a permanent fault cannot corrupt both copies the
+	// same way. On a kernel with several warp slots (mxm runs 8), the
+	// displaced replica rarely lands on the same faulty slots, so IAT
+	// SDCs should be overwhelmingly caught.
+	dets, err := Evaluate(workloads.MxM{}, Config{
+		Injections: 30, Seed: 7,
+		Models: []errmodel.Model{errmodel.IAT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dets[0]
+	if d.SDCs == 0 {
+		t.Skip("no SDCs produced at this seed")
+	}
+	if d.DWCCoverage() < 0.7 {
+		t.Errorf("spatial replication caught only %.0f%% of IAT SDCs",
+			100*d.DWCCoverage())
+	}
+}
+
+func TestCFCBlindToPureDataCorruption(t *testing.T) {
+	// IAL-disable drops results without touching control flow: classic
+	// CFC must miss most of those, while replication still sees them.
+	dets, err := Evaluate(workloads.VectorAdd{}, Config{
+		Injections: 30, Seed: 11,
+		Models: []errmodel.Model{errmodel.IAL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dets[0]
+	if d.SDCs == 0 {
+		t.Skip("no SDCs produced at this seed")
+	}
+	if d.CFCCoverage() > d.DWCCoverage() {
+		t.Errorf("CFC coverage %.2f exceeds DWC %.2f on pure data errors",
+			d.CFCCoverage(), d.DWCCoverage())
+	}
+}
+
+func TestShiftWarpsMovesEveryWarp(t *testing.T) {
+	d := errmodel.Descriptor{Warps: []int{0, 3}, PPB: 0}
+	s := shiftWarps(d, 8, 1)
+	for i := range d.Warps {
+		if s.Warps[i] == d.Warps[i] {
+			t.Errorf("warp %d not displaced", d.Warps[i])
+		}
+	}
+	// Original descriptor untouched.
+	if d.Warps[0] != 0 || d.Warps[1] != 3 {
+		t.Error("shiftWarps mutated its input")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	txt := Render("mxm", []Detection{{
+		Model: errmodel.IAT, Injections: 10, SDCs: 5, DUEs: 1,
+		CFC: 2, DWC: 5, Combined: 5,
+	}})
+	for _, want := range []string{"mxm", "IAT", "100%", "40%"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}

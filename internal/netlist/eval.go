@@ -1,0 +1,240 @@
+package netlist
+
+import "fmt"
+
+// FaultKind selects the defect model of a fault site.
+type FaultKind uint8
+
+const (
+	// StuckAt forces the node to the Stuck level (the paper's model).
+	StuckAt FaultKind = iota
+	// Delay makes the node present its previous-cycle value: a slow path
+	// that misses the capture edge (the paper lists delay faults as a
+	// natural extension of the methodology).
+	Delay
+)
+
+// Fault is a fault on a cell output.
+type Fault struct {
+	Node  Node
+	Kind  FaultKind
+	Stuck bool // for StuckAt: false = stuck-at-0, true = stuck-at-1
+}
+
+func (f Fault) String() string {
+	if f.Kind == Delay {
+		return fmt.Sprintf("delay@%d", f.Node)
+	}
+	v := 0
+	if f.Stuck {
+		v = 1
+	}
+	return fmt.Sprintf("sa%d@%d", v, f.Node)
+}
+
+// FaultList returns the collapsed stuck-at list: both polarities on every
+// cell output.
+func FaultList(nl *Netlist) []Fault {
+	out := make([]Fault, 0, 2*len(nl.Cells))
+	for id := range nl.Cells {
+		out = append(out, Fault{Node: Node(id), Stuck: false},
+			Fault{Node: Node(id), Stuck: true})
+	}
+	return out
+}
+
+// DelayFaultList returns one delay fault per cell output.
+func DelayFaultList(nl *Netlist) []Fault {
+	out := make([]Fault, 0, len(nl.Cells))
+	for id := range nl.Cells {
+		out = append(out, Fault{Node: Node(id), Kind: Delay})
+	}
+	return out
+}
+
+// Simulator evaluates a netlist 64 machines at a time: bit k of every
+// signal word is the value in machine k. All machines see the same input
+// pattern; they differ only in the injected fault, which makes exhaustive
+// stuck-at campaigns 64x cheaper than serial simulation (the classic
+// parallel fault simulation technique).
+type Simulator struct {
+	nl    *Netlist
+	vals  []uint64 // current node values
+	state []uint64 // DFF state, indexed like nl.DFFs
+	in    []uint64 // pending input values (broadcast masks)
+
+	// Per-group fault overrides, dense by node: setArr bits are forced to
+	// 1, clrArr bits to 0, and delayArr bits take the node's previous-
+	// evaluation value in the lane owning the fault.
+	setArr, clrArr, delayArr []uint64
+	rawPrev                  []uint64 // pre-delay node values of the last Eval
+	hasFaults                bool
+	hasDelay                 bool
+}
+
+// NewSimulator builds a simulator with all state reset to 0.
+func NewSimulator(nl *Netlist) *Simulator {
+	return &Simulator{
+		nl:       nl,
+		vals:     make([]uint64, len(nl.Cells)),
+		state:    make([]uint64, len(nl.DFFs)),
+		in:       make([]uint64, len(nl.Inputs)),
+		setArr:   make([]uint64, len(nl.Cells)),
+		clrArr:   make([]uint64, len(nl.Cells)),
+		delayArr: make([]uint64, len(nl.Cells)),
+		rawPrev:  make([]uint64, len(nl.Cells)),
+	}
+}
+
+// Reset clears DFF state and delay history (between exciting patterns).
+func (s *Simulator) Reset() {
+	for i := range s.state {
+		s.state[i] = 0
+	}
+	for i := range s.rawPrev {
+		s.rawPrev[i] = 0
+	}
+}
+
+// SetFaults installs a group of up to 64 faults; fault i occupies machine
+// lane i. Passing nil clears all faults (golden simulation).
+func (s *Simulator) SetFaults(group []Fault) {
+	if len(group) > 64 {
+		panic("netlist: fault group exceeds 64 lanes")
+	}
+	for i := range s.setArr {
+		s.setArr[i] = 0
+		s.clrArr[i] = 0
+		s.delayArr[i] = 0
+	}
+	s.hasFaults = len(group) > 0
+	s.hasDelay = false
+	for lane, f := range group {
+		switch {
+		case f.Kind == Delay:
+			s.delayArr[f.Node] |= 1 << lane
+			s.hasDelay = true
+		case f.Stuck:
+			s.setArr[f.Node] |= 1 << lane
+		default:
+			s.clrArr[f.Node] |= 1 << lane
+		}
+	}
+}
+
+// SetInput drives primary input i (by declaration order) with a logic
+// level, broadcast to all machines.
+func (s *Simulator) SetInput(i int, v bool) {
+	if v {
+		s.in[i] = ^uint64(0)
+	} else {
+		s.in[i] = 0
+	}
+}
+
+// SetInputBus drives a width-w slice of inputs starting at base from an
+// integer value, LSB first.
+func (s *Simulator) SetInputBus(base, width int, value uint64) {
+	for i := 0; i < width; i++ {
+		s.SetInput(base+i, value>>i&1 == 1)
+	}
+}
+
+// Eval propagates the current inputs through the combinational logic
+// (fault overrides applied at every node) without clocking the DFFs.
+func (s *Simulator) Eval() {
+	cells := s.nl.Cells
+	vals := s.vals
+	set, clr := s.setArr, s.clrArr
+
+	apply := func(id Node, v uint64) {
+		if s.hasFaults {
+			v = (v | set[id]) &^ clr[id]
+			if s.hasDelay {
+				if m := s.delayArr[id]; m != 0 {
+					// The slow path missed the capture edge: affected
+					// lanes observe the previous evaluation's value.
+					old := s.rawPrev[id]
+					s.rawPrev[id] = v
+					v = (v &^ m) | (old & m)
+				}
+			}
+		}
+		vals[id] = v
+	}
+
+	inIdx := 0
+	for _, id := range s.nl.Inputs {
+		apply(id, s.in[inIdx])
+		inIdx++
+	}
+	for id, c := range cells {
+		if c.Kind == KConst {
+			var v uint64
+			if c.In[0] == 1 {
+				v = ^uint64(0)
+			}
+			apply(Node(id), v)
+		}
+	}
+	for i, id := range s.nl.DFFs {
+		apply(id, s.state[i])
+	}
+	for _, id := range s.nl.order {
+		c := &cells[id]
+		var v uint64
+		switch c.Kind {
+		case KBuf:
+			v = vals[c.In[0]]
+		case KInv:
+			v = ^vals[c.In[0]]
+		case KAnd:
+			v = vals[c.In[0]] & vals[c.In[1]]
+		case KOr:
+			v = vals[c.In[0]] | vals[c.In[1]]
+		case KXor:
+			v = vals[c.In[0]] ^ vals[c.In[1]]
+		case KNand:
+			v = ^(vals[c.In[0]] & vals[c.In[1]])
+		case KNor:
+			v = ^(vals[c.In[0]] | vals[c.In[1]])
+		case KMux:
+			sel := vals[c.In[2]]
+			v = (vals[c.In[0]] &^ sel) | (vals[c.In[1]] & sel)
+		}
+		apply(id, v)
+	}
+}
+
+// Clock latches every DFF's next-state input into its state.
+func (s *Simulator) Clock() {
+	for i, id := range s.nl.DFFs {
+		s.state[i] = s.vals[s.nl.Cells[id].In[0]]
+	}
+}
+
+// Step is Eval followed by Clock.
+func (s *Simulator) Step() {
+	s.Eval()
+	s.Clock()
+}
+
+// Node returns the current value word of a node.
+func (s *Simulator) Node(n Node) uint64 { return s.vals[n] }
+
+// OutputWord assembles the value of a named output field for machine lane,
+// LSB first.
+func (s *Simulator) OutputWord(field string, lane int) uint64 {
+	var v uint64
+	for _, o := range s.nl.Outputs {
+		if o.Field == field && s.vals[o.Node]>>lane&1 == 1 {
+			v |= 1 << o.Bit
+		}
+	}
+	return v
+}
+
+// OutputBit returns output o's value in machine lane.
+func (s *Simulator) OutputBit(o Output, lane int) bool {
+	return s.vals[o.Node]>>lane&1 == 1
+}

@@ -1,0 +1,116 @@
+package profiler
+
+import (
+	"testing"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/workloads"
+)
+
+func TestCollectBasics(t *testing.T) {
+	prof, err := Collect([]workloads.Workload{workloads.VectorAdd{}, workloads.MxM{}},
+		Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.DynInstrs == 0 {
+		t.Fatal("no dynamic instructions profiled")
+	}
+	if len(prof.Patterns) == 0 {
+		t.Fatal("no exciting patterns extracted")
+	}
+	if len(prof.Patterns) > len(prof.Counts) {
+		t.Errorf("pattern list (%d) exceeds distinct pattern count (%d)",
+			len(prof.Patterns), len(prof.Counts))
+	}
+	var total uint64
+	for _, c := range prof.Counts {
+		total += c
+	}
+	if total != prof.DynInstrs {
+		t.Errorf("pattern counts sum %d != dyn instrs %d", total, prof.DynInstrs)
+	}
+	if prof.PerWorkload["vectoradd"] == 0 || prof.PerWorkload["mxm"] == 0 {
+		t.Errorf("per-workload counts missing: %v", prof.PerWorkload)
+	}
+}
+
+func TestPatternDeduplication(t *testing.T) {
+	prof, err := Collect([]workloads.Workload{workloads.MxM{}}, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mxm executes the same inner-loop instructions thousands of times;
+	// dedup must compress massively.
+	if uint64(len(prof.Patterns))*4 > prof.DynInstrs {
+		t.Errorf("dedup ineffective: %d patterns from %d dynamic instructions",
+			len(prof.Patterns), prof.DynInstrs)
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	// Table 3's shape: the parallelism-management units see every
+	// instruction (util 1 by construction); the FP32 unit only a fraction
+	// (the paper reports 10–40%).
+	prof, err := Collect(workloads.Profiling(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := prof.Utilization(isa.UnitFP32)
+	if fp <= 0.02 || fp >= 0.7 {
+		t.Errorf("FP32 utilization %.2f outside plausible range", fp)
+	}
+	var sum float64
+	for u := 0; u < 6; u++ {
+		sum += prof.Utilization(isa.UnitClass(u))
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("unit utilizations sum to %v, want 1", sum)
+	}
+}
+
+func TestMaxPatternsCap(t *testing.T) {
+	prof, err := Collect([]workloads.Workload{workloads.MxM{}},
+		Config{Seed: 4, MaxPatterns: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Patterns) > 10 {
+		t.Errorf("pattern cap violated: %d > 10", len(prof.Patterns))
+	}
+}
+
+func TestTopPatternsOrdering(t *testing.T) {
+	prof, err := Collect([]workloads.Workload{workloads.VectorAdd{}}, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := prof.TopPatterns(5)
+	if len(top) > 5 {
+		t.Fatalf("TopPatterns returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if prof.Counts[top[i-1]] < prof.Counts[top[i]] {
+			t.Errorf("TopPatterns not sorted at %d", i)
+		}
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	p1, err := Collect([]workloads.Workload{workloads.VectorAdd{}}, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Collect([]workloads.Workload{workloads.VectorAdd{}}, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.DynInstrs != p2.DynInstrs || len(p1.Patterns) != len(p2.Patterns) {
+		t.Fatal("profiling not deterministic")
+	}
+	for i := range p1.Patterns {
+		if p1.Patterns[i] != p2.Patterns[i] {
+			t.Fatalf("pattern %d differs between runs", i)
+		}
+	}
+}

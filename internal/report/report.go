@@ -1,0 +1,383 @@
+// Package report renders every table and figure of the paper's evaluation
+// as text: Table 1 (applications), Table 3 (areas/utilization), Table 4
+// (fault classification), Table 5 (AVF per error), Figure 2 (RTL AVF per
+// instruction), Figures 4-5 (syndrome distributions), Figure 6 (t-MxM
+// AVF), Table 2 + Figure 7 (spatial patterns), Figure 8 (syndrome
+// variance), Figure 9 (FAPR), Figure 10 (per-application EPR) and Figure
+// 11 (average EPR), plus the Section 6.3 speed-up accounting.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"gpufaultsim/internal/errclass"
+	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/gatesim"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/perfi"
+	"gpufaultsim/internal/profiler"
+	"gpufaultsim/internal/rtlfi"
+	"gpufaultsim/internal/syndrome"
+	"gpufaultsim/internal/units"
+	"gpufaultsim/internal/workloads"
+)
+
+// table runs a tabwriter over rows.
+func table(write func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	write(w)
+	w.Flush()
+	return b.String()
+}
+
+// bar renders an ASCII bar of fraction f (0..1) of the given width.
+func bar(f float64, width int) string {
+	n := int(f*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Table1 renders the evaluation application list (paper Table 1).
+func Table1(apps []workloads.Workload) string {
+	return "Table 1 — codes used for the software-level error injections\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "code\tdata type\tdomain\tsuite")
+			for _, a := range apps {
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", a.Name(), a.DataType(), a.Domain(), a.Suite())
+			}
+		})
+}
+
+// Table3 renders unit area and utilization (paper Table 3).
+func Table3(prof *profiler.Profile) string {
+	rows := []struct {
+		name string
+		u    *units.Unit
+	}{
+		{"WSC", units.WSC()}, {"Decoder", units.Decoder()}, {"Fetch", units.Fetch()},
+	}
+	return "Table 3 — tested units area and utilization w.r.t. one FP32 core\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "unit\tarea (nm^2)\tFP32 core (%)\tutilization (%)")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%s\t%.1f\t%.1f\t100.0\n",
+					r.name, units.AreaNM2(r.u.NL), units.RelativeToFP32(r.u.NL))
+			}
+			fmt.Fprintf(w, "FP32 unit\t%.1f\t100.0\t%.1f\n",
+				units.FP32CoreAreaNM2(), 100*prof.Utilization(isa.UnitFP32))
+		})
+}
+
+// Table4 renders the stuck-at fault classification (paper Table 4).
+func Table4(sums []*gatesim.Summary) string {
+	return "Table 4 — faults that are uncontrollable, masked, cause hangs or SW errors\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "unit\ttotal\tuncontrollable\tHW masked\tHW hang\tSW errors")
+			for _, s := range sums {
+				fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+					s.Unit, len(s.Faults),
+					100*s.Fraction(gatesim.Uncontrollable),
+					100*s.Fraction(gatesim.HWMasked),
+					100*s.Fraction(gatesim.Hang),
+					100*s.Fraction(gatesim.SWError))
+			}
+		})
+}
+
+// Table5 renders the per-unit, per-error AVF table (paper Table 5).
+func Table5(reports []*errclass.UnitReport) string {
+	return "Table 5 — AVF per error on the analyzed units\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "unit\ttotal faults\thang faults\terror\tfaults causing\tAVF (per error)\ttimes produced (SW)")
+			for _, r := range reports {
+				for i, row := range r.Rows {
+					unit, tot, hang := "", "", ""
+					if i == 0 {
+						unit = r.Unit
+						tot = fmt.Sprint(r.TotalFaults)
+						hang = fmt.Sprint(r.HangFaults)
+					}
+					fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%d\t%.2f\t%d\n",
+						unit, tot, hang, row.Model, row.FaultsCause,
+						row.AVFPerError, row.TimesSW)
+				}
+			}
+		})
+}
+
+// Fig2 renders the RTL AVF per instruction and module (paper Figure 2).
+func Fig2(rows []rtlfi.AVFRow) string {
+	return "Figure 2 — AVF of RTL injections per instruction (avg over S/M/L inputs)\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "instr\tmodule\tSDC single\tSDC multi\tDUE\tavg corrupted thr/warp")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%v\t%v\t%.2f%%\t%.2f%%\t%.2f%%\t%.1f\n",
+					r.Op, r.Module, 100*r.SDCSingle, 100*r.SDCMulti,
+					100*r.DUE, r.AvgCorruptedThreads)
+			}
+		})
+}
+
+// SyndromeHistogram renders one relative-error distribution (one panel of
+// paper Figures 4-5).
+func SyndromeHistogram(title string, h *syndrome.Histogram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, h.Total)
+	for i := 0; i < 12; i++ {
+		f := h.Fraction(i)
+		fmt.Fprintf(&b, "  %7s %6.2f%% %s\n", syndrome.BucketLabel(i), 100*f, bar(f, 40))
+	}
+	return b.String()
+}
+
+// Fig6 renders the t-MxM AVF per tile kind (paper Figure 6).
+func Fig6(rows []rtlfi.TMxMRow) string {
+	return "Figure 6 — t-MxM AVF (scheduler / pipeline) per tile input\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "module\ttile\tSDC single\tSDC multi\tDUE\tmasked")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%v\t%v\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\n",
+					r.Module, r.Tile, 100*r.SDCSingle, 100*r.SDCMulti,
+					100*r.DUE, 100*r.Masked)
+			}
+		})
+}
+
+// Table2 renders the multi-element spatial pattern distribution (paper
+// Table 2 / Figure 7).
+func Table2(st *rtlfi.TMxMStudy) string {
+	return "Table 2 — distribution of the multiple corrupted-element patterns (t-MxM)\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprint(w, "inj. site")
+			for _, p := range rtlfi.MultiPatterns() {
+				fmt.Fprintf(w, "\t%v", p)
+			}
+			fmt.Fprintln(w)
+			for _, mod := range []rtlfi.Module{rtlfi.ModSched, rtlfi.ModPipe} {
+				counts := st.Patterns[mod]
+				total := 0
+				for _, p := range rtlfi.MultiPatterns() {
+					total += counts[p]
+				}
+				fmt.Fprintf(w, "%v", mod)
+				for _, p := range rtlfi.MultiPatterns() {
+					pct := 0.0
+					if total > 0 {
+						pct = 100 * float64(counts[p]) / float64(total)
+					}
+					fmt.Fprintf(w, "\t%.1f%%", pct)
+				}
+				fmt.Fprintln(w)
+			}
+		})
+}
+
+// Fig8 renders the per-element syndrome variance for the row- and
+// block-pattern examples (paper Figure 8).
+func Fig8(st *rtlfi.TMxMStudy) string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — relative-error spread across corrupted elements\n")
+	for _, ex := range []struct {
+		name  string
+		pairs []rtlfi.CorruptPair
+	}{{"row pattern", st.RowExample}, {"block pattern", st.BlockExample}} {
+		res := rtlfi.RelativeErrors(ex.pairs, true)
+		mean, variance := syndrome.MeanVar(res)
+		fmt.Fprintf(&b, "  %-13s elements=%d  mean rel.err=%.3g  variance=%.3g  median=%.3g\n",
+			ex.name, len(ex.pairs), mean, variance, syndrome.Median(res))
+	}
+	return b.String()
+}
+
+// Fig9 renders the FAPR per error model per unit (paper Figure 9).
+func Fig9(cols map[string]*errclass.Collector, totals map[string]int) string {
+	unitsOrder := []string{"wsc", "fetch", "decoder"}
+	return "Figure 9 — Fault Activation and Propagation Rate per error model\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "unit\terror\tFAPR\t")
+			for _, u := range unitsOrder {
+				col := cols[u]
+				if col == nil {
+					continue
+				}
+				for _, m := range errmodel.All() {
+					f := col.FAPR(m, totals[u])
+					if f == 0 {
+						continue
+					}
+					fmt.Fprintf(w, "%s\t%v\t%.2f%%\t%s\n", u, m, 100*f, bar(f, 30))
+				}
+			}
+		})
+}
+
+// Fig10 renders the per-application EPR per error model (paper Figure 10).
+func Fig10(results []*perfi.AppResult, models []errmodel.Model) string {
+	return "Figure 10 — Error Propagation Rate per error model and application\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprint(w, "app")
+			for _, m := range models {
+				fmt.Fprintf(w, "\t%v S/D/M", m)
+			}
+			fmt.Fprintln(w)
+			for _, r := range results {
+				fmt.Fprint(w, r.App)
+				for _, m := range models {
+					t := r.ByModel[m]
+					ma, sd, du := t.Rate()
+					fmt.Fprintf(w, "\t%.0f/%.0f/%.0f", 100*sd, 100*du, 100*ma)
+				}
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintln(w, "(columns: %SDC / %DUE / %Masked)")
+		})
+}
+
+// Fig11 renders the average EPR across applications (paper Figure 11).
+func Fig11(avg map[errmodel.Model]perfi.Tally, models []errmodel.Model) string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — average Error Propagation Rate among the tested applications\n")
+	ordered := SortModels(models)
+	for _, g := range errmodel.Groups() {
+		fmt.Fprintf(&b, "%s errors:\n", g)
+		for _, m := range ordered {
+			if m.Group() != g {
+				continue
+			}
+			t, ok := avg[m]
+			if !ok || t.Total() == 0 {
+				continue
+			}
+			ma, sd, du := t.Rate()
+			fmt.Fprintf(&b, "  %-4v SDC %5.1f%% %s\n", m, 100*sd, bar(sd, 30))
+			fmt.Fprintf(&b, "       DUE %5.1f%% %s\n", 100*du, bar(du, 30))
+			fmt.Fprintf(&b, "       MSK %5.1f%% %s\n", 100*ma, bar(ma, 30))
+		}
+	}
+	return b.String()
+}
+
+// Speedup renders the Section 6.3 time accounting: the measured two-level
+// evaluation cost versus the extrapolated gate-level-only cost.
+type Speedup struct {
+	ProfilingSec float64 // step 1
+	GateSec      float64 // step 2 (all units)
+	AnalysisSec  float64 // step 3
+	SoftwareSec  float64 // steps 4-5
+
+	GatePatterns int    // patterns simulated at gate level
+	GateFaults   int    // faults simulated at gate level
+	AppDynInstrs uint64 // dynamic instructions across evaluated apps
+	SWInjections int    // software-level injections performed
+}
+
+// Report renders the accounting.
+func (s Speedup) Report() string {
+	total := s.ProfilingSec + s.GateSec + s.AnalysisSec + s.SoftwareSec
+	// Gate-level-only extrapolation: simulating every dynamic instruction
+	// of every app at gate level for every fault, instead of deduplicated
+	// patterns once plus cheap software propagation.
+	perFaultPattern := 0.0
+	if s.GateFaults > 0 && s.GatePatterns > 0 {
+		perFaultPattern = s.GateSec / float64(s.GateFaults) / float64(s.GatePatterns)
+	}
+	gateOnly := perFaultPattern * float64(s.GateFaults) * float64(s.AppDynInstrs) * float64(s.SWInjections)
+	var b strings.Builder
+	b.WriteString("Two-level evaluation time accounting (Section 6.3 analog)\n")
+	fmt.Fprintf(&b, "  profiling            %10.2f s\n", s.ProfilingSec)
+	fmt.Fprintf(&b, "  gate-level campaigns %10.2f s (%d faults x %d patterns)\n",
+		s.GateSec, s.GateFaults, s.GatePatterns)
+	fmt.Fprintf(&b, "  error analysis       %10.2f s\n", s.AnalysisSec)
+	fmt.Fprintf(&b, "  software campaigns   %10.2f s (%d injections)\n",
+		s.SoftwareSec, s.SWInjections)
+	fmt.Fprintf(&b, "  total (two-level)    %10.2f s\n", total)
+	fmt.Fprintf(&b, "  gate-level-only est. %10.3g s", gateOnly)
+	if total > 0 && gateOnly > 0 {
+		fmt.Fprintf(&b, "  (speed-up %.3gx)", gateOnly/total)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SortModels returns models sorted by presentation group then identity.
+func SortModels(ms []errmodel.Model) []errmodel.Model {
+	out := append([]errmodel.Model{}, ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group() != out[j].Group() {
+			return out[i].Group() < out[j].Group()
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// UnitFailure is the cross-level correlation of Section 6.3: combining a
+// unit's error-model composition (FAPR weights from the gate level) with
+// the per-model outcome rates (EPR from the software level) predicts what
+// a permanent fault in that unit does to applications.
+type UnitFailure struct {
+	Unit             string
+	SDC, DUE, Masked float64 // expected outcome shares for a visible fault
+}
+
+// CorrelateUnits computes the expected application-level outcome of a
+// software-visible permanent fault per unit.
+func CorrelateUnits(cols map[string]*errclass.Collector, totals map[string]int,
+	avg map[errmodel.Model]perfi.Tally) []UnitFailure {
+	var out []UnitFailure
+	for _, unit := range []string{"wsc", "fetch", "decoder"} {
+		col := cols[unit]
+		if col == nil {
+			continue
+		}
+		var wSum, sdc, due, masked float64
+		for _, m := range errmodel.All() {
+			w := col.FAPR(m, totals[unit])
+			if w == 0 {
+				continue
+			}
+			t, ok := avg[m]
+			if !ok || t.Total() == 0 {
+				// IVOC is not injected (always DUE); IPP maps onto the
+				// other models' outcomes — treat as pure DUE / skip.
+				if m == errmodel.IVOC {
+					wSum += w
+					due += w
+				}
+				continue
+			}
+			ma, sd, du := t.Rate()
+			wSum += w
+			sdc += w * sd
+			due += w * du
+			masked += w * ma
+		}
+		if wSum == 0 {
+			continue
+		}
+		out = append(out, UnitFailure{Unit: unit,
+			SDC: sdc / wSum, DUE: due / wSum, Masked: masked / wSum})
+	}
+	return out
+}
+
+// Discussion renders the Section 6.3 correlation.
+func Discussion(fails []UnitFailure) string {
+	return "Section 6.3 — expected application outcome of a visible fault, per unit\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "unit\tSDC\tDUE\tmasked")
+			for _, f := range fails {
+				fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\n",
+					f.Unit, 100*f.SDC, 100*f.DUE, 100*f.Masked)
+			}
+		})
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/profiler"
+	"gpufaultsim/internal/rtlfi"
+	"gpufaultsim/internal/syndrome"
+	"gpufaultsim/internal/workloads"
+)
+
+func TestTable1ListsAllApps(t *testing.T) {
+	apps := workloads.Evaluation()
+	txt := Table1(apps)
+	for _, a := range apps {
+		if !strings.Contains(txt, a.Name()) {
+			t.Errorf("Table 1 missing %s", a.Name())
+		}
+	}
+	if !strings.Contains(txt, "Rodinia") || !strings.Contains(txt, "CUDA SDK") {
+		t.Error("Table 1 missing suite names")
+	}
+}
+
+func TestTable3RendersUnits(t *testing.T) {
+	prof, err := profiler.Collect([]workloads.Workload{workloads.VectorAdd{}},
+		profiler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := Table3(prof)
+	for _, want := range []string{"WSC", "Decoder", "Fetch", "FP32 unit", "100.0"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestFig2AndFig6Render(t *testing.T) {
+	rows := []rtlfi.AVFRow{{Op: isa.OpFADD, Module: rtlfi.ModFP32,
+		SDCSingle: 0.25, DUE: 0.01, AvgCorruptedThreads: 1.2}}
+	txt := Fig2(rows)
+	if !strings.Contains(txt, "FADD") || !strings.Contains(txt, "25.00%") {
+		t.Errorf("Fig2 render wrong:\n%s", txt)
+	}
+	t6 := Fig6([]rtlfi.TMxMRow{{Module: rtlfi.ModSched, Tile: rtlfi.TileMax,
+		SDCMulti: 0.5, Masked: 0.5}})
+	if !strings.Contains(t6, "scheduler") || !strings.Contains(t6, "Max") {
+		t.Errorf("Fig6 render wrong:\n%s", t6)
+	}
+}
+
+func TestTable2AndFig8Render(t *testing.T) {
+	st := &rtlfi.TMxMStudy{Patterns: map[rtlfi.Module]map[rtlfi.PatternKind]int{
+		rtlfi.ModSched: {rtlfi.PatAll: 6, rtlfi.PatBlock: 2},
+		rtlfi.ModPipe:  {rtlfi.PatRow: 9, rtlfi.PatCol: 1},
+	}}
+	txt := Table2(st)
+	if !strings.Contains(txt, "row+col") || !strings.Contains(txt, "75.0%") {
+		t.Errorf("Table 2 render wrong:\n%s", txt)
+	}
+	f8 := Fig8(st)
+	if !strings.Contains(f8, "row pattern") {
+		t.Errorf("Fig8 render wrong:\n%s", f8)
+	}
+}
+
+func TestSyndromeHistogramRender(t *testing.T) {
+	h := syndrome.Build([]float64{1e-6, 1e-6, 0.5, 10})
+	txt := SyndromeHistogram("FMUL FU, range M", h)
+	if !strings.Contains(txt, "n=4") || !strings.Contains(txt, "50.00%") {
+		t.Errorf("histogram render wrong:\n%s", txt)
+	}
+}
+
+func TestSpeedupReport(t *testing.T) {
+	s := Speedup{
+		ProfilingSec: 1, GateSec: 10, SoftwareSec: 5,
+		GatePatterns: 100, GateFaults: 1000,
+		AppDynInstrs: 1e6, SWInjections: 500,
+	}
+	txt := s.Report()
+	if !strings.Contains(txt, "speed-up") {
+		t.Errorf("speedup report missing ratio:\n%s", txt)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if got := bar(2.0, 10); got != strings.Repeat("#", 10) {
+		t.Errorf("bar(2.0) = %q", got)
+	}
+	if got := bar(-1, 10); got != strings.Repeat(".", 10) {
+		t.Errorf("bar(-1) = %q", got)
+	}
+}

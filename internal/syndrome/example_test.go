@@ -1,0 +1,32 @@
+package syndrome_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpufaultsim/internal/syndrome"
+)
+
+// ExamplePowerLaw_Sample fits a power law to syndrome data and draws
+// synthetic relative errors from it (the paper's Equation 1).
+func ExamplePowerLaw_Sample() {
+	// Synthetic syndrome sample from a known power law.
+	gen := syndrome.PowerLaw{Alpha: 2.5, Xmin: 0.001}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = gen.Sample(rng)
+	}
+
+	fit, err := syndrome.Fit(xs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha within 0.2 of truth: %v\n", fit.Alpha > 2.3 && fit.Alpha < 2.7)
+
+	v := fit.Sample(rng)
+	fmt.Printf("sample >= xmin: %v\n", v >= fit.Xmin)
+	// Output:
+	// alpha within 0.2 of truth: true
+	// sample >= xmin: true
+}

@@ -1,0 +1,133 @@
+package syndrome
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilk computes the Shapiro-Wilk W statistic and an approximate
+// p-value for the null hypothesis that xs is normally distributed,
+// following Royston's AS R94 algorithm (valid for 12 <= n <= 5000, which
+// covers the paper's syndrome samples).
+//
+// The paper uses this test to reject normality of the syndrome
+// distributions ("all distributions have a p-value smaller than 0.05").
+func ShapiroWilk(xs []float64) (w, pvalue float64, err error) {
+	n := len(xs)
+	if n < 12 || n > 5000 {
+		return 0, 0, fmt.Errorf("syndrome: Shapiro-Wilk needs 12 <= n <= 5000, got %d", n)
+	}
+	x := append([]float64{}, xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return 0, 0, fmt.Errorf("syndrome: all samples identical")
+	}
+
+	// Expected values of normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	var ssq float64
+	for i := 0; i < n; i++ {
+		m[i] = normQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssq += m[i] * m[i]
+	}
+
+	// Royston's polynomial-corrected weights.
+	rsn := 1 / math.Sqrt(float64(n))
+	a := make([]float64, n)
+	an1 := polyval([]float64{-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, m[n-1] / math.Sqrt(ssq)}, rsn)
+	an2 := polyval([]float64{-3.582633, 5.682633, -1.752461, -0.293762, 0.042981, m[n-2] / math.Sqrt(ssq)}, rsn)
+	phi := (ssq - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+		(1 - 2*an1*an1 - 2*an2*an2)
+	a[n-1] = an1
+	a[0] = -an1
+	a[n-2] = an2
+	a[1] = -an2
+	for i := 2; i < n-2; i++ {
+		a[i] = m[i] / math.Sqrt(phi)
+	}
+
+	// W statistic.
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		d := x[i] - mean
+		den += d * d
+	}
+	w = num * num / den
+
+	// p-value via the normalizing transformation for n >= 12.
+	ln := math.Log(float64(n))
+	mu := polyval([]float64{0.0038915, -0.083751, -0.31082, -1.5861}, ln)
+	sigma := math.Exp(polyval([]float64{0.0030302, -0.082676, -0.4803}, ln))
+	z := (math.Log(1-w) - mu) / sigma
+	pvalue = 1 - normCDF(z)
+	return w, pvalue, nil
+}
+
+// polyval evaluates a polynomial with coefficients ordered from the
+// highest degree down to the constant term.
+func polyval(coef []float64, x float64) float64 {
+	var v float64
+	for _, c := range coef {
+		v = v*x + c
+	}
+	return v
+}
+
+// normCDF is the standard normal distribution function.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// normQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation, |relative error| < 1.15e-9).
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+		pl = 0.02425
+	)
+	switch {
+	case p < pl:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= 1-pl:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+}

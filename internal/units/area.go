@@ -1,0 +1,61 @@
+package units
+
+import "gpufaultsim/internal/netlist"
+
+// Area model (Table 3). The paper reports post-synthesis areas from a 15nm
+// open cell library; we estimate area as gate equivalents (GE — NAND2-
+// normalized cell weights) times the library's NAND2 footprint, which
+// preserves the only property the analysis uses: the units' sizes relative
+// to one FP32 functional core.
+
+// NAND2 footprint of the 15nm open cell library, in nm² (0.98 µm pitch
+// class; the absolute value only scales the table).
+const nand2AreaNM2 = 392.0
+
+// FP32CoreGE is the gate-equivalent budget of one FP32 fused
+// multiply-add core, the paper's reference unit (a single-precision FMA
+// datapath synthesizes to roughly 26k GE in this class of library).
+const FP32CoreGE = 26450.0
+
+// geWeight returns the NAND2-equivalent weight of a cell.
+func geWeight(k netlist.CellKind) float64 {
+	switch k {
+	case netlist.KInput, netlist.KConst:
+		return 0 // ports, no area
+	case netlist.KBuf:
+		return 0.75
+	case netlist.KInv:
+		return 0.5
+	case netlist.KAnd, netlist.KOr, netlist.KNand, netlist.KNor:
+		return 1.0
+	case netlist.KXor:
+		return 2.0
+	case netlist.KMux:
+		return 2.25
+	case netlist.KDFF:
+		return 4.5
+	}
+	return 1.0
+}
+
+// GateEquivalents returns the NAND2-normalized size of a netlist.
+func GateEquivalents(nl *netlist.Netlist) float64 {
+	var ge float64
+	for _, c := range nl.Cells {
+		ge += geWeight(c.Kind)
+	}
+	return ge
+}
+
+// AreaNM2 returns the estimated cell area of a netlist in nm².
+func AreaNM2(nl *netlist.Netlist) float64 {
+	return GateEquivalents(nl) * nand2AreaNM2
+}
+
+// FP32CoreAreaNM2 is the reference FP32 core area under the same model.
+func FP32CoreAreaNM2() float64 { return FP32CoreGE * nand2AreaNM2 }
+
+// RelativeToFP32 returns a netlist's area as a percentage of the FP32 core.
+func RelativeToFP32(nl *netlist.Netlist) float64 {
+	return 100 * GateEquivalents(nl) / FP32CoreGE
+}

@@ -1,0 +1,156 @@
+package units
+
+import (
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/netlist"
+)
+
+// Decoder builds the instruction decoder unit: a combinational decode of
+// the 64-bit instruction word followed by a pipeline output register.
+//
+// The decoder touches every architectural field of the instruction, which
+// is why the paper observes the widest spread of error models (11 of 13)
+// for faults in this unit: opcode corruption (IOC/IVOC), operand register
+// corruption (IRA/IVRA), immediate corruption (IIO), predicate corruption
+// (WV), memory-space mis-selection (IMS/IMD), special-register
+// mis-selection (IAT/IAC) and write-enable corruption (IAL).
+func Decoder() *Unit {
+	b := netlist.NewBuilder("decoder")
+	ir := b.InputBus("ir", 64)
+	inValid := b.Input("in_valid")
+
+	// Field extraction (buffered: routing wires are fault sites).
+	op := b.BufBus(ir[isa.FieldOpcodeLo : isa.FieldOpcodeHi+1])
+	pred := b.BufBus(ir[isa.FieldPredLo : isa.FieldPredHi+1])
+	rd := b.BufBus(ir[isa.FieldRdLo : isa.FieldRdHi+1])
+	rs1 := b.BufBus(ir[isa.FieldRs1Lo : isa.FieldRs1Hi+1])
+	rs2 := b.BufBus(ir[isa.FieldRs2Lo : isa.FieldRs2Hi+1])
+	rs3 := b.BufBus(ir[isa.FieldRs3Lo : isa.FieldRs3Hi+1])
+	imm := b.BufBus(ir[isa.FieldImmLo : isa.FieldImmHi+1])
+	flags := b.BufBus(ir[isa.FieldFlagsLo : isa.FieldFlagsHi+1])
+
+	// Opcode validity and per-opcode one-hot lines for the valid encodings.
+	valid := b.LtConst(op, uint64(isa.Count()))
+	onehot := make([]netlist.Node, isa.Count())
+	for i := range onehot {
+		onehot[i] = b.EqConst(op, uint64(i))
+	}
+	isOp := func(ops ...isa.Opcode) netlist.Node {
+		acc := b.Const(false)
+		for _, o := range ops {
+			acc = b.Or(acc, onehot[o])
+		}
+		return acc
+	}
+
+	// Unit-class select (3 bits): OR trees over the one-hot lines.
+	classOf := func(class isa.UnitClass) netlist.Node {
+		acc := b.Const(false)
+		for o := isa.Opcode(0); int(o) < isa.Count(); o++ {
+			if o.Unit() == class {
+				acc = b.Or(acc, onehot[o])
+			}
+		}
+		return acc
+	}
+	unitOneHot := []netlist.Node{
+		classOf(isa.UnitNone), classOf(isa.UnitINT), classOf(isa.UnitFP32),
+		classOf(isa.UnitSFU), classOf(isa.UnitMEM), classOf(isa.UnitCTRL),
+		b.Const(false), b.Const(false),
+	}
+	unitSel := b.Encode(unitOneHot)
+
+	// Control signals derived from the opcode.
+	var writers, immUsers, loads, stores, sharedOps []isa.Opcode
+	for o := isa.Opcode(0); int(o) < isa.Count(); o++ {
+		if o.WritesReg() {
+			writers = append(writers, o)
+		}
+		if o.HasImmediate() {
+			immUsers = append(immUsers, o)
+		}
+		if o.IsSharedMem() {
+			sharedOps = append(sharedOps, o)
+		}
+	}
+	loads = []isa.Opcode{isa.OpGLD, isa.OpLDS, isa.OpLDC}
+	stores = []isa.Opcode{isa.OpGST, isa.OpSTS}
+
+	wen := isOp(writers...)
+	hasImm := isOp(immUsers...)
+	isLoad := isOp(loads...)
+	isStore := isOp(stores...)
+	isShared := isOp(sharedOps...)
+	isS2R := onehot[isa.OpS2R]
+	writesPred := isOp(isa.OpISETP, isa.OpFSETP, isa.OpPSETP)
+
+	// Memory-space select: 0 none, 1 global, 2 shared, 3 const.
+	isConst := onehot[isa.OpLDC]
+	isGlobalMem := isOp(isa.OpGLD, isa.OpGST)
+	memSpace := []netlist.Node{
+		b.Or(isGlobalMem, isConst), // bit0: global or const
+		b.Or(isShared, isConst),    // bit1: shared or const
+	}
+
+	// Register validity: r < RegsPerThread or r == RZ.
+	regOK := func(r []netlist.Node) netlist.Node {
+		return b.Or(b.LtConst(r, uint64(isa.RegsPerThread)), b.EqConst(r, isa.RZ))
+	}
+	rdOK := b.Or(regOK(rd), b.Not(wen))
+	srcOK := b.And(regOK(rs1), b.And(regOK(rs2), regOK(rs3)))
+
+	// Special-register selector (imm low bits when the op is S2R).
+	srSel := b.AndNode(b.BufBus(imm[:4]), isS2R)
+
+	// Pipeline output register: every decoded signal latches when
+	// in_valid, then presents to the execution stage.
+	latch := func(field string, bus []netlist.Node) {
+		q := b.Register(len(bus))
+		b.SetRegister(q, bus, inValid)
+		b.OutputBus(field, q)
+	}
+	latch("opcode", op)
+	latch("valid", []netlist.Node{valid})
+	latch("unit_sel", unitSel)
+	latch("pred", pred)
+	latch("rd", rd)
+	latch("rs1", rs1)
+	latch("rs2", rs2)
+	latch("rs3", rs3)
+	latch("imm", imm)
+	latch("flags", flags)
+	latch("wen", []netlist.Node{wen})
+	latch("has_imm", []netlist.Node{hasImm})
+	latch("mem_space", memSpace)
+	latch("is_load", []netlist.Node{isLoad})
+	latch("is_store", []netlist.Node{isStore})
+	latch("sr_sel", srSel)
+	latch("writes_pred", []netlist.Node{writesPred})
+	latch("reg_ok", []netlist.Node{b.And(rdOK, srcOK)})
+
+	// Handshake: decode_valid follows in_valid one cycle later. Its
+	// corruption stalls the downstream pipeline (hang).
+	hs := b.Register(1)
+	b.SetRegister(hs, []netlist.Node{inValid}, netlist.NoEnable)
+	b.OutputBus("decode_valid", hs)
+
+	nl := b.Build()
+	u := &Unit{
+		Name:   "decoder",
+		NL:     nl,
+		Cycles: 2, // present the word, then observe the latched decode
+		HangFields: map[string]bool{
+			"decode_valid": true,
+		},
+		in: busIndex(nl),
+	}
+	irBase := u.inputBase("ir")
+	validIdx := u.inputBase("in_valid")
+	u.Drive = func(sim *netlist.Simulator, p Pattern, cycle int) {
+		sim.SetInputBus(irBase, 64, uint64(p.Word))
+		sim.SetInput(validIdx, cycle == 0)
+	}
+	// The decoder sees only the instruction word.
+	u.Reduce = func(p Pattern) Pattern { return Pattern{Word: p.Word} }
+	return u
+}

@@ -1,0 +1,90 @@
+package units
+
+import (
+	"gpufaultsim/internal/netlist"
+)
+
+// Fetch builds the fetch unit: a per-warp program-counter table, the
+// next-PC datapath (increment / branch-redirect mux), the instruction
+// register, and the fetch-valid handshake.
+//
+// Faults here corrupt the fetched instruction word or the fetch address,
+// which the paper finds maps dominantly to operation errors (IOC/IVOC —
+// the stream delivers a different or undefined instruction), with the
+// warp-selection path contributing IAW.
+func Fetch() *Unit {
+	b := netlist.NewBuilder("fetch")
+
+	imem := b.InputBus("imem", 64) // instruction memory read port (word at PC)
+	warpSel := b.InputBus("warp_sel", 3)
+	pcLoad := b.InputBus("pc_load", 16) // PC value on redirect
+	branch := b.Input("branch_taken")
+	stall := b.Input("stall")
+
+	// Per-warp PC table.
+	pcs := make([][]netlist.Node, FetchSlots)
+	for w := range pcs {
+		pcs[w] = b.Register(16)
+	}
+	sel := b.BufBus(warpSel)
+	selOneHot := b.Decode(sel)
+
+	// Current PC = pcTable[warp_sel].
+	curPC := b.MuxN(sel, pcs)
+
+	// Next PC: redirect target on a taken branch, else PC+1.
+	inc := b.Inc(curPC)
+	nextPC := b.MuxBus(branch, inc, pcLoad)
+
+	// Write back to the selected warp's PC unless stalled.
+	run := b.Not(stall)
+	for w := range pcs {
+		en := b.And(run, selOneHot[w])
+		b.SetRegister(pcs[w], nextPC, en)
+	}
+
+	// Instruction register: latches the memory word when not stalled.
+	irReg := b.Register(64)
+	b.SetRegister(irReg, b.BufBus(imem), run)
+	b.OutputBus("ir", irReg)
+
+	// Fetch address and warp bookkeeping presented downstream.
+	b.OutputBus("pc", b.BufBus(curPC))
+	wsOut := b.Register(3)
+	b.SetRegister(wsOut, sel, run)
+	b.OutputBus("warp_sel_out", wsOut)
+
+	// Handshake: fetch_valid = !stall, registered.
+	fv := b.Register(1)
+	b.SetRegister(fv, []netlist.Node{run}, netlist.NoEnable)
+	b.OutputBus("fetch_valid", fv)
+
+	nl := b.Build()
+	u := &Unit{
+		Name:   "fetch",
+		NL:     nl,
+		Cycles: 2,
+		HangFields: map[string]bool{
+			"fetch_valid": true,
+		},
+		in: busIndex(nl),
+	}
+	imemBase := u.inputBase("imem")
+	selBase := u.inputBase("warp_sel")
+	loadBase := u.inputBase("pc_load")
+	brIdx := u.inputBase("branch_taken")
+	stallIdx := u.inputBase("stall")
+	u.Drive = func(sim *netlist.Simulator, p Pattern, cycle int) {
+		sim.SetInputBus(imemBase, 64, uint64(p.Word))
+		sim.SetInputBus(selBase, 3, uint64(p.WarpID)&0x7)
+		sim.SetInputBus(loadBase, 16, uint64(p.BranchTarget))
+		sim.SetInput(brIdx, p.BranchTaken && cycle == 0)
+		sim.SetInput(stallIdx, cycle != 0)
+	}
+	// The fetch unit observes the word, its PC-table slot and redirects.
+	u.Reduce = func(p Pattern) Pattern {
+		return Pattern{Word: p.Word, WarpID: p.WarpID & 0x7,
+			BranchTaken: p.BranchTaken, BranchTarget: p.BranchTarget}
+	}
+	return u
+}

@@ -1,0 +1,165 @@
+package units
+
+import (
+	"gpufaultsim/internal/netlist"
+)
+
+// WSC builds the warp scheduler controller: the warp state table (per-warp
+// valid/ready/barrier tracking and 32-bit active thread masks), the
+// rotating-priority issue arbiter, CTA bookkeeping, shared-resource base
+// generation, per-lane-group enables, and the instruction routing slice.
+//
+// This is the unit the paper finds dominated by parallel-management errors:
+// corrupted thread masks (IAT), wrong warp selection/substitution (IAW),
+// wrong CTA tracking (IAC), wrong shared-resource bases (IPP), lane-group
+// enables (IAL), plus the dispatch routing path (IOC) and
+// issue/barrier handshakes whose corruption hangs the machine.
+func WSC() *Unit {
+	b := netlist.NewBuilder("wsc")
+
+	warpValid := b.InputBus("warp_valid", NumWarpSlots)
+	warpReady := b.InputBus("warp_ready", NumWarpSlots)
+	warpBarrier := b.InputBus("warp_barrier", NumWarpSlots)
+	maskIn := b.InputBus("mask_in", 32)
+	maskWE := b.Input("mask_we")
+	maskSel := b.InputBus("mask_sel", 5)
+	ctaIn := b.InputBus("cta_in", 4)
+	ctaWE := b.Input("cta_we")
+	opIn := b.InputBus("op_in", 8)
+
+	// --- issue arbiter ----------------------------------------------------
+	lastGrant := b.Register(5)
+	var requests []netlist.Node
+	for w := 0; w < NumWarpSlots; w++ {
+		requests = append(requests,
+			b.And(warpValid[w], b.And(warpReady[w], b.Not(warpBarrier[w]))))
+	}
+	grant := b.RotatePriority(requests, lastGrant)
+	selWarp := b.Encode(grant)
+
+	// Issue-token ring: dispatch holds a circulating credit token; the
+	// ring self-seeds from reset. Stuck-at faults along the ring starve
+	// dispatch — the WSC's flow-control hang surface ("most hang source
+	// sites handle control signals in the units").
+	token := b.Register(32)
+	haveTok := b.OrAll(token)
+	reseed := b.Not(haveTok)
+	next := make([]netlist.Node, 32)
+	for i := 1; i < 32; i++ {
+		next[i] = b.Buf(token[i-1])
+	}
+	next[0] = b.Or(b.Buf(token[31]), reseed)
+	b.SetRegister(token, next, netlist.NoEnable)
+
+	issueValid := b.And(b.OrAll(requests), haveTok)
+	b.SetRegister(lastGrant, selWarp, issueValid)
+
+	// --- warp state FSM (issued bookkeeping) -------------------------------
+	issued := b.Register(NumWarpSlots)
+	b.SetRegister(issued, grant, netlist.NoEnable)
+
+	// --- active thread mask table ------------------------------------------
+	maskSelOneHot := b.Decode(maskSel)
+	masks := make([][]netlist.Node, NumWarpSlots)
+	for w := 0; w < NumWarpSlots; w++ {
+		masks[w] = b.Register(32)
+		en := b.And(maskWE, maskSelOneHot[w])
+		b.SetRegister(masks[w], maskIn, en)
+	}
+	activeMask := b.MuxN(selWarp, masks)
+
+	// --- CTA tracking --------------------------------------------------------
+	ctaReg := b.Register(4)
+	b.SetRegister(ctaReg, ctaIn, ctaWE)
+
+	// --- shared-resource bases (IPP surface) --------------------------------
+	// shmem_base = cta * 16, regfile_base = warp * 16 (buffered wiring).
+	zero4 := b.ConstBus(4, 0)
+	zero3 := b.ConstBus(3, 0)
+	shmemBase := b.BufBus(append(append([]netlist.Node{}, zero4...), b.BufBus(ctaReg)...))
+	regfileBase := b.BufBus(append(append([]netlist.Node{}, zero3...), b.BufBus(selWarp)...))
+
+	// --- per-lane-group enables (IAL surface) --------------------------------
+	laneEnable := make([]netlist.Node, 8)
+	for g := 0; g < 8; g++ {
+		acc := b.Const(false)
+		for i := 0; i < 4; i++ {
+			acc = b.Or(acc, activeMask[4*g+i])
+		}
+		laneEnable[g] = acc
+	}
+
+	// --- barrier release ------------------------------------------------------
+	// All valid warps parked: AND over (¬valid ∨ barrier), and at least one
+	// parked warp.
+	allParked := b.Const(true)
+	anyParked := b.Const(false)
+	for w := 0; w < NumWarpSlots; w++ {
+		allParked = b.And(allParked, b.Or(b.Not(warpValid[w]), warpBarrier[w]))
+		anyParked = b.Or(anyParked, b.And(warpValid[w], warpBarrier[w]))
+	}
+	barrierRelease := b.And(allParked, anyParked)
+
+	// --- instruction dispatch routing (IOC surface) ---------------------------
+	opRoute := b.Register(8)
+	b.SetRegister(opRoute, b.BufBus(opIn), issueValid)
+
+	// --- outputs ---------------------------------------------------------------
+	b.OutputBus("sel_warp", b.BufBus(selWarp))
+	b.Output("issue_valid", 0, b.Buf(issueValid))
+	b.OutputBus("active_mask", b.BufBus(activeMask))
+	b.OutputBus("cta_id", b.BufBus(ctaReg))
+	b.OutputBus("shmem_base", shmemBase)
+	b.OutputBus("regfile_base", regfileBase)
+	b.OutputBus("lane_enable", laneEnable)
+	b.Output("barrier_release", 0, b.Buf(barrierRelease))
+	b.OutputBus("op_route", opRoute)
+	b.OutputBus("issued_state", issued)
+
+	nl := b.Build()
+	u := &Unit{
+		Name:   "wsc",
+		NL:     nl,
+		Cycles: 2, // load mask/CTA state, then arbitrate and observe
+		HangFields: map[string]bool{
+			"issue_valid":     true,
+			"barrier_release": true,
+		},
+		in: busIndex(nl),
+	}
+	vBase := u.inputBase("warp_valid")
+	rBase := u.inputBase("warp_ready")
+	bBase := u.inputBase("warp_barrier")
+	mBase := u.inputBase("mask_in")
+	mweIdx := u.inputBase("mask_we")
+	mselBase := u.inputBase("mask_sel")
+	ctaBase := u.inputBase("cta_in")
+	ctaweIdx := u.inputBase("cta_we")
+	opBase := u.inputBase("op_in")
+	u.Drive = func(sim *netlist.Simulator, p Pattern, cycle int) {
+		sim.SetInputBus(vBase, NumWarpSlots, uint64(p.WarpValid))
+		sim.SetInputBus(rBase, NumWarpSlots, uint64(p.WarpReady))
+		sim.SetInputBus(bBase, NumWarpSlots, uint64(p.WarpBarrier))
+		sim.SetInputBus(mBase, 32, uint64(p.ActiveMask))
+		sim.SetInput(mweIdx, cycle == 0)
+		sim.SetInputBus(mselBase, 5, uint64(p.WarpID)&0x1F)
+		sim.SetInputBus(ctaBase, 4, uint64(p.CTAID)&0xF)
+		sim.SetInput(ctaweIdx, cycle == 0)
+		sim.SetInputBus(opBase, 8, uint64(p.Word)&0xFF)
+	}
+	// The WSC observes the warp-state bitmaps, the issuing warp's mask
+	// update, the CTA id and the routed opcode byte — not the rest of the
+	// instruction encoding.
+	u.Reduce = func(p Pattern) Pattern {
+		return Pattern{
+			Word:        p.Word & 0xFF,
+			WarpID:      p.WarpID & 0x1F,
+			ActiveMask:  p.ActiveMask,
+			CTAID:       p.CTAID & 0xF,
+			WarpValid:   p.WarpValid,
+			WarpReady:   p.WarpReady,
+			WarpBarrier: p.WarpBarrier,
+		}
+	}
+	return u
+}

@@ -1,0 +1,305 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// --- bfs -------------------------------------------------------------------
+
+// BFS is the Rodinia breadth-first-search benchmark: level-synchronous BFS
+// over a CSR graph, one kernel launch per level.
+type BFS struct {
+	Nodes  int
+	Degree int // max out-degree
+	Levels int // fixed number of level kernels (>= graph eccentricity)
+}
+
+func (BFS) Name() string     { return "bfs" }
+func (BFS) DataType() string { return "INT32" }
+func (BFS) Domain() string   { return "Graphs" }
+func (BFS) Suite() string    { return "Rodinia" }
+
+// bfsKernel: thread i with cost[i]==level relaxes its out-edges: any
+// neighbour with cost==-1 gets level+1. Concurrent writers all store the
+// same value, so the result is deterministic.
+// Params: 0=rowBase 1=colBase 2=costBase 3=nNodes 4=level.
+func bfsKernel() *kasm.Program {
+	k := kasm.New("bfs")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.Param(2, 4) // level
+	k.MOVI(9, 1)
+	// if cost[i] != level -> done
+	k.IADD(3, 12, 0).GLD(3, 3, 0)
+	k.ISETP(isa.CmpNE, 0, 3, 2)
+	k.P(0).BRA("done")
+	// edges [row[i], row[i+1])
+	k.IADD(4, 10, 0).GLD(5, 4, 0) // e = row[i]
+	k.GLD(6, 4, 1)                // end = row[i+1]
+	k.MOVI(7, -1)
+	k.IADD(8, 2, 9) // level+1
+	k.Label("edge")
+	k.ISETP(isa.CmpGE, 0, 5, 6)
+	k.P(0).BRA("done")
+	k.IADD(13, 11, 5).GLD(13, 13, 0) // nb = col[e]
+	k.IADD(13, 13, 12)               // &cost[nb]
+	k.GLD(14, 13, 0)
+	k.ISETP(isa.CmpEQ, 1, 14, 7)
+	k.P(1).GST(13, 0, 8)
+	k.IADD(5, 5, 9)
+	k.BRA("edge")
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w BFS) Build(rng *rand.Rand) *Job {
+	n, deg, levels := w.Nodes, w.Degree, w.Levels
+	if n == 0 {
+		n = 128
+	}
+	if deg == 0 {
+		deg = 4
+	}
+	if levels == 0 {
+		levels = 12
+	}
+	// Random graph with a guaranteed chain 0->1->...->n-1 truncated, so a
+	// few levels are always populated.
+	row := make([]uint32, n+1)
+	var col []uint32
+	for i := 0; i < n; i++ {
+		row[i] = uint32(len(col))
+		col = append(col, uint32((i+1)%n)) // chain edge
+		extra := rng.Intn(deg)
+		for e := 0; e < extra; e++ {
+			col = append(col, uint32(rng.Intn(n)))
+		}
+	}
+	row[n] = uint32(len(col))
+
+	cost := make([]int32, n)
+	for i := range cost {
+		cost[i] = -1
+	}
+	cost[0] = 0
+
+	// Host reference: identical level-synchronous relaxation.
+	ref := append([]int32{}, cost...)
+	for level := 0; level < levels; level++ {
+		next := append([]int32{}, ref...)
+		for i := 0; i < n; i++ {
+			if ref[i] != int32(level) {
+				continue
+			}
+			for e := row[i]; e < row[i+1]; e++ {
+				if next[col[e]] == -1 {
+					next[col[e]] = int32(level + 1)
+				}
+			}
+		}
+		ref = next
+	}
+
+	// Memory: row[0:n+1], col, cost.
+	rowBase := 0
+	colBase := n + 1
+	costBase := colBase + len(col)
+	init := make([]uint32, costBase+n)
+	copy(init[rowBase:], row)
+	copy(init[colBase:], col)
+	for i, v := range cost {
+		init[costBase+i] = uint32(v)
+	}
+
+	prog := bfsKernel()
+	var kernels []Kernel
+	for level := 0; level < levels; level++ {
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (n + 63) / 64}, Block: gpu.Dim3{X: 64},
+			Params: []uint32{uint32(rowBase), uint32(colBase), uint32(costBase),
+				uint32(n), uint32(level)},
+		}})
+	}
+	refBits := make([]uint32, n)
+	for i, v := range ref {
+		refBits[i] = uint32(v)
+	}
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: costBase, OutputLen: n,
+		Reference: refBits,
+	}
+}
+
+// --- accl (connected component labeling) ------------------------------------
+
+// ACCL is the NUPAR accelerated connected-component-labeling benchmark:
+// iterative minimum-label propagation over a binary image.
+type ACCL struct {
+	N     int // image side
+	Iters int
+}
+
+func (ACCL) Name() string     { return "accl" }
+func (ACCL) DataType() string { return "INT32" }
+func (ACCL) Domain() string   { return "Graphs" }
+func (ACCL) Suite() string    { return "NUPAR" }
+
+// acclKernel: for foreground pixels, out-label = min(label, 4-neighbour
+// labels over foreground neighbours); background keeps -1. Ping-pong.
+// Params: 0=imgBase 1=inBase 2=outBase 3=N.
+func acclKernel() *kasm.Program {
+	k := kasm.New("accl")
+	k.S2R(0, isa.SRTidX)
+	k.S2R(1, isa.SRTidY)
+	k.Param(2, 3) // N
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.MOVI(9, 1)
+	k.IMUL(3, 1, 2).IADD(3, 3, 0) // idx
+	// lbl = in[idx]
+	k.IADD(4, 11, 3).GLD(4, 4, 0)
+	// if img[idx]==0: out[idx] = lbl (= -1), done
+	k.IADD(5, 10, 3).GLD(5, 5, 0)
+	k.ISETP(isa.CmpEQ, 0, 5, isa.RZ)
+	k.P(0).BRA("store")
+	// neighbours: unrolled with clamp; only foreground labels merge (a
+	// background neighbour's label is -1, and min() with -1 would win, so
+	// skip via predication on img[n]!=0).
+	k.ISUB(6, 2, 9) // N-1
+	// left
+	k.ISUB(7, 0, 9).IMAX(7, 7, isa.RZ)
+	k.IMUL(8, 1, 2).IADD(8, 8, 7)
+	k.IADD(13, 10, 8).GLD(13, 13, 0)
+	k.ISETP(isa.CmpNE, 1, 13, isa.RZ)
+	k.P(1).IADD(14, 11, 8)
+	k.P(1).GLD(14, 14, 0)
+	k.P(1).IMIN(4, 4, 14)
+	// right
+	k.IADD(7, 0, 9).IMIN(7, 7, 6)
+	k.IMUL(8, 1, 2).IADD(8, 8, 7)
+	k.IADD(13, 10, 8).GLD(13, 13, 0)
+	k.ISETP(isa.CmpNE, 1, 13, isa.RZ)
+	k.P(1).IADD(14, 11, 8)
+	k.P(1).GLD(14, 14, 0)
+	k.P(1).IMIN(4, 4, 14)
+	// up
+	k.ISUB(7, 1, 9).IMAX(7, 7, isa.RZ)
+	k.IMUL(8, 7, 2).IADD(8, 8, 0)
+	k.IADD(13, 10, 8).GLD(13, 13, 0)
+	k.ISETP(isa.CmpNE, 1, 13, isa.RZ)
+	k.P(1).IADD(14, 11, 8)
+	k.P(1).GLD(14, 14, 0)
+	k.P(1).IMIN(4, 4, 14)
+	// down
+	k.IADD(7, 1, 9).IMIN(7, 7, 6)
+	k.IMUL(8, 7, 2).IADD(8, 8, 0)
+	k.IADD(13, 10, 8).GLD(13, 13, 0)
+	k.ISETP(isa.CmpNE, 1, 13, isa.RZ)
+	k.P(1).IADD(14, 11, 8)
+	k.P(1).GLD(14, 14, 0)
+	k.P(1).IMIN(4, 4, 14)
+	k.Label("store")
+	k.IADD(5, 12, 3)
+	k.GST(5, 0, 4)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w ACCL) Build(rng *rand.Rand) *Job {
+	n, iters := w.N, w.Iters
+	if n == 0 {
+		n = 16
+	}
+	if iters == 0 {
+		iters = 24
+	}
+	img := make([]uint32, n*n)
+	for i := range img {
+		if rng.Float32() < 0.6 {
+			img[i] = 1
+		}
+	}
+	label := make([]int32, n*n)
+	for i := range label {
+		if img[i] != 0 {
+			label[i] = int32(i)
+		} else {
+			label[i] = -1
+		}
+	}
+
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	cur := append([]int32{}, label...)
+	next := make([]int32, n*n)
+	for it := 0; it < iters; it++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				idx := y*n + x
+				l := cur[idx]
+				if img[idx] != 0 {
+					for _, nb := range [4][2]int{
+						{clamp(x-1, n-1), y}, {clamp(x+1, n-1), y},
+						{x, clamp(y-1, n-1)}, {x, clamp(y+1, n-1)},
+					} {
+						ni := nb[1]*n + nb[0]
+						if img[ni] != 0 && cur[ni] < l {
+							l = cur[ni]
+						}
+					}
+				}
+				next[idx] = l
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Memory: img[0:n²], buf0[n²:2n²], buf1[2n²:3n²].
+	imgBase, buf0, buf1 := 0, n*n, 2*n*n
+	init := make([]uint32, 2*n*n)
+	copy(init, img)
+	for i, v := range label {
+		init[buf0+i] = uint32(v)
+	}
+	prog := acclKernel()
+	var kernels []Kernel
+	for it := 0; it < iters; it++ {
+		in, out := buf0, buf1
+		if it%2 == 1 {
+			in, out = buf1, buf0
+		}
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n, Y: n},
+			Params: []uint32{uint32(imgBase), uint32(in), uint32(out), uint32(n)},
+		}})
+	}
+	outBase := buf1
+	if iters%2 == 0 {
+		outBase = buf0
+	}
+	refBits := make([]uint32, n*n)
+	for i, v := range cur {
+		refBits[i] = uint32(v)
+	}
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: outBase, OutputLen: n * n,
+		Reference: refBits,
+		MemWords:  3 * n * n, // ping-pong scratch beyond Init
+	}
+}

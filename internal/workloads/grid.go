@@ -1,0 +1,400 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// --- hotspot (structured grid) -------------------------------------------
+
+// Hotspot is the Rodinia thermal-simulation stencil: iterated 5-point
+// temperature diffusion with a power-density source term.
+type Hotspot struct {
+	N     int // grid side
+	Iters int
+}
+
+func (Hotspot) Name() string     { return "hotspot" }
+func (Hotspot) DataType() string { return "FP32" }
+func (Hotspot) Domain() string   { return "Structured Grid" }
+func (Hotspot) Suite() string    { return "Rodinia" }
+
+// hotspotKernel computes one diffusion step with edge-clamped neighbours:
+//
+//	out = T + cDiff*(up+down+left+right - 4T) + cPow*P
+//
+// Params: 0=inBase 1=powBase 2=outBase 3=N 4=cDiffBits 5=cPowBits.
+func hotspotKernel() *kasm.Program {
+	k := kasm.New("hotspot")
+	k.S2R(0, isa.SRTidX) // x
+	k.S2R(1, isa.SRTidY) // y
+	k.Param(2, 3)        // N
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.MOVI(9, 1)
+	k.ISUB(3, 2, 9) // N-1
+	// clamped neighbour coordinates
+	k.ISUB(4, 0, 9).IMAX(4, 4, isa.RZ) // xm = max(x-1,0)
+	k.IADD(5, 0, 9).IMIN(5, 5, 3)      // xp = min(x+1,N-1)
+	k.ISUB(6, 1, 9).IMAX(6, 6, isa.RZ) // ym
+	k.IADD(7, 1, 9).IMIN(7, 7, 3)      // yp
+	// self
+	k.IMUL(8, 1, 2).IADD(8, 8, 0)
+	k.IADD(13, 8, 10).GLD(13, 13, 0) // T
+	// left/right (same row)
+	k.IMUL(14, 1, 2).IADD(14, 14, 4).IADD(14, 14, 10).GLD(14, 14, 0)
+	k.IMUL(15, 1, 2).IADD(15, 15, 5).IADD(15, 15, 10).GLD(15, 15, 0)
+	// up/down
+	k.IMUL(16, 6, 2).IADD(16, 16, 0).IADD(16, 16, 10).GLD(16, 16, 0)
+	k.IMUL(17, 7, 2).IADD(17, 17, 0).IADD(17, 17, 10).GLD(17, 17, 0)
+	// power
+	k.IADD(18, 8, 11).GLD(18, 18, 0)
+	// sum = up+down+left+right
+	k.FADD(19, 16, 17).FADD(19, 19, 14).FADD(19, 19, 15)
+	// sum -= 4*T
+	k.MOVI(20, 4).I2F(20, 20)
+	k.FMUL(20, 13, 20)
+	k.FSUB(19, 19, 20)
+	// out = T + cDiff*sum + cPow*P
+	k.Param(21, 4).Param(22, 5)
+	k.FFMA(23, 19, 21, 13)
+	k.FFMA(23, 18, 22, 23)
+	k.IADD(8, 8, 12)
+	k.GST(8, 0, 23)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w Hotspot) Build(rng *rand.Rand) *Job {
+	n, iters := w.N, w.Iters
+	if n == 0 {
+		n = 16
+	}
+	if iters == 0 {
+		iters = 4
+	}
+	temp := randFloats(rng, n*n, 20, 90)
+	pow := randFloats(rng, n*n, 0, 2)
+	cDiff, cPow := float32(0.125), float32(0.0625)
+
+	// Host reference mirroring the kernel's operation order.
+	cur := append([]float32{}, temp...)
+	next := make([]float32, n*n)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for it := 0; it < iters; it++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				T := cur[y*n+x]
+				sum := cur[clamp(y-1, n-1)*n+x] + cur[clamp(y+1, n-1)*n+x]
+				sum += cur[y*n+clamp(x-1, n-1)]
+				sum += cur[y*n+clamp(x+1, n-1)]
+				sum -= T * 4
+				out := ffma(sum, cDiff, T)
+				out = ffma(pow[y*n+x], cPow, out)
+				next[y*n+x] = out
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Memory: buf0[0:n*n], pow[n*n:2n*n], buf1[2n*n:3n*n].
+	buf0, powBase, buf1 := 0, n*n, 2*n*n
+	prog := hotspotKernel()
+	var kernels []Kernel
+	for it := 0; it < iters; it++ {
+		in, out := buf0, buf1
+		if it%2 == 1 {
+			in, out = buf1, buf0
+		}
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n, Y: n},
+			Params: []uint32{uint32(in), uint32(powBase), uint32(out), uint32(n),
+				math.Float32bits(cDiff), math.Float32bits(cPow)},
+		}})
+	}
+	outBase := buf1
+	if iters%2 == 0 {
+		outBase = buf0
+	}
+	init := make([]uint32, 2*n*n)
+	copy(init, fbits(temp))
+	copy(init[powBase:], fbits(pow))
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: outBase, OutputLen: n * n,
+		Reference: fbits(cur),
+		MemWords:  3 * n * n, // ping-pong scratch buffer beyond Init
+	}
+}
+
+// --- cfd (unstructured grid, euler3d mini) --------------------------------
+
+// CFD is a Rodinia euler3d-style unstructured-grid flux solver: per-cell
+// flux accumulation over an irregular neighbour list.
+type CFD struct {
+	Cells int
+	Iters int
+}
+
+func (CFD) Name() string     { return "cfd" }
+func (CFD) DataType() string { return "FP32" }
+func (CFD) Domain() string   { return "Unstructured Grid" }
+func (CFD) Suite() string    { return "Rodinia" }
+
+const cfdNeighbors = 4
+
+// cfdKernel: out[i] = v[i] + dt * sum_k (v[nbr[i*4+k]] - v[i]).
+// Params: 0=vBase 1=nbrBase 2=outBase 3=nCells 4=dtBits.
+func cfdKernel() *kasm.Program {
+	k := kasm.New("cfd")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.IADD(2, 10, 0).GLD(2, 2, 0) // vi
+	k.MOVI(3, 0)                  // flux acc (0.0f)
+	// nbrPtr = nbrBase + i*4
+	k.SHL(4, 0, 2).IADD(4, 4, 11)
+	k.MOVI(9, 1)
+	k.MOVI(5, 0) // kk
+	k.MOVI(6, cfdNeighbors)
+	k.Label("loop")
+	k.IADD(7, 4, 5).GLD(7, 7, 0)  // nb index
+	k.IADD(7, 7, 10).GLD(7, 7, 0) // v[nb]
+	k.FSUB(7, 7, 2)
+	k.FADD(3, 3, 7)
+	k.IADD(5, 5, 9)
+	k.LoopLT(0, 5, 6, "loop")
+	k.Param(8, 4) // dt
+	k.FFMA(3, 3, 8, 2)
+	k.IADD(13, 12, 0)
+	k.GST(13, 0, 3)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w CFD) Build(rng *rand.Rand) *Job {
+	n, iters := w.Cells, w.Iters
+	if n == 0 {
+		n = 64
+	}
+	if iters == 0 {
+		iters = 3
+	}
+	v := randFloats(rng, n, 0.5, 2.5)
+	nbr := make([]uint32, n*cfdNeighbors)
+	for i := range nbr {
+		nbr[i] = uint32(rng.Intn(n))
+	}
+	dt := float32(0.05)
+
+	cur := append([]float32{}, v...)
+	next := make([]float32, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			var flux float32
+			for kk := 0; kk < cfdNeighbors; kk++ {
+				flux += cur[nbr[i*cfdNeighbors+kk]] - cur[i]
+			}
+			next[i] = ffma(flux, dt, cur[i])
+		}
+		cur, next = next, cur
+	}
+
+	// Memory: buf0[0:n], nbr[n : n+4n], buf1[n+4n : 2n+4n].
+	buf0, nbrBase, buf1 := 0, n, n+n*cfdNeighbors
+	prog := cfdKernel()
+	var kernels []Kernel
+	for it := 0; it < iters; it++ {
+		in, out := buf0, buf1
+		if it%2 == 1 {
+			in, out = buf1, buf0
+		}
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (n + 63) / 64}, Block: gpu.Dim3{X: 64},
+			Params: []uint32{uint32(in), uint32(nbrBase), uint32(out), uint32(n),
+				math.Float32bits(dt)},
+		}})
+	}
+	outBase := buf1
+	if iters%2 == 0 {
+		outBase = buf0
+	}
+	init := make([]uint32, n+n*cfdNeighbors)
+	copy(init, fbits(v))
+	copy(init[nbrBase:], nbr)
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: outBase, OutputLen: n,
+		Reference: fbits(cur),
+		MemWords:  n + n*cfdNeighbors + n, // ping-pong scratch beyond Init
+	}
+}
+
+// --- nw (Needleman-Wunsch) -------------------------------------------------
+
+// NW is the Rodinia Needleman-Wunsch dynamic-programming benchmark:
+// wavefront computation of the alignment score matrix in a single CTA with
+// per-diagonal barriers.
+type NW struct{ N int }
+
+func (NW) Name() string     { return "nw" }
+func (NW) DataType() string { return "INT32" }
+func (NW) Domain() string   { return "Dyn. Programming" }
+func (NW) Suite() string    { return "Rodinia" }
+
+// nwKernel fills score[(n+1)x(n+1)] by anti-diagonals. As in the Rodinia
+// implementation, the score matrix is staged through shared memory: the
+// CTA cooperatively loads it, runs the whole wavefront in shared memory
+// (LDS/STS), and writes the result back. Thread t computes row i = t+1
+// when the current diagonal passes through it. Every lane executes every
+// BAR: the wavefront body is predicated on P1, not branched around, so
+// the barrier stays warp-uniform.
+//
+// Params: 0=scoreBase 1=simBase 2=n 3=penalty 4=scoreWords.
+func nwKernel() *kasm.Program {
+	k := kasm.New("nw")
+	k.S2R(0, isa.SRTidX)   // t
+	k.S2R(20, isa.SRNTidX) // block width
+	k.Param(1, 2)          // n
+	k.Param(2, 3)          // penalty (positive)
+	k.Param(10, 0).Param(11, 1)
+	k.Param(21, 4) // scoreWords = (n+1)^2
+	k.MOVI(9, 1)
+	// Cooperative load: shared[e] = score[e] for e = t, t+ntid, ...
+	k.MOV(22, 0) // e = t
+	k.Label("load")
+	k.ISETP(isa.CmpGE, 0, 22, 21)
+	k.P(0).BRA("loaded")
+	k.IADD(23, 10, 22).GLD(23, 23, 0)
+	k.STS(22, 0, 23)
+	k.IADD(22, 22, 20)
+	k.BRA("load")
+	k.Label("loaded")
+	k.BAR()
+	k.IADD(3, 0, 9)              // i = t+1
+	k.IADD(4, 1, 9)              // stride = n+1
+	k.MOVI(5, 2)                 // d
+	k.SHL(6, 1, 1).IADD(6, 6, 9) // 2n+1: loop while d < 2n+1
+	k.Label("diag")
+	k.ISUB(7, 5, 3) // j = d-i
+	// P1 = (i<=n) && (j>=1) && (j<=n)
+	k.ISETP(isa.CmpLE, 1, 3, 1)
+	k.ISETP(isa.CmpGE, 2, 7, 9)
+	k.PSETP(isa.CmpEQ, 1, 1, 2)
+	k.ISETP(isa.CmpLE, 2, 7, 1)
+	k.PSETP(isa.CmpEQ, 1, 1, 2)
+	// idx = i*stride + j (shared-memory address)
+	k.P(1).IMUL(12, 3, 4)
+	k.P(1).IADD(12, 12, 7)
+	// diag: shared[idx - stride - 1] + sim[(i-1)*n + (j-1)]
+	k.P(1).ISUB(13, 12, 4)
+	k.P(1).LDS(14, 13, -1)
+	k.P(1).ISUB(15, 3, 9)
+	k.P(1).IMUL(15, 15, 1)
+	k.P(1).IADD(15, 15, 7)
+	k.P(1).IADD(15, 15, 11)
+	k.P(1).GLD(15, 15, -1) // sim[(i-1)*n + j-1]
+	k.P(1).IADD(14, 14, 15)
+	// up: shared[idx-stride] - penalty
+	k.P(1).ISUB(16, 12, 4)
+	k.P(1).LDS(16, 16, 0)
+	k.P(1).ISUB(16, 16, 2)
+	// left: shared[idx-1] - penalty
+	k.P(1).LDS(17, 12, -1)
+	k.P(1).ISUB(17, 17, 2)
+	k.P(1).IMAX(14, 14, 16)
+	k.P(1).IMAX(14, 14, 17)
+	k.P(1).STS(12, 0, 14)
+	k.BAR()
+	k.IADD(5, 5, 9)
+	k.LoopLT(1, 5, 6, "diag")
+	// Cooperative write-back.
+	k.MOV(22, 0)
+	k.Label("wb")
+	k.ISETP(isa.CmpGE, 0, 22, 21)
+	k.P(0).BRA("done")
+	k.LDS(23, 22, 0)
+	k.IADD(24, 10, 22).GST(24, 0, 23)
+	k.IADD(22, 22, 20)
+	k.BRA("wb")
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w NW) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 24
+	}
+	penalty := int32(2)
+	sim := make([]int32, n*n)
+	for i := range sim {
+		sim[i] = int32(rng.Intn(7)) - 3
+	}
+	stride := n + 1
+	score := make([]int32, stride*stride)
+	for i := 0; i <= n; i++ {
+		score[i*stride] = -int32(i) * penalty
+		score[i] = -int32(i) * penalty
+	}
+
+	ref := append([]int32{}, score...)
+	for d := 2; d <= 2*n; d++ {
+		for i := 1; i <= n; i++ {
+			j := d - i
+			if j < 1 || j > n {
+				continue
+			}
+			diag := ref[(i-1)*stride+(j-1)] + sim[(i-1)*n+(j-1)]
+			up := ref[(i-1)*stride+j] - penalty
+			left := ref[i*stride+(j-1)] - penalty
+			m := diag
+			if up > m {
+				m = up
+			}
+			if left > m {
+				m = left
+			}
+			ref[i*stride+j] = m
+		}
+	}
+
+	// Memory: score[0:stride²], sim[stride²:...].
+	simBase := stride * stride
+	init := make([]uint32, simBase+n*n)
+	for i, v := range score {
+		init[i] = uint32(v)
+	}
+	for i, v := range sim {
+		init[simBase+i] = uint32(v)
+	}
+	refBits := make([]uint32, stride*stride)
+	for i, v := range ref {
+		refBits[i] = uint32(v)
+	}
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: nwKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: ((n + 31) / 32) * 32},
+			Params: []uint32{0, uint32(simBase), uint32(n), uint32(penalty),
+				uint32(stride * stride)},
+			SharedWords: stride * stride,
+		}}},
+		OutputOff: 0, OutputLen: stride * stride,
+		Reference: refBits,
+	}
+}

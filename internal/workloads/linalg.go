@@ -1,0 +1,520 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// ffma mirrors the simulator's fused multiply-add so host references are
+// bit-exact against kernel results.
+func ffma(a, b, c float32) float32 {
+	return float32(float64(a)*float64(b) + float64(c))
+}
+
+// --- vectoradd ----------------------------------------------------------
+
+// VectorAdd is the CUDA SDK vectorAdd sample: out[i] = a[i] + b[i].
+type VectorAdd struct{ N int }
+
+func (VectorAdd) Name() string     { return "vectoradd" }
+func (VectorAdd) DataType() string { return "FP32" }
+func (VectorAdd) Domain() string   { return "Linear algebra" }
+func (VectorAdd) Suite() string    { return "CUDA SDK" }
+
+func (w VectorAdd) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 256
+	}
+	a := randFloats(rng, n, -8, 8)
+	b := randFloats(rng, n, -8, 8)
+	ref := make([]float32, n)
+	for i := range ref {
+		ref[i] = a[i] + b[i]
+	}
+
+	k := kasm.New("vectoradd")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3) // n
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(2, 0).Param(3, 1).Param(4, 2)
+	k.IADD(5, 2, 0).GLD(6, 5, 0)
+	k.IADD(5, 3, 0).GLD(7, 5, 0)
+	k.FADD(8, 6, 7)
+	k.IADD(5, 4, 0).GST(5, 0, 8)
+	k.Label("done").EXIT()
+
+	init := append(append([]uint32{}, fbits(a)...), fbits(b)...)
+	blk := 64
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: k.Build(), Cfg: gpu.LaunchConfig{
+			Grid:   gpu.Dim3{X: (n + blk - 1) / blk},
+			Block:  gpu.Dim3{X: blk},
+			Params: []uint32{0, uint32(n), uint32(2 * n), uint32(n)},
+		}}},
+		OutputOff: 2 * n, OutputLen: n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- mxm (naive matrix multiply) ----------------------------------------
+
+// MxM is a naive one-thread-per-element matrix multiplication C = A*B.
+type MxM struct{ N int }
+
+func (MxM) Name() string     { return "mxm" }
+func (MxM) DataType() string { return "FP32" }
+func (MxM) Domain() string   { return "Linear algebra" }
+func (MxM) Suite() string    { return "CUDA SDK" }
+
+// mxmKernel builds the naive matmul kernel.
+// Params: 0=aBase 1=bBase 2=cBase 3=N.
+func mxmKernel() *kasm.Program {
+	k := kasm.New("mxm")
+	k.S2R(0, isa.SRTidX) // col
+	k.S2R(1, isa.SRTidY) // row
+	k.Param(2, 3)        // N
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.MOVI(3, 0) // kk
+	k.MOVI(4, 0) // acc = 0.0f
+	k.MOVI(9, 1)
+	k.IMUL(5, 1, 2).IADD(5, 5, 10) // A row base
+	k.IADD(6, 11, 0)               // B col base
+	k.Label("loop")
+	k.IADD(7, 5, 3).GLD(7, 7, 0)
+	k.GLD(8, 6, 0)
+	k.FFMA(4, 7, 8, 4)
+	k.IADD(6, 6, 2)
+	k.IADD(3, 3, 9)
+	k.LoopLT(0, 3, 2, "loop")
+	k.IMUL(5, 1, 2).IADD(5, 5, 0).IADD(5, 5, 12)
+	k.GST(5, 0, 4)
+	k.EXIT()
+	return k.Build()
+}
+
+// hostMxM computes the reference using the simulator's FFMA chain order.
+func hostMxM(a, b []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for kk := 0; kk < n; kk++ {
+				acc = ffma(a[i*n+kk], b[kk*n+j], acc)
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+func (w MxM) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 16
+	}
+	a := randFloats(rng, n*n, -2, 2)
+	b := randFloats(rng, n*n, -2, 2)
+	ref := hostMxM(a, b, n)
+	init := append(append([]uint32{}, fbits(a)...), fbits(b)...)
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: mxmKernel(), Cfg: gpu.LaunchConfig{
+			Grid:   gpu.Dim3{X: 1},
+			Block:  gpu.Dim3{X: n, Y: n},
+			Params: []uint32{0, uint32(n * n), uint32(2 * n * n), uint32(n)},
+		}}},
+		OutputOff: 2 * n * n, OutputLen: n * n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- gemm (tiled, shared memory) ----------------------------------------
+
+// GEMM is the tiled shared-memory C = alpha*A*B + beta*C kernel.
+type GEMM struct{ N int }
+
+func (GEMM) Name() string     { return "gemm" }
+func (GEMM) DataType() string { return "FP32" }
+func (GEMM) Domain() string   { return "Linear algebra" }
+func (GEMM) Suite() string    { return "CUDA SDK" }
+
+const gemmTile = 8
+
+// gemmKernel builds the tiled kernel.
+// Params: 0=aBase 1=bBase 2=cBase 3=N 4=alphaBits 5=betaBits.
+// Shared layout: As[0:64], Bs[64:128].
+func gemmKernel() *kasm.Program {
+	k := kasm.New("gemm")
+	k.S2R(0, isa.SRTidX)
+	k.S2R(1, isa.SRTidY)
+	k.S2R(2, isa.SRCtaidX)
+	k.S2R(3, isa.SRCtaidY)
+	k.Param(10, 0).Param(11, 1).Param(12, 2).Param(13, 3)
+	k.MOVI(14, gemmTile)
+	k.IMUL(4, 3, 14).IADD(4, 4, 1) // row
+	k.IMUL(5, 2, 14).IADD(5, 5, 0) // col
+	k.MOVI(6, 0)                   // acc
+	k.MOVI(7, 0)                   // tile index t
+	k.IMUL(8, 1, 14).IADD(8, 8, 0) // sAddrA = ty*8+tx
+	k.MOVI(9, 64).IADD(9, 8, 9)    // sAddrB = sAddrA+64
+	k.SHR(23, 13, 3)               // ntiles = N/8
+	k.MOVI(22, 1)
+	k.Label("tile")
+	// load A tile element
+	k.IMUL(15, 4, 13)
+	k.IMUL(16, 7, 14)
+	k.IADD(15, 15, 16).IADD(15, 15, 0).IADD(15, 15, 10)
+	k.GLD(15, 15, 0).STS(8, 0, 15)
+	// load B tile element
+	k.IMUL(16, 7, 14).IADD(16, 16, 1).IMUL(16, 16, 13)
+	k.IADD(16, 16, 5).IADD(16, 16, 11)
+	k.GLD(16, 16, 0).STS(9, 0, 16)
+	k.BAR()
+	// inner product over the tile
+	k.MOVI(17, 0)
+	k.IMUL(18, 1, 14)              // As row base
+	k.MOVI(19, 64).IADD(19, 19, 0) // Bs col base
+	k.Label("inner")
+	k.IADD(20, 18, 17).LDS(20, 20, 0)
+	k.LDS(21, 19, 0)
+	k.FFMA(6, 20, 21, 6)
+	k.IADD(19, 19, 14)
+	k.IADD(17, 17, 22)
+	k.LoopLT(0, 17, 14, "inner")
+	k.BAR()
+	k.IADD(7, 7, 22)
+	k.LoopLT(0, 7, 23, "tile")
+	// epilogue: C = alpha*acc + beta*Cold
+	k.Param(24, 4).Param(25, 5)
+	k.IMUL(26, 4, 13).IADD(26, 26, 5).IADD(26, 26, 12)
+	k.GLD(27, 26, 0)
+	k.FMUL(6, 6, 24)
+	k.FFMA(6, 27, 25, 6)
+	k.GST(26, 0, 6)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w GEMM) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 16
+	}
+	a := randFloats(rng, n*n, -2, 2)
+	b := randFloats(rng, n*n, -2, 2)
+	c := randFloats(rng, n*n, -2, 2)
+	alpha, beta := float32(1.5), float32(0.5)
+
+	// Host reference mirroring the kernel's tiled accumulation order,
+	// which is identical to the row-major k order.
+	ref := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for kk := 0; kk < n; kk++ {
+				acc = ffma(a[i*n+kk], b[kk*n+j], acc)
+			}
+			ref[i*n+j] = ffma(c[i*n+j], beta, acc*alpha)
+		}
+	}
+
+	init := append(append(append([]uint32{}, fbits(a)...), fbits(b)...), fbits(c)...)
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: gemmKernel(), Cfg: gpu.LaunchConfig{
+			Grid:        gpu.Dim3{X: n / gemmTile, Y: n / gemmTile},
+			Block:       gpu.Dim3{X: gemmTile, Y: gemmTile},
+			Params:      []uint32{0, uint32(n * n), uint32(2 * n * n), uint32(n), math.Float32bits(alpha), math.Float32bits(beta)},
+			SharedWords: 2 * gemmTile * gemmTile,
+		}}},
+		OutputOff: 2 * n * n, OutputLen: n * n,
+		Reference: fbits(ref),
+	}
+}
+
+// TiledMxMJob builds a C = A·B job on the tiled shared-memory kernel with
+// caller-controlled inputs — the t-MxM mini-app of the paper's RTL study.
+// n must be a multiple of the tile size (8).
+func TiledMxMJob(a, b []float32, n int) *Job {
+	if len(a) != n*n || len(b) != n*n || n%gemmTile != 0 {
+		panic("workloads: TiledMxMJob requires n%8==0 and n*n inputs")
+	}
+	ref := hostMxM(a, b, n)
+	init := append(append([]uint32{}, fbits(a)...), fbits(b)...)
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: gemmKernel(), Cfg: gpu.LaunchConfig{
+			Grid:  gpu.Dim3{X: n / gemmTile, Y: n / gemmTile},
+			Block: gpu.Dim3{X: gemmTile, Y: gemmTile},
+			Params: []uint32{0, uint32(n * n), uint32(2 * n * n), uint32(n),
+				math.Float32bits(1), math.Float32bits(0)},
+			SharedWords: 2 * gemmTile * gemmTile,
+		}}},
+		OutputOff: 2 * n * n, OutputLen: n * n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- gaussian (elimination) ----------------------------------------------
+
+// Gaussian is the Rodinia gaussian-elimination benchmark: forward
+// elimination of [A|b] via per-pivot Fan1/Fan2 kernels.
+type Gaussian struct{ N int }
+
+func (Gaussian) Name() string     { return "gaussian" }
+func (Gaussian) DataType() string { return "FP32" }
+func (Gaussian) Domain() string   { return "Linear algebra" }
+func (Gaussian) Suite() string    { return "Rodinia" }
+
+// gaussianFan1 computes multipliers m[i] = A[i][k] * (1/A[k][k]) for i>k.
+// Params: 0=aBase 1=mBase 2=N 3=k.
+func gaussianFan1() *kasm.Program {
+	k := kasm.New("gaussian_fan1")
+	k.GlobalThreadIdX(0, 1) // t
+	k.Param(2, 2)           // N
+	k.Param(3, 3)           // k
+	k.MOVI(9, 1)
+	// i = t + k + 1; guard i >= N
+	k.IADD(1, 0, 3).IADD(1, 1, 9)
+	k.GuardGE(0, 1, 2, "done")
+	k.Param(10, 0).Param(11, 1)
+	// pivot = A[k*N+k]
+	k.IMUL(4, 3, 2).IADD(4, 4, 3).IADD(4, 4, 10)
+	k.GLD(4, 4, 0)
+	k.FRCP(4, 4)
+	// aik = A[i*N+k]
+	k.IMUL(5, 1, 2).IADD(5, 5, 3).IADD(5, 5, 10)
+	k.GLD(5, 5, 0)
+	k.FMUL(5, 5, 4)
+	// m[i] = aik/pivot
+	k.IADD(6, 11, 1)
+	k.GST(6, 0, 5)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+// gaussianFan2 updates rows below the pivot: for i>k, column j in [0,N]
+// (column N is the b vector): A[i][j] -= m[i]*A[k][j].
+// Params: 0=aBase 1=mBase 2=bBase 3=N 4=k.
+func gaussianFan2() *kasm.Program {
+	k := kasm.New("gaussian_fan2")
+	k.S2R(0, isa.SRTidX) // j
+	k.S2R(1, isa.SRTidY) // t -> i = t+k+1
+	k.Param(2, 3)        // N
+	k.Param(3, 4)        // k
+	k.MOVI(9, 1)
+	k.IADD(1, 1, 3).IADD(1, 1, 9) // i
+	k.GuardGE(0, 1, 2, "done")
+	// guard j > N (j==N updates b)
+	k.IADD(4, 2, 9)
+	k.GuardGE(0, 0, 4, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	// mi = m[i]
+	k.IADD(5, 11, 1).GLD(5, 5, 0)
+	// j == N? handle b instead of A
+	k.ISETP(isa.CmpEQ, 1, 0, 2)
+	k.P(1).BRA("bvec")
+	// A[i][j] -= mi * A[k][j]
+	k.IMUL(6, 3, 2).IADD(6, 6, 0).IADD(6, 6, 10).GLD(6, 6, 0) // A[k][j]
+	k.FMUL(6, 5, 6)
+	k.IMUL(7, 1, 2).IADD(7, 7, 0).IADD(7, 7, 10)
+	k.GLD(8, 7, 0)
+	k.FSUB(8, 8, 6)
+	k.GST(7, 0, 8)
+	k.BRA("done")
+	k.Label("bvec")
+	// b[i] -= mi * b[k]
+	k.IADD(6, 12, 3).GLD(6, 6, 0)
+	k.FMUL(6, 5, 6)
+	k.IADD(7, 12, 1)
+	k.GLD(8, 7, 0)
+	k.FSUB(8, 8, 6)
+	k.GST(7, 0, 8)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w Gaussian) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 12
+	}
+	a := randFloats(rng, n*n, 1, 4)
+	// Diagonal dominance keeps the elimination well conditioned.
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float32(2 * n)
+	}
+	b := randFloats(rng, n, -4, 4)
+
+	// Memory: A[0:n*n], b[n*n : n*n+n], m (scratch) [n*n+n : n*n+2n].
+	// The compared output region is [A|b]; the multiplier buffer is
+	// kernel scratch, like Rodinia's device-only m array.
+	aBase, bBase, mBase := 0, n*n, n*n+n
+
+	// Host reference mirrors the kernels' exact operation order.
+	ra := append([]float32{}, a...)
+	rb := append([]float32{}, b...)
+	for k := 0; k < n-1; k++ {
+		pivInv := 1 / ra[k*n+k]
+		m := make([]float32, n)
+		for i := k + 1; i < n; i++ {
+			m[i] = ra[i*n+k] * pivInv
+		}
+		for i := k + 1; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ra[i*n+j] -= m[i] * ra[k*n+j]
+			}
+			rb[i] -= m[i] * rb[k]
+		}
+	}
+
+	fan1, fan2 := gaussianFan1(), gaussianFan2()
+	var kernels []Kernel
+	for k := 0; k < n-1; k++ {
+		kernels = append(kernels,
+			Kernel{Prog: fan1, Cfg: gpu.LaunchConfig{
+				Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n},
+				Params: []uint32{uint32(aBase), uint32(mBase), uint32(n), uint32(k)},
+			}},
+			Kernel{Prog: fan2, Cfg: gpu.LaunchConfig{
+				Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n + 1, Y: n},
+				Params: []uint32{uint32(aBase), uint32(mBase), uint32(bBase), uint32(n), uint32(k)},
+			}},
+		)
+	}
+	init := make([]uint32, n*n+2*n)
+	copy(init, fbits(a))
+	copy(init[bBase:], fbits(b))
+
+	ref := make([]uint32, n*n+n)
+	copy(ref, fbits(ra))
+	copy(ref[bBase:], fbits(rb))
+
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: 0, OutputLen: n*n + n,
+		Reference: ref,
+	}
+}
+
+// --- lud (LU decomposition) ----------------------------------------------
+
+// LUD is the Rodinia LU-decomposition benchmark (Doolittle, in place).
+type LUD struct{ N int }
+
+func (LUD) Name() string     { return "lud" }
+func (LUD) DataType() string { return "FP32" }
+func (LUD) Domain() string   { return "Linear algebra" }
+func (LUD) Suite() string    { return "Rodinia" }
+
+// ludScale: for i>k, A[i][k] *= 1/A[k][k].
+// Params: 0=aBase 1=N 2=k.
+func ludScale() *kasm.Program {
+	k := kasm.New("lud_scale")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(2, 1) // N
+	k.Param(3, 2) // k
+	k.MOVI(9, 1)
+	k.IADD(1, 0, 3).IADD(1, 1, 9) // i
+	k.GuardGE(0, 1, 2, "done")
+	k.Param(10, 0)
+	k.IMUL(4, 3, 2).IADD(4, 4, 3).IADD(4, 4, 10).GLD(4, 4, 0)
+	k.FRCP(4, 4)
+	k.IMUL(5, 1, 2).IADD(5, 5, 3).IADD(5, 5, 10)
+	k.GLD(6, 5, 0)
+	k.FMUL(6, 6, 4)
+	k.GST(5, 0, 6)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+// ludUpdate: for i>k, j>k: A[i][j] -= A[i][k]*A[k][j]. The pivot row
+// A[k][*] is staged through shared memory by the first thread row, as in
+// the Rodinia implementation.
+// Params: 0=aBase 1=N 2=k.
+func ludUpdate() *kasm.Program {
+	k := kasm.New("lud_update")
+	k.S2R(0, isa.SRTidX) // j offset
+	k.S2R(1, isa.SRTidY) // i offset
+	k.Param(2, 1)        // N
+	k.Param(3, 2)        // k
+	k.Param(10, 0)
+	k.MOVI(9, 1)
+	k.IADD(5, 0, 3).IADD(5, 5, 9) // j
+	k.IADD(6, 1, 3).IADD(6, 6, 9) // i
+	// Stage the pivot row: threads with iOff==0 and j<N copy A[k][j] to
+	// shared[j]; every lane reaches the barrier.
+	k.ISETP(isa.CmpEQ, 1, 1, isa.RZ)
+	k.ISETP(isa.CmpLT, 2, 5, 2)
+	k.PSETP(isa.CmpEQ, 1, 1, 2)
+	k.P(1).IMUL(7, 3, 2)
+	k.P(1).IADD(7, 7, 5)
+	k.P(1).IADD(7, 7, 10)
+	k.P(1).GLD(7, 7, 0)
+	k.P(1).STS(5, 0, 7)
+	k.BAR()
+	k.GuardGE(0, 5, 2, "done")
+	k.GuardGE(0, 6, 2, "done")
+	k.IMUL(4, 6, 2).IADD(4, 4, 3).IADD(4, 4, 10).GLD(4, 4, 0) // A[i][k]
+	k.LDS(8, 5, 0)                                            // A[k][j]
+	k.FMUL(4, 4, 8)
+	k.IMUL(12, 6, 2).IADD(12, 12, 5).IADD(12, 12, 10)
+	k.GLD(13, 12, 0)
+	k.FSUB(13, 13, 4)
+	k.GST(12, 0, 13)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w LUD) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 16
+	}
+	a := randFloats(rng, n*n, 1, 3)
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float32(2 * n)
+	}
+
+	ra := append([]float32{}, a...)
+	for k := 0; k < n-1; k++ {
+		pivInv := 1 / ra[k*n+k]
+		for i := k + 1; i < n; i++ {
+			ra[i*n+k] *= pivInv
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				ra[i*n+j] -= ra[i*n+k] * ra[k*n+j]
+			}
+		}
+	}
+
+	scale, update := ludScale(), ludUpdate()
+	var kernels []Kernel
+	for k := 0; k < n-1; k++ {
+		kernels = append(kernels,
+			Kernel{Prog: scale, Cfg: gpu.LaunchConfig{
+				Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n},
+				Params: []uint32{0, uint32(n), uint32(k)},
+			}},
+			Kernel{Prog: update, Cfg: gpu.LaunchConfig{
+				Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n, Y: n},
+				Params:      []uint32{0, uint32(n), uint32(k)},
+				SharedWords: n,
+			}},
+		)
+	}
+	return &Job{
+		Init:      fbits(a),
+		Kernels:   kernels,
+		OutputOff: 0, OutputLen: n * n,
+		Reference: fbits(ra),
+	}
+}

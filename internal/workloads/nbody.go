@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// Lava is the Rodinia lavaMD-style N-body benchmark: each particle
+// accumulates a Gaussian-kernel force contribution from every other
+// particle (SFU-heavy through FEXP).
+type Lava struct{ N int }
+
+func (Lava) Name() string     { return "lava" }
+func (Lava) DataType() string { return "FP32" }
+func (Lava) Domain() string   { return "N-body" }
+func (Lava) Suite() string    { return "Rodinia" }
+
+// lavaKernel: for each particle i,
+//
+//	f += exp2(-r²)·q_j · (dx,dy,dz) over all j
+//
+// Params: 0=xs 1=ys 2=zs 3=qs 4=fx 5=fy 6=fz 7=n.
+func lavaKernel() *kasm.Program {
+	k := kasm.New("lava")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 7) // n
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2).Param(13, 3)
+	k.IADD(2, 10, 0).GLD(2, 2, 0) // xi
+	k.IADD(3, 11, 0).GLD(3, 3, 0) // yi
+	k.IADD(4, 12, 0).GLD(4, 4, 0) // zi
+	k.MOVI(5, 0)                  // fx
+	k.MOVI(6, 0)                  // fy
+	k.MOVI(7, 0)                  // fz
+	k.MOVI(8, 0)                  // j
+	k.MOVI(9, 1)
+	k.Label("loop")
+	k.IADD(15, 10, 8).GLD(15, 15, 0).FSUB(15, 15, 2) // dx
+	k.IADD(16, 11, 8).GLD(16, 16, 0).FSUB(16, 16, 3) // dy
+	k.IADD(17, 12, 8).GLD(17, 17, 0).FSUB(17, 17, 4) // dz
+	k.FMUL(18, 15, 15)
+	k.FFMA(18, 16, 16, 18)
+	k.FFMA(18, 17, 17, 18) // r²
+	k.FSUB(19, isa.RZ, 18) // -r² (RZ reads +0.0)
+	k.FEXP(19, 19)         // exp2(-r²)
+	k.IADD(20, 13, 8).GLD(20, 20, 0)
+	k.FMUL(19, 19, 20) // w = exp2(-r²)·q_j
+	k.FFMA(5, 19, 15, 5)
+	k.FFMA(6, 19, 16, 6)
+	k.FFMA(7, 19, 17, 7)
+	k.IADD(8, 8, 9)
+	k.LoopLT(0, 8, 1, "loop")
+	k.Param(21, 4).Param(22, 5).Param(23, 6)
+	k.IADD(21, 21, 0).GST(21, 0, 5)
+	k.IADD(22, 22, 0).GST(22, 0, 6)
+	k.IADD(23, 23, 0).GST(23, 0, 7)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w Lava) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 64
+	}
+	xs := randFloats(rng, n, -1.5, 1.5)
+	ys := randFloats(rng, n, -1.5, 1.5)
+	zs := randFloats(rng, n, -1.5, 1.5)
+	qs := randFloats(rng, n, 0.1, 1)
+
+	fx := make([]float32, n)
+	fy := make([]float32, n)
+	fz := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var ax, ay, az float32
+		for j := 0; j < n; j++ {
+			dx := xs[j] - xs[i]
+			dy := ys[j] - ys[i]
+			dz := zs[j] - zs[i]
+			r2 := dx * dx
+			r2 = ffma(dy, dy, r2)
+			r2 = ffma(dz, dz, r2)
+			w := float32(math.Exp2(float64(-r2))) * qs[j]
+			ax = ffma(w, dx, ax)
+			ay = ffma(w, dy, ay)
+			az = ffma(w, dz, az)
+		}
+		fx[i], fy[i], fz[i] = ax, ay, az
+	}
+
+	init := make([]uint32, 4*n)
+	copy(init[0:], fbits(xs))
+	copy(init[n:], fbits(ys))
+	copy(init[2*n:], fbits(zs))
+	copy(init[3*n:], fbits(qs))
+
+	ref := make([]uint32, 3*n)
+	copy(ref[0:], fbits(fx))
+	copy(ref[n:], fbits(fy))
+	copy(ref[2*n:], fbits(fz))
+
+	blk := 64
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: lavaKernel(), Cfg: gpu.LaunchConfig{
+			Grid:  gpu.Dim3{X: (n + blk - 1) / blk},
+			Block: gpu.Dim3{X: blk},
+			Params: []uint32{0, uint32(n), uint32(2 * n), uint32(3 * n),
+				uint32(4 * n), uint32(5 * n), uint32(6 * n), uint32(n)},
+		}}},
+		OutputOff: 4 * n, OutputLen: 3 * n,
+		Reference: ref,
+	}
+}

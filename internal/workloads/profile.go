@@ -1,0 +1,764 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// This file implements the additional representative workloads used for
+// hardware unit profiling (Section "Low-level Fault Characterization": the
+// 14 Rodinia/NVIDIA-SDK codes whose dynamic instructions form the exciting
+// patterns of the gate-level campaigns). They are regular Workloads, so
+// they are also available to the software-level injector.
+
+// sin32/exp-style helpers mirror simulator semantics bit for bit.
+func sin32(x float32) float32  { return float32(math.Sin(float64(x))) }
+func exp232(x float32) float32 { return float32(math.Exp2(float64(x))) }
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// --- reduction ---------------------------------------------------------------
+
+// Reduction is the CUDA SDK tree reduction: per-block shared-memory
+// reduction with barriers, one partial sum per block.
+type Reduction struct{ N int }
+
+func (Reduction) Name() string     { return "reduction" }
+func (Reduction) DataType() string { return "FP32" }
+func (Reduction) Domain() string   { return "Data parallel" }
+func (Reduction) Suite() string    { return "CUDA SDK" }
+
+// reductionKernel: block of 64 threads reduces 64 inputs to 1 output.
+// Params: 0=inBase 1=outBase.
+func reductionKernel() *kasm.Program {
+	k := kasm.New("reduction")
+	k.S2R(0, isa.SRTidX)
+	k.S2R(1, isa.SRCtaidX)
+	k.S2R(2, isa.SRNTidX)
+	k.Param(10, 0).Param(11, 1)
+	k.IMUL(3, 1, 2).IADD(3, 3, 0)
+	k.IADD(3, 3, 10).GLD(4, 3, 0)
+	k.STS(0, 0, 4)
+	k.BAR()
+	// for s = 32,16,...,1: if tid < s: sh[tid] += sh[tid+s]
+	k.MOVI(5, 32) // s
+	k.MOVI(9, 1)
+	k.Label("step")
+	k.ISETP(isa.CmpLT, 1, 0, 5)
+	k.P(1).LDS(6, 0, 0)
+	k.P(1).IADD(7, 0, 5)
+	k.P(1).LDS(7, 7, 0)
+	k.P(1).FADD(6, 6, 7)
+	k.P(1).STS(0, 0, 6)
+	k.BAR()
+	k.SHR(5, 5, 1)
+	k.ISETP(isa.CmpGE, 1, 5, 9)
+	k.P(1).BRA("step")
+	// thread 0 stores block result
+	k.ISETP(isa.CmpNE, 0, 0, isa.RZ)
+	k.P(0).BRA("done")
+	k.LDS(6, 0, 0)
+	k.IADD(8, 11, 1)
+	k.GST(8, 0, 6)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w Reduction) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 256
+	}
+	const blk = 64
+	nBlocks := n / blk
+	in := randFloats(rng, n, -4, 4)
+
+	ref := make([]float32, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		sh := append([]float32{}, in[b*blk:(b+1)*blk]...)
+		for s := 32; s >= 1; s /= 2 {
+			for t := 0; t < s; t++ {
+				sh[t] += sh[t+s]
+			}
+		}
+		ref[b] = sh[0]
+	}
+	return &Job{
+		Init: fbits(in),
+		Kernels: []Kernel{{Prog: reductionKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: nBlocks}, Block: gpu.Dim3{X: blk},
+			Params:      []uint32{0, uint32(n)},
+			SharedWords: blk,
+		}}},
+		OutputOff: n, OutputLen: nBlocks,
+		Reference: fbits(ref),
+	}
+}
+
+// --- fft ---------------------------------------------------------------------
+
+// FFT is a radix-2 decimation-in-time FFT with one kernel launch per
+// butterfly stage; twiddle factors are produced on the SFU (FSIN).
+type FFT struct{ N int }
+
+func (FFT) Name() string     { return "fft" }
+func (FFT) DataType() string { return "FP32" }
+func (FFT) Domain() string   { return "Spectral" }
+func (FFT) Suite() string    { return "CUDA SDK" }
+
+// fftStageKernel performs one butterfly stage over re[]/im[].
+// Thread t: k = t & (h-1); i = 2*(t-k)+k; j = i+h;
+// angle = k*base; w = (sin(angle+π/2), sin(angle)).
+// Params: 0=reBase 1=imBase 2=hMask(h-1) 3=h 4=baseAngleBits 5=halfPiBits.
+func fftStageKernel() *kasm.Program {
+	k := kasm.New("fft_stage")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(10, 0).Param(11, 1)
+	k.Param(2, 2)                // h-1
+	k.Param(3, 3)                // h
+	k.IAND(4, 0, 2)              // k
+	k.ISUB(5, 0, 4).SHL(5, 5, 1) // 2(t-k)
+	k.IADD(5, 5, 4)              // i
+	k.IADD(6, 5, 3)              // j
+	// angle = k * base
+	k.I2F(7, 4)
+	k.Param(8, 4)
+	k.FMUL(7, 7, 8) // angle
+	k.Param(8, 5)
+	k.FADD(8, 7, 8)
+	k.FSIN(8, 8) // wr = cos(angle)
+	k.FSIN(7, 7) // wi = sin(angle)
+	// u = a[i], v = a[j]
+	k.IADD(12, 10, 5).GLD(13, 12, 0) // ur
+	k.IADD(14, 11, 5).GLD(15, 14, 0) // ui
+	k.IADD(16, 10, 6).GLD(17, 16, 0) // vr
+	k.IADD(18, 11, 6).GLD(19, 18, 0) // vi
+	// t = v*w (complex)
+	k.FMUL(20, 17, 8)
+	k.FMUL(21, 19, 7)
+	k.FSUB(20, 20, 21) // tr = vr*wr - vi*wi
+	k.FMUL(21, 17, 7)
+	k.FMUL(22, 19, 8)
+	k.FADD(21, 21, 22) // ti = vr*wi + vi*wr
+	// a[i] = u + t; a[j] = u - t
+	k.FADD(22, 13, 20).GST(12, 0, 22)
+	k.FADD(22, 15, 21).GST(14, 0, 22)
+	k.FSUB(22, 13, 20).GST(16, 0, 22)
+	k.FSUB(22, 15, 21).GST(18, 0, 22)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w FFT) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 32
+	}
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	re := randFloats(rng, n, -1, 1)
+	im := randFloats(rng, n, -1, 1)
+
+	// Bit-reversal permutation applied host-side to the initial data (the
+	// classic iterative DIT layout).
+	rev := func(x, bits int) int {
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = r<<1 | (x>>b)&1
+		}
+		return r
+	}
+	pr := make([]float32, n)
+	pi := make([]float32, n)
+	for i := 0; i < n; i++ {
+		pr[rev(i, stages)] = re[i]
+		pi[rev(i, stages)] = im[i]
+	}
+
+	// Host reference mirroring kernel arithmetic exactly.
+	hr := append([]float32{}, pr...)
+	hi := append([]float32{}, pi...)
+	halfPi := float32(math.Pi / 2)
+	for s := 0; s < stages; s++ {
+		h := 1 << s
+		base := float32(-2 * math.Pi / float64(2*h))
+		for t := 0; t < n/2; t++ {
+			kk := t & (h - 1)
+			i := 2*(t-kk) + kk
+			j := i + h
+			angle := float32(kk) * base
+			wr := sin32(angle + halfPi)
+			wi := sin32(angle)
+			tr := hr[j]*wr - hi[j]*wi
+			ti := hr[j]*wi + hi[j]*wr
+			ur, ui := hr[i], hi[i]
+			hr[i], hi[i] = ur+tr, ui+ti
+			hr[j], hi[j] = ur-tr, ui-ti
+		}
+	}
+
+	prog := fftStageKernel()
+	var kernels []Kernel
+	for s := 0; s < stages; s++ {
+		h := 1 << s
+		base := float32(-2 * math.Pi / float64(2*h))
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n / 2},
+			Params: []uint32{0, uint32(n), uint32(h - 1), uint32(h),
+				math.Float32bits(base), math.Float32bits(halfPi)},
+		}})
+	}
+	init := append(append([]uint32{}, fbits(pr)...), fbits(pi)...)
+	refOut := append(append([]uint32{}, fbits(hr)...), fbits(hi)...)
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: 0, OutputLen: 2 * n,
+		Reference: refOut,
+	}
+}
+
+// --- gray filter -------------------------------------------------------------
+
+// GrayFilter converts RGB planes to luminance.
+type GrayFilter struct{ N int }
+
+func (GrayFilter) Name() string     { return "gray_filter" }
+func (GrayFilter) DataType() string { return "FP32" }
+func (GrayFilter) Domain() string   { return "Image" }
+func (GrayFilter) Suite() string    { return "CUDA SDK" }
+
+// Params: 0=r 1=g 2=b 3=out 4=n 5=wr 6=wg 7=wb.
+func grayKernel() *kasm.Program {
+	k := kasm.New("gray_filter")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 4)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2).Param(13, 3)
+	k.Param(14, 5).Param(15, 6).Param(16, 7)
+	k.IADD(2, 10, 0).GLD(2, 2, 0)
+	k.IADD(3, 11, 0).GLD(3, 3, 0)
+	k.IADD(4, 12, 0).GLD(4, 4, 0)
+	k.FMUL(5, 2, 14)
+	k.FFMA(5, 3, 15, 5)
+	k.FFMA(5, 4, 16, 5)
+	k.IADD(6, 13, 0).GST(6, 0, 5)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w GrayFilter) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 256
+	}
+	r := randFloats(rng, n, 0, 1)
+	g := randFloats(rng, n, 0, 1)
+	b := randFloats(rng, n, 0, 1)
+	wr, wg, wb := float32(0.299), float32(0.587), float32(0.114)
+	ref := make([]float32, n)
+	for i := range ref {
+		v := r[i] * wr
+		v = ffma(g[i], wg, v)
+		v = ffma(b[i], wb, v)
+		ref[i] = v
+	}
+	init := append(append(append([]uint32{}, fbits(r)...), fbits(g)...), fbits(b)...)
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: grayKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (n + 63) / 64}, Block: gpu.Dim3{X: 64},
+			Params: []uint32{0, uint32(n), uint32(2 * n), uint32(3 * n), uint32(n),
+				math.Float32bits(wr), math.Float32bits(wg), math.Float32bits(wb)},
+		}}},
+		OutputOff: 3 * n, OutputLen: n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- sobel ---------------------------------------------------------------------
+
+// Sobel applies the Sobel edge operator to a grayscale image.
+type Sobel struct{ N int }
+
+func (Sobel) Name() string     { return "sobel" }
+func (Sobel) DataType() string { return "FP32" }
+func (Sobel) Domain() string   { return "Image" }
+func (Sobel) Suite() string    { return "CUDA SDK" }
+
+// Params: 0=in 1=out 2=N. out = |gx| + |gy| with clamped borders.
+func sobelKernel() *kasm.Program {
+	k := kasm.New("sobel")
+	k.S2R(0, isa.SRTidX)
+	k.S2R(1, isa.SRTidY)
+	k.Param(2, 2)
+	k.Param(10, 0).Param(11, 1)
+	k.MOVI(9, 1)
+	k.ISUB(3, 2, 9)
+	// clamped coords xm,xp,ym,yp
+	k.ISUB(4, 0, 9).IMAX(4, 4, isa.RZ)
+	k.IADD(5, 0, 9).IMIN(5, 5, 3)
+	k.ISUB(6, 1, 9).IMAX(6, 6, isa.RZ)
+	k.IADD(7, 1, 9).IMIN(7, 7, 3)
+	// load the 3x3 neighbourhood: p(r,c) = in[r*N+c]
+	load := func(dst, ry, cx int) {
+		k.IMUL(dst, ry, 2)
+		k.IADD(dst, dst, cx)
+		k.IADD(dst, dst, 10)
+		k.GLD(dst, dst, 0)
+	}
+	load(12, 6, 4) // nw
+	load(13, 6, 0) // n
+	load(14, 6, 5) // ne
+	load(15, 1, 4) // w
+	load(16, 1, 5) // e
+	load(17, 7, 4) // sw
+	load(18, 7, 0) // s
+	load(19, 7, 5) // se
+	// gx = (ne + 2e + se) - (nw + 2w + sw)
+	k.FADD(20, 16, 16).FADD(20, 20, 14).FADD(20, 20, 19)
+	k.FADD(21, 15, 15).FADD(21, 21, 12).FADD(21, 21, 17)
+	k.FSUB(20, 20, 21)
+	// gy = (sw + 2s + se) - (nw + 2n + ne)
+	k.FADD(22, 18, 18).FADD(22, 22, 17).FADD(22, 22, 19)
+	k.FADD(23, 13, 13).FADD(23, 23, 12).FADD(23, 23, 14)
+	k.FSUB(22, 22, 23)
+	// |gx| + |gy|
+	k.FSUB(24, isa.RZ, 20).FMAX(20, 20, 24)
+	k.FSUB(24, isa.RZ, 22).FMAX(22, 22, 24)
+	k.FADD(20, 20, 22)
+	k.IMUL(25, 1, 2).IADD(25, 25, 0).IADD(25, 25, 11)
+	k.GST(25, 0, 20)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w Sobel) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 16
+	}
+	img := randFloats(rng, n*n, 0, 1)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	// abs mirrors the kernel's FMAX(v, 0-v) idiom, including FMAX's
+	// math.Max zero handling.
+	abs := func(v float32) float32 {
+		return float32(math.Max(float64(v), float64(0-v)))
+	}
+	ref := make([]float32, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			p := func(r, c int) float32 { return img[clamp(r, n-1)*n+clamp(c, n-1)] }
+			e, wv := p(y, x+1), p(y, x-1)
+			gx := e + e
+			gx += p(y-1, x+1)
+			gx += p(y+1, x+1)
+			gxm := wv + wv
+			gxm += p(y-1, x-1)
+			gxm += p(y+1, x-1)
+			gx -= gxm
+			s, nn := p(y+1, x), p(y-1, x)
+			gy := s + s
+			gy += p(y+1, x-1)
+			gy += p(y+1, x+1)
+			gym := nn + nn
+			gym += p(y-1, x-1)
+			gym += p(y-1, x+1)
+			gy -= gym
+			ref[y*n+x] = abs(gx) + abs(gy)
+		}
+	}
+	return &Job{
+		Init: fbits(img),
+		Kernels: []Kernel{{Prog: sobelKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n, Y: n},
+			Params: []uint32{0, uint32(n * n), uint32(n)},
+		}}},
+		OutputOff: n * n, OutputLen: n * n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- scalar-vector multiply -----------------------------------------------------
+
+// SVMul computes out = s * v.
+type SVMul struct{ N int }
+
+func (SVMul) Name() string     { return "svmul" }
+func (SVMul) DataType() string { return "FP32" }
+func (SVMul) Domain() string   { return "Linear algebra" }
+func (SVMul) Suite() string    { return "CUDA SDK" }
+
+func svmulKernel() *kasm.Program {
+	k := kasm.New("svmul")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 2)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 3)
+	k.IADD(2, 10, 0).GLD(2, 2, 0)
+	k.FMUL(2, 2, 12)
+	k.IADD(3, 11, 0).GST(3, 0, 2)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w SVMul) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 256
+	}
+	v := randFloats(rng, n, -8, 8)
+	s := float32(1.618)
+	ref := make([]float32, n)
+	for i := range ref {
+		ref[i] = v[i] * s
+	}
+	return &Job{
+		Init: fbits(v),
+		Kernels: []Kernel{{Prog: svmulKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (n + 63) / 64}, Block: gpu.Dim3{X: 64},
+			Params: []uint32{0, uint32(n), uint32(n), math.Float32bits(s)},
+		}}},
+		OutputOff: n, OutputLen: n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- nn (nearest neighbour distances) --------------------------------------------
+
+// NN computes per-record Euclidean distance to a query point (the Rodinia
+// nn benchmark's GPU phase).
+type NN struct{ N int }
+
+func (NN) Name() string     { return "nn" }
+func (NN) DataType() string { return "FP32" }
+func (NN) Domain() string   { return "Data mining" }
+func (NN) Suite() string    { return "Rodinia" }
+
+// Params: 0=lat 1=lng 2=out 3=n 4=qlat 5=qlng.
+func nnKernel() *kasm.Program {
+	k := kasm.New("nn")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.Param(13, 4).Param(14, 5)
+	k.IADD(2, 10, 0).GLD(2, 2, 0)
+	k.IADD(3, 11, 0).GLD(3, 3, 0)
+	k.FSUB(2, 2, 13)
+	k.FSUB(3, 3, 14)
+	k.FMUL(4, 2, 2)
+	k.FFMA(4, 3, 3, 4)
+	k.FSQRT(4, 4)
+	k.IADD(5, 12, 0).GST(5, 0, 4)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w NN) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 128
+	}
+	lat := randFloats(rng, n, -90, 90)
+	lng := randFloats(rng, n, -180, 180)
+	qlat, qlng := float32(12.5), float32(-42.25)
+	ref := make([]float32, n)
+	for i := range ref {
+		dx := lat[i] - qlat
+		dy := lng[i] - qlng
+		ref[i] = sqrt32(ffma(dy, dy, dx*dx))
+	}
+	init := append(append([]uint32{}, fbits(lat)...), fbits(lng)...)
+	return &Job{
+		Init: init,
+		Kernels: []Kernel{{Prog: nnKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (n + 63) / 64}, Block: gpu.Dim3{X: 64},
+			Params: []uint32{0, uint32(n), uint32(2 * n), uint32(n),
+				math.Float32bits(qlat), math.Float32bits(qlng)},
+		}}},
+		OutputOff: 2 * n, OutputLen: n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- scan3d (prefix sum) -----------------------------------------------------------
+
+// Scan3D is a Hillis-Steele inclusive prefix sum in shared memory.
+type Scan3D struct{ N int }
+
+func (Scan3D) Name() string     { return "scan3d" }
+func (Scan3D) DataType() string { return "FP32" }
+func (Scan3D) Domain() string   { return "Data parallel" }
+func (Scan3D) Suite() string    { return "CUDA SDK" }
+
+// Params: 0=in 1=out. Single CTA of N threads; shared double buffer.
+func scanKernel(n int) *kasm.Program {
+	k := kasm.New("scan3d")
+	k.S2R(0, isa.SRTidX)
+	k.Param(10, 0).Param(11, 1)
+	k.IADD(2, 10, 0).GLD(2, 2, 0)
+	k.STS(0, 0, 2)
+	k.BAR()
+	k.MOVI(3, 1) // offset
+	k.MOVI(4, 0) // pingpong flag (0: A->B, 1: B->A)
+	k.MOVI(5, n) // n
+	k.MOVI(9, 1)
+	k.MOVI(15, n) // shared buffer B base
+	k.Label("step")
+	// src = flag==0 ? 0 : n ; dst = n - src
+	k.ISETP(isa.CmpEQ, 1, 4, isa.RZ)
+	k.P(1).MOV(6, isa.RZ) // src base A
+	k.PNot(1).MOV(6, 15)  // src base B
+	k.ISUB(7, 15, 6)      // dst base
+	// v = sh[src+tid]; if tid >= offset: v += sh[src+tid-offset]
+	k.IADD(12, 6, 0).LDS(13, 12, 0)
+	k.ISETP(isa.CmpGE, 2, 0, 3)
+	k.P(2).ISUB(14, 12, 3)
+	k.P(2).LDS(14, 14, 0)
+	k.P(2).FADD(13, 13, 14)
+	k.IADD(12, 7, 0).STS(12, 0, 13)
+	k.BAR()
+	k.IXOR(4, 4, 9)
+	k.SHL(3, 3, 1)
+	k.LoopLT(1, 3, 5, "step")
+	// result is in the buffer written last: flag toggled after each step;
+	// flag==1 means last write was to B.
+	k.ISETP(isa.CmpEQ, 1, 4, 9)
+	k.P(1).MOV(6, 15)
+	k.PNot(1).MOV(6, isa.RZ)
+	k.IADD(12, 6, 0).LDS(13, 12, 0)
+	k.IADD(14, 11, 0).GST(14, 0, 13)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w Scan3D) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 64
+	}
+	in := randFloats(rng, n, -2, 2)
+	// Host mirror of Hillis-Steele (not a serial prefix sum: the addition
+	// tree differs, and FP32 addition is not associative).
+	cur := append([]float32{}, in...)
+	next := make([]float32, n)
+	for off := 1; off < n; off *= 2 {
+		for t := 0; t < n; t++ {
+			v := cur[t]
+			if t >= off {
+				v += cur[t-off]
+			}
+			next[t] = v
+		}
+		cur, next = next, cur
+	}
+	return &Job{
+		Init: fbits(in),
+		Kernels: []Kernel{{Prog: scanKernel(n), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n},
+			Params:      []uint32{0, uint32(n)},
+			SharedWords: 2 * n,
+		}}},
+		OutputOff: n, OutputLen: n,
+		Reference: fbits(cur),
+	}
+}
+
+// --- transpose ----------------------------------------------------------------------
+
+// Transpose is the shared-memory tiled matrix transpose.
+type Transpose struct{ N int }
+
+func (Transpose) Name() string     { return "transpose" }
+func (Transpose) DataType() string { return "FP32" }
+func (Transpose) Domain() string   { return "Data movement" }
+func (Transpose) Suite() string    { return "CUDA SDK" }
+
+// Params: 0=in 1=out 2=N. Single block NxN through shared memory.
+func transposeKernel() *kasm.Program {
+	k := kasm.New("transpose")
+	k.S2R(0, isa.SRTidX)
+	k.S2R(1, isa.SRTidY)
+	k.Param(2, 2)
+	k.Param(10, 0).Param(11, 1)
+	k.IMUL(3, 1, 2).IADD(3, 3, 0)
+	k.IADD(4, 3, 10).GLD(4, 4, 0)
+	k.STS(3, 0, 4)
+	k.BAR()
+	// out[x*N+y] = sh[x*N+y] read transposed: sh index = tx*N+ty
+	k.IMUL(5, 0, 2).IADD(5, 5, 1)
+	k.LDS(6, 5, 0)
+	k.IADD(7, 3, 11)
+	k.GST(7, 0, 6)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w Transpose) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 16
+	}
+	in := randFloats(rng, n*n, -4, 4)
+	ref := make([]float32, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			ref[y*n+x] = in[x*n+y]
+		}
+	}
+	return &Job{
+		Init: fbits(in),
+		Kernels: []Kernel{{Prog: transposeKernel(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: n, Y: n},
+			Params:      []uint32{0, uint32(n * n), uint32(n)},
+			SharedWords: n * n,
+		}}},
+		OutputOff: n * n, OutputLen: n * n,
+		Reference: fbits(ref),
+	}
+}
+
+// --- backprop -----------------------------------------------------------------------
+
+// Backprop is one forward + weight-update step of a fully connected layer
+// (the Rodinia backprop kernel pair).
+type Backprop struct {
+	In, Hidden int
+}
+
+func (Backprop) Name() string     { return "backprop" }
+func (Backprop) DataType() string { return "FP32" }
+func (Backprop) Domain() string   { return "Deep Learning" }
+func (Backprop) Suite() string    { return "Rodinia" }
+
+// bpForward: hidden[j] = sigmoid(sum_i in[i]*w[i*H+j]).
+// sigmoid(x) = 1/(1+exp2(-x*log2e)).
+// Params: 0=in 1=w 2=hidden 3=nIn 4=nHidden 5=log2eBits 6=oneBits.
+func bpForward() *kasm.Program {
+	k := kasm.New("backprop_forward")
+	k.GlobalThreadIdX(0, 1) // j
+	k.Param(1, 4)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.Param(2, 3) // nIn
+	k.MOVI(3, 0)  // i
+	k.MOVI(4, 0)  // acc
+	k.MOVI(9, 1)
+	k.Label("loop")
+	k.IADD(5, 10, 3).GLD(5, 5, 0)
+	k.IMUL(6, 3, 1).IADD(6, 6, 0).IADD(6, 6, 11).GLD(6, 6, 0)
+	k.FFMA(4, 5, 6, 4)
+	k.IADD(3, 3, 9)
+	k.LoopLT(0, 3, 2, "loop")
+	// sigmoid
+	k.Param(7, 5)        // log2e
+	k.FMUL(4, 4, 7)      // x*log2e
+	k.FSUB(4, isa.RZ, 4) // -x*log2e
+	k.FEXP(4, 4)         // exp2
+	k.Param(7, 6)        // 1.0
+	k.FADD(4, 4, 7)
+	k.FRCP(4, 4)
+	k.IADD(5, 12, 0).GST(5, 0, 4)
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+// bpUpdate: w[i*H+j] += lr * (target[j]-hidden[j]) * in[i].
+// Params: 0=in 1=w 2=hidden 3=target 4=nIn 5=nHidden 6=lrBits.
+func bpUpdate() *kasm.Program {
+	k := kasm.New("backprop_update")
+	k.S2R(0, isa.SRTidX) // j
+	k.S2R(1, isa.SRTidY) // i
+	k.Param(10, 0).Param(11, 1).Param(12, 2).Param(13, 3)
+	k.Param(2, 5) // H
+	k.Param(14, 6)
+	k.IADD(3, 12, 0).GLD(3, 3, 0) // hidden[j]
+	k.IADD(4, 13, 0).GLD(4, 4, 0) // target[j]
+	k.FSUB(4, 4, 3)               // delta
+	k.FMUL(4, 4, 14)              // lr*delta
+	k.IADD(5, 10, 1).GLD(5, 5, 0) // in[i]
+	k.IMUL(6, 1, 2).IADD(6, 6, 0).IADD(6, 6, 11)
+	k.GLD(7, 6, 0)
+	k.FFMA(7, 4, 5, 7)
+	k.GST(6, 0, 7)
+	k.EXIT()
+	return k.Build()
+}
+
+func (w Backprop) Build(rng *rand.Rand) *Job {
+	nIn, nH := w.In, w.Hidden
+	if nIn == 0 {
+		nIn = 16
+	}
+	if nH == 0 {
+		nH = 8
+	}
+	in := randFloats(rng, nIn, -1, 1)
+	wts := randFloats(rng, nIn*nH, -0.5, 0.5)
+	target := randFloats(rng, nH, 0, 1)
+	log2e := float32(math.Log2E)
+	lr := float32(0.25)
+
+	hidden := make([]float32, nH)
+	for j := 0; j < nH; j++ {
+		var acc float32
+		for i := 0; i < nIn; i++ {
+			acc = ffma(in[i], wts[i*nH+j], acc)
+		}
+		x := acc * log2e
+		x = 0 - x
+		hidden[j] = 1 / (exp232(x) + 1)
+	}
+	newW := append([]float32{}, wts...)
+	for j := 0; j < nH; j++ {
+		delta := (target[j] - hidden[j]) * lr
+		for i := 0; i < nIn; i++ {
+			newW[i*nH+j] = ffma(delta, in[i], newW[i*nH+j])
+		}
+	}
+
+	// Memory: in[0:nIn], w, hidden, target.
+	wBase := nIn
+	hBase := wBase + nIn*nH
+	tBase := hBase + nH
+	init := make([]uint32, tBase+nH)
+	copy(init, fbits(in))
+	copy(init[wBase:], fbits(wts))
+	copy(init[tBase:], fbits(target))
+
+	kernels := []Kernel{
+		{Prog: bpForward(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: nH},
+			Params: []uint32{0, uint32(wBase), uint32(hBase), uint32(nIn),
+				uint32(nH), math.Float32bits(log2e), math.Float32bits(1)},
+		}},
+		{Prog: bpUpdate(), Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: 1}, Block: gpu.Dim3{X: nH, Y: nIn},
+			Params: []uint32{0, uint32(wBase), uint32(hBase), uint32(tBase),
+				uint32(nIn), uint32(nH), math.Float32bits(lr)},
+		}},
+	}
+	ref := make([]uint32, nIn*nH+nH)
+	copy(ref, fbits(newW))
+	copy(ref[nIn*nH:], fbits(hidden))
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: wBase, OutputLen: nIn*nH + nH,
+		Reference: ref,
+	}
+}

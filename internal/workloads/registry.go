@@ -1,0 +1,45 @@
+package workloads
+
+// Evaluation returns the non-CNN evaluation workloads of Table 1 in the
+// paper's order. LeNet and YOLOv3 live in package cnn (they need the
+// inference engine); the full 15-entry list is assembled by callers that
+// import both packages.
+func Evaluation() []Workload {
+	return []Workload{
+		VectorAdd{}, Lava{}, MxM{}, GEMM{}, Hotspot{}, Gaussian{},
+		BFS{}, LUD{}, ACCL{}, NW{}, CFD{}, QuickSort{}, MergeSort{},
+	}
+}
+
+// Profiling returns the 14 representative parallel workloads whose dynamic
+// instructions provide the exciting patterns for the gate-level fault
+// injection campaigns (Section 5).
+func Profiling() []Workload {
+	return []Workload{
+		MergeSort{},  // Sort
+		VectorAdd{},  // Vector_Add
+		FFT{},        // FFT
+		GEMM{},       // Tiled Matrix Multiplication
+		MxM{},        // Naive Matrix Multiplication
+		Reduction{},  // Reduction
+		GrayFilter{}, // Gray_Filter
+		Sobel{},      // Sobel
+		SVMul{},      // Scalar Vector Multiply
+		NN{},         // Nn
+		Scan3D{},     // Scan_3D
+		Transpose{},  // Transpose
+		CFD{},        // Euler_3D
+		Backprop{},   // Back Propagation
+	}
+}
+
+// ByName returns the workload with the given Table-1 name from the union
+// of Evaluation and Profiling sets, or nil.
+func ByName(name string) Workload {
+	for _, w := range append(Evaluation(), Profiling()...) {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+
+	"gpufaultsim/internal/gpu"
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// --- mergesort ---------------------------------------------------------------
+
+// MergeSort is the CUDA SDK mergeSort sample restructured as bottom-up
+// merge passes, one kernel launch per pass (log2 n launches).
+type MergeSort struct{ N int }
+
+func (MergeSort) Name() string     { return "mergesort" }
+func (MergeSort) DataType() string { return "INT32" }
+func (MergeSort) Domain() string   { return "Sorting" }
+func (MergeSort) Suite() string    { return "CUDA SDK" }
+
+// mergeKernel: thread t merges src[lo,mid) and src[mid,hi) into dst,
+// where lo = t*2w, mid = min(lo+w,n), hi = min(lo+2w,n).
+// Params: 0=srcBase 1=dstBase 2=width 3=n.
+func mergeKernel() *kasm.Program {
+	k := kasm.New("mergesort")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3) // n
+	k.Param(2, 2) // w
+	k.MOVI(9, 1)
+	k.IMUL(3, 0, 2).SHL(3, 3, 1) // lo = t*2w
+	k.GuardGE(0, 3, 1, "done")
+	k.Param(10, 0).Param(11, 1)
+	k.IADD(4, 3, 2).IMIN(4, 4, 1)              // mid
+	k.SHL(5, 2, 1).IADD(5, 3, 5).IMIN(5, 5, 1) // hi = min(lo+2w, n)
+	k.MOV(6, 3)                                // i
+	k.MOV(7, 4)                                // j
+	k.MOV(8, 3)                                // out k
+	k.Label("loop")
+	k.ISETP(isa.CmpGE, 0, 6, 4)
+	k.P(0).BRA("jcheck")
+	k.ISETP(isa.CmpGE, 1, 7, 5)
+	k.P(1).BRA("takei")
+	k.IADD(12, 10, 6).GLD(12, 12, 0) // a = src[i]
+	k.IADD(13, 10, 7).GLD(13, 13, 0) // b = src[j]
+	k.ISETP(isa.CmpLE, 2, 12, 13)
+	k.P(2).BRA("takei")
+	k.BRA("takej")
+	k.Label("jcheck")
+	k.ISETP(isa.CmpGE, 1, 7, 5)
+	k.P(1).BRA("done")
+	k.Label("takej")
+	k.IADD(14, 10, 7).GLD(14, 14, 0)
+	k.IADD(7, 7, 9)
+	k.BRA("store")
+	k.Label("takei")
+	k.IADD(14, 10, 6).GLD(14, 14, 0)
+	k.IADD(6, 6, 9)
+	k.Label("store")
+	k.IADD(15, 11, 8).GST(15, 0, 14)
+	k.IADD(8, 8, 9)
+	k.BRA("loop")
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w MergeSort) Build(rng *rand.Rand) *Job {
+	n := w.N
+	if n == 0 {
+		n = 128
+	}
+	data := randInts(rng, n, 1<<20)
+	ref := append([]uint32{}, data...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+	// Memory: buf0[0:n], buf1[n:2n].
+	buf0, buf1 := 0, n
+	prog := mergeKernel()
+	var kernels []Kernel
+	passes := 0
+	for width := 1; width < n; width *= 2 {
+		in, out := buf0, buf1
+		if passes%2 == 1 {
+			in, out = buf1, buf0
+		}
+		threads := (n + 2*width - 1) / (2 * width)
+		blk := 64
+		kernels = append(kernels, Kernel{Prog: prog, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (threads + blk - 1) / blk}, Block: gpu.Dim3{X: blk},
+			Params: []uint32{uint32(in), uint32(out), uint32(width), uint32(n)},
+		}})
+		passes++
+	}
+	outBase := buf0
+	if passes%2 == 1 {
+		outBase = buf1
+	}
+	return &Job{
+		Init:      data,
+		Kernels:   kernels,
+		OutputOff: outBase, OutputLen: n,
+		Reference: ref,
+		MemWords:  2 * n, // double-buffered merge passes
+	}
+}
+
+// --- quicksort ----------------------------------------------------------------
+
+// QuickSort is a GPU quicksort: a fixed-depth cascade of partition kernels
+// driven by a device-resident segment queue, finished by a per-segment
+// insertion-sort kernel (many small kernel instances, like the CUDA SDK
+// cdpSimpleQuicksort).
+type QuickSort struct {
+	N     int
+	Depth int
+}
+
+func (QuickSort) Name() string     { return "quicksort" }
+func (QuickSort) DataType() string { return "INT32" }
+func (QuickSort) Domain() string   { return "Sorting" }
+func (QuickSort) Suite() string    { return "CUDA SDK" }
+
+// qsPartitionKernel: thread t Lomuto-partitions its segment in place and
+// emits two child segments into the next-level queue at slots 2t, 2t+1.
+// Params: 0=dataBase 1=inStart 2=inEnd 3=outStart 4=outEnd 5=numSegs.
+func qsPartitionKernel() *kasm.Program {
+	k := kasm.New("quicksort_partition")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 5)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2).Param(13, 3).Param(14, 4)
+	k.MOVI(9, 1)
+	k.IADD(2, 11, 0).GLD(2, 2, 0) // lo
+	k.IADD(3, 12, 0).GLD(3, 3, 0) // hi
+	k.SHL(5, 0, 1)                // 2t
+	k.ISUB(4, 3, 2)               // size
+	k.MOVI(6, 2)
+	k.ISETP(isa.CmpLT, 0, 4, 6)
+	k.P(0).BRA("small")
+	k.IADD(7, 10, 3).GLD(7, 7, -1) // pivot = data[hi-1]
+	k.MOV(15, 2)                   // i = lo
+	k.MOV(16, 2)                   // j = lo
+	k.ISUB(17, 3, 9)               // hi-1
+	k.Label("ploop")
+	k.ISETP(isa.CmpGE, 0, 16, 17)
+	k.P(0).BRA("pend")
+	k.IADD(18, 10, 16).GLD(19, 18, 0) // data[j]
+	k.ISETP(isa.CmpGT, 1, 19, 7)
+	k.P(1).BRA("pskip")
+	k.IADD(20, 10, 15).GLD(21, 20, 0)
+	k.GST(20, 0, 19)
+	k.GST(18, 0, 21)
+	k.IADD(15, 15, 9)
+	k.Label("pskip")
+	k.IADD(16, 16, 9)
+	k.BRA("ploop")
+	k.Label("pend")
+	// swap data[i], data[hi-1]
+	k.IADD(20, 10, 15).GLD(21, 20, 0)
+	k.IADD(18, 10, 17).GLD(22, 18, 0)
+	k.GST(20, 0, 22)
+	k.GST(18, 0, 21)
+	// children [lo,i) and [i+1,hi)
+	k.IADD(23, 13, 5)
+	k.IADD(24, 14, 5)
+	k.GST(23, 0, 2)  // outStart[2t] = lo
+	k.GST(24, 0, 15) // outEnd[2t] = i
+	k.IADD(25, 15, 9)
+	k.GST(23, 1, 25) // outStart[2t+1] = i+1
+	k.GST(24, 1, 3)  // outEnd[2t+1] = hi
+	k.BRA("done")
+	k.Label("small")
+	k.IADD(23, 13, 5)
+	k.IADD(24, 14, 5)
+	k.GST(23, 0, 2)
+	k.GST(24, 0, 3) // child0 = [lo,hi)
+	k.GST(23, 1, 3)
+	k.GST(24, 1, 3) // child1 empty
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+// qsInsertionKernel: thread t insertion-sorts its segment in place.
+// Params: 0=dataBase 1=startBase 2=endBase 3=numSegs.
+func qsInsertionKernel() *kasm.Program {
+	k := kasm.New("quicksort_insertion")
+	k.GlobalThreadIdX(0, 1)
+	k.Param(1, 3)
+	k.GuardGE(0, 0, 1, "done")
+	k.Param(10, 0).Param(11, 1).Param(12, 2)
+	k.MOVI(9, 1)
+	k.IADD(2, 11, 0).GLD(2, 2, 0) // lo
+	k.IADD(3, 12, 0).GLD(3, 3, 0) // hi
+	k.IADD(4, 2, 9)               // i = lo+1
+	k.Label("iloop")
+	k.ISETP(isa.CmpGE, 0, 4, 3)
+	k.P(0).BRA("done")
+	k.IADD(5, 10, 4).GLD(6, 5, 0) // key
+	k.ISUB(7, 4, 9)               // j
+	k.Label("wloop")
+	k.ISETP(isa.CmpLT, 0, 7, 2)
+	k.P(0).BRA("wend")
+	k.IADD(13, 10, 7).GLD(14, 13, 0)
+	k.ISETP(isa.CmpLE, 1, 14, 6)
+	k.P(1).BRA("wend")
+	k.GST(13, 1, 14)
+	k.ISUB(7, 7, 9)
+	k.BRA("wloop")
+	k.Label("wend")
+	k.IADD(13, 10, 7)
+	k.GST(13, 1, 6)
+	k.IADD(4, 4, 9)
+	k.BRA("iloop")
+	k.Label("done").EXIT()
+	return k.Build()
+}
+
+func (w QuickSort) Build(rng *rand.Rand) *Job {
+	n, depth := w.N, w.Depth
+	if n == 0 {
+		n = 64
+	}
+	if depth == 0 {
+		depth = 6
+	}
+	data := randInts(rng, n, 1<<20)
+	ref := append([]uint32{}, data...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+	maxSegs := 1 << depth
+	// Memory: data[0:n], qA start/end, qB start/end (each maxSegs wide).
+	qaS := n
+	qaE := qaS + maxSegs
+	qbS := qaE + maxSegs
+	qbE := qbS + maxSegs
+	init := make([]uint32, qbE+maxSegs)
+	copy(init, data)
+	init[qaS] = 0
+	init[qaE] = uint32(n) // level-0 queue: one segment [0,n)
+
+	part, ins := qsPartitionKernel(), qsInsertionKernel()
+	var kernels []Kernel
+	for d := 0; d < depth; d++ {
+		inS, inE, outS, outE := qaS, qaE, qbS, qbE
+		if d%2 == 1 {
+			inS, inE, outS, outE = qbS, qbE, qaS, qaE
+		}
+		segs := 1 << d
+		blk := 64
+		kernels = append(kernels, Kernel{Prog: part, Cfg: gpu.LaunchConfig{
+			Grid: gpu.Dim3{X: (segs + blk - 1) / blk}, Block: gpu.Dim3{X: blk},
+			Params: []uint32{0, uint32(inS), uint32(inE), uint32(outS),
+				uint32(outE), uint32(segs)},
+		}})
+	}
+	finS, finE := qaS, qaE
+	if depth%2 == 1 {
+		finS, finE = qbS, qbE
+	}
+	blk := 64
+	kernels = append(kernels, Kernel{Prog: ins, Cfg: gpu.LaunchConfig{
+		Grid: gpu.Dim3{X: (maxSegs + blk - 1) / blk}, Block: gpu.Dim3{X: blk},
+		Params: []uint32{0, uint32(finS), uint32(finE), uint32(maxSegs)},
+	}})
+	return &Job{
+		Init:      init,
+		Kernels:   kernels,
+		OutputOff: 0, OutputLen: n,
+		Reference: ref,
+	}
+}
