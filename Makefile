@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test verify bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: vet + gofmt cleanliness + build + race-enabled tests.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+fmt:
+	gofmt -w ./cmd ./internal ./examples ./*.go

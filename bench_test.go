@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"testing"
 
+	"gpufaultsim/internal/analyze"
 	"gpufaultsim/internal/campaign"
 	"gpufaultsim/internal/cnn"
 	"gpufaultsim/internal/errclass"
@@ -344,6 +345,47 @@ func BenchmarkAblationWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFullCampaign / BenchmarkCollapsedCampaign measure the payoff of
+// static fault collapsing on the decoder: the collapsed run simulates one
+// representative per equivalence class and expands the results, producing
+// byte-identical summaries while shedding a reported fraction of the fault
+// list.
+func BenchmarkFullCampaign(b *testing.B) {
+	u := units.Decoder()
+	patterns := campaignPatterns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := gatesim.Campaign(u, patterns, nil)
+		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
+	}
+}
+
+func BenchmarkCollapsedCampaign(b *testing.B) {
+	u := units.Decoder()
+	patterns := campaignPatterns(b)
+	cm := analyze.Collapse(u.NL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := gatesim.CampaignCollapsed(u, patterns, cm, nil)
+		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
+	}
+	b.ReportMetric(100*cm.Reduction(), "fault-reduction-%")
+}
+
+// campaignPatterns profiles a small workload mix once for the campaign
+// benchmarks above.
+func campaignPatterns(b *testing.B) []units.Pattern {
+	b.Helper()
+	pats := envInt("GPUFAULTSIM_PATTERNS", 64)
+	prof, err := profiler.Collect(
+		[]workloads.Workload{workloads.VectorAdd{}, workloads.GEMM{}},
+		profiler.Config{Seed: 1, MaxPatterns: pats})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prof.TopPatterns(pats)
 }
 
 // --- Core substrate micro-benchmarks -----------------------------------------------

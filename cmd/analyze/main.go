@@ -1,0 +1,70 @@
+// Command analyze runs the static-analysis layer without simulating a
+// single cycle: SCOAP-style testability, structural fault collapsing and
+// lint over the gate-level units, and control-flow/liveness analysis over
+// kernel assembly files. Its JSON output is deterministic for a given
+// input, so reports can be diffed and pinned.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufaultsim/internal/analyze"
+	"gpufaultsim/internal/kasm"
+	"gpufaultsim/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	unitName := flag.String("unit", "all", "unit to analyze: wsc, fetch, decoder, all, none")
+	kasmPath := flag.String("kasm", "", "also analyze a kernel-assembly file (disassembly syntax)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	flag.Parse()
+
+	var targets []*units.Unit
+	if *unitName != "none" {
+		for _, u := range units.All() {
+			if *unitName == "all" || u.Name == *unitName {
+				targets = append(targets, u)
+			}
+		}
+		if len(targets) == 0 {
+			log.Fatalf("unknown unit %q", *unitName)
+		}
+	}
+
+	emit := func(text string, jsonBytes []byte, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			os.Stdout.Write(jsonBytes)
+			fmt.Println()
+		} else {
+			fmt.Print(text)
+		}
+	}
+
+	for _, u := range targets {
+		r := analyze.ReportUnit(u.Name, u.NL)
+		j, err := r.JSON()
+		emit(r.Text(), j, err)
+	}
+
+	if *kasmPath != "" {
+		src, err := os.ReadFile(*kasmPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := kasm.Parse(*kasmPath, string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := analyze.ReportProgram(p)
+		j, err := r.JSON()
+		emit(r.Text(), j, err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"gpufaultsim/internal/artifact"
 
+	"gpufaultsim/internal/analyze"
 	"gpufaultsim/internal/campaign"
 	"gpufaultsim/internal/errclass"
 	"gpufaultsim/internal/gatesim"
@@ -29,6 +30,7 @@ func main() {
 	maxPatterns := flag.Int("patterns", 512, "exciting patterns per unit campaign")
 	unitName := flag.String("unit", "all", "unit to inject: wsc, fetch, decoder, all")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	collapse := flag.Bool("collapse", false, "statically collapse the fault list before simulation (identical results, fewer simulated faults)")
 	jsonPath := flag.String("json", "", "also write a JSON artifact per unit to <path>_<unit>.json")
 	flag.Parse()
 
@@ -59,7 +61,13 @@ func main() {
 	}
 	outs := campaign.ParallelMap(targets, *workers, func(u *units.Unit) outcome {
 		col := errclass.NewCollector(u.Name)
-		sum := gatesim.Campaign(u, patterns, col)
+		var sum *gatesim.Summary
+		if *collapse {
+			cm := analyze.Collapse(u.NL)
+			sum = gatesim.CampaignCollapsed(u, patterns, cm, col)
+		} else {
+			sum = gatesim.Campaign(u, patterns, col)
+		}
 		return outcome{sum, col}
 	})
 	fmt.Printf("campaigns finished in %.2fs\n\n", time.Since(start).Seconds())
@@ -75,6 +83,11 @@ func main() {
 		cols[u.Name] = outs[i].col
 		totals[u.Name] = u.NL.NumFaults()
 		fmt.Printf("  multi-model faults: %d\n", outs[i].col.MultiModelFaults())
+		if s := outs[i].sum; s.SimulatedSites < s.TotalSites {
+			fmt.Printf("  collapsed: simulated %d of %d fault sites (%.1f%% fewer)\n",
+				s.SimulatedSites, s.TotalSites,
+				100*(1-float64(s.SimulatedSites)/float64(s.TotalSites)))
+		}
 		if *jsonPath != "" {
 			path := fmt.Sprintf("%s_%s.json", *jsonPath, u.Name)
 			f, err := os.Create(path)

@@ -1,0 +1,303 @@
+package analyze
+
+import (
+	"sort"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+// Kernel-assembly analysis: control flow, def-use liveness and a static
+// prediction of which decoder-field corruptions a given program masks in
+// software. This is the software-level mirror of the netlist testability
+// pass — the paper observes that a large fraction of decoder faults are
+// invisible simply because the corrupted field does not matter to the
+// instruction (unused field) or to the program (dead destination).
+
+// InstrFields names the decoder-visible fields of one instruction word, in
+// canonical report order (matching the isa.Word bit layout, LSB first).
+var InstrFields = [...]string{"opcode", "pred", "rd", "rs1", "rs2", "rs3", "imm", "flags"}
+
+// Block is one basic block of a kernel: instructions [Start, End), with
+// the indices of successor blocks.
+type Block struct {
+	Start int   `json:"start"`
+	End   int   `json:"end"`
+	Succs []int `json:"succs"`
+}
+
+// KasmAnalysis holds the per-instruction results of analyzing one
+// program.
+type KasmAnalysis struct {
+	Prog      *kasm.Program
+	Blocks    []Block
+	Reachable []bool   // per instruction, from the entry point
+	LiveOutR  []uint64 // live-out register mask per instruction (bit r = Rr)
+	LiveOutP  []uint8  // live-out predicate mask per instruction (bit p = Pp, P0..P6)
+}
+
+const allRegs = ^uint64(0)
+const allPreds = uint8(1<<isa.NumPredicates) - 1
+
+// succs appends the successor instruction indices of instruction i.
+func succs(p *kasm.Program, i int, out []int) []int {
+	in := p.At(i)
+	if !in.Op.Valid() || in.Op == isa.OpEXIT {
+		// Invalid opcodes trap (IVOC); EXIT retires the thread.
+		return out
+	}
+	if in.Op == isa.OpBRA {
+		if t := int(in.Imm); t < p.Len() {
+			out = append(out, t)
+		}
+		if !in.Unconditional() && i+1 < p.Len() {
+			out = append(out, i+1)
+		}
+		return out
+	}
+	if i+1 < p.Len() {
+		out = append(out, i+1)
+	}
+	return out
+}
+
+// AnalyzeProgram runs the control-flow and liveness analysis over a
+// kernel.
+func AnalyzeProgram(p *kasm.Program) *KasmAnalysis {
+	n := p.Len()
+	a := &KasmAnalysis{
+		Prog:      p,
+		Reachable: make([]bool, n),
+		LiveOutR:  make([]uint64, n),
+		LiveOutP:  make([]uint8, n),
+	}
+	if n == 0 {
+		return a
+	}
+
+	// Reachability: forward BFS from the entry point.
+	queue := []int{0}
+	a.Reachable[0] = true
+	var sbuf []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, s := range succs(p, i, sbuf[:0]) {
+			if !a.Reachable[s] {
+				a.Reachable[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+
+	// Basic blocks: leaders are the entry, branch targets, and the
+	// instructions after a branch or exit.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := 0; i < n; i++ {
+		in := p.At(i)
+		if in.Op == isa.OpBRA {
+			if t := int(in.Imm); t < n {
+				leader[t] = true
+			}
+		}
+		if (in.Op == isa.OpBRA || in.Op == isa.OpEXIT || !in.Op.Valid()) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	blockOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			a.Blocks = append(a.Blocks, Block{Start: i})
+		}
+		blockOf[i] = len(a.Blocks) - 1
+		a.Blocks[len(a.Blocks)-1].End = i + 1
+	}
+	for bi := range a.Blocks {
+		b := &a.Blocks[bi]
+		seen := map[int]bool{}
+		for _, s := range succs(p, b.End-1, sbuf[:0]) {
+			if sb := blockOf[s]; !seen[sb] {
+				seen[sb] = true
+				b.Succs = append(b.Succs, sb)
+			}
+		}
+		sort.Ints(b.Succs)
+	}
+
+	// Backward liveness fixpoint at instruction granularity. Programs are
+	// tens of instructions, so the quadratic worst case is irrelevant.
+	liveInR := make([]uint64, n)
+	liveInP := make([]uint8, n)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var outR uint64
+			var outP uint8
+			for _, s := range succs(p, i, sbuf[:0]) {
+				outR |= liveInR[s]
+				outP |= liveInP[s]
+			}
+			a.LiveOutR[i], a.LiveOutP[i] = outR, outP
+			inR, inP := transfer(p.At(i), outR, outP)
+			if inR != liveInR[i] || inP != liveInP[i] {
+				liveInR[i], liveInP[i] = inR, inP
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// transfer computes live-in from live-out for one instruction:
+// in = (out \ def) ∪ use. A predicated write may not happen, so its def
+// does not kill. An invalid opcode traps with everything observable —
+// conservatively, all live.
+func transfer(in isa.Instruction, outR uint64, outP uint8) (uint64, uint8) {
+	if !in.Op.Valid() {
+		return allRegs, allPreds
+	}
+	r, p := outR, outP
+
+	// Kills (only for unconditional writes).
+	if in.Unconditional() {
+		if in.Op.WritesReg() && in.Rd < isa.RegsPerThread {
+			r &^= uint64(1) << in.Rd
+		}
+		if writesPred(in.Op) && in.DestPred() < isa.NumPredicates {
+			p &^= uint8(1) << in.DestPred()
+		}
+	}
+
+	// Uses.
+	if !in.Unconditional() {
+		if pi := in.PredIndex(); pi < isa.NumPredicates {
+			p |= uint8(1) << pi
+		}
+	}
+	if in.Op == isa.OpSEL && in.PredIndex() < isa.NumPredicates {
+		// SEL reads its guard predicate as data even when it is PT-guarded.
+		p |= uint8(1) << in.PredIndex()
+	}
+	if in.Op == isa.OpPSETP {
+		for _, ps := range [...]uint8{in.Rs1 & 0x7, in.Rs2 & 0x7} {
+			if int(ps) < isa.NumPredicates {
+				p |= uint8(1) << ps
+			}
+		}
+	} else {
+		srcs := [3]uint8{in.Rs1, in.Rs2, in.Rs3}
+		for i := 0; i < in.Op.SrcRegs(); i++ {
+			if srcs[i] < isa.RegsPerThread {
+				r |= uint64(1) << srcs[i]
+			}
+		}
+	}
+	return r, p
+}
+
+// writesPred reports whether the opcode writes a destination predicate.
+func writesPred(op isa.Opcode) bool {
+	return op == isa.OpISETP || op == isa.OpFSETP || op == isa.OpPSETP
+}
+
+// DeadDest reports whether instruction i writes a destination (register
+// or predicate) that is provably dead: no path from i reads it before it
+// is rewritten. Writes to RZ are dead by definition.
+func (a *KasmAnalysis) DeadDest(i int) bool {
+	in := a.Prog.At(i)
+	if !in.Op.Valid() {
+		return false
+	}
+	if in.Op.WritesReg() {
+		if in.Rd == isa.RZ {
+			return true
+		}
+		if in.Rd >= isa.RegsPerThread {
+			return false // invalid destination traps, not dead
+		}
+		return a.LiveOutR[i]&(uint64(1)<<in.Rd) == 0
+	}
+	if writesPred(in.Op) {
+		pd := in.DestPred()
+		if pd >= isa.NumPredicates {
+			return true // writes the constant PT slot: discarded
+		}
+		return a.LiveOutP[i]&(uint8(1)<<pd) == 0
+	}
+	return false
+}
+
+// fieldUsed reports whether the opcode interprets a given instruction
+// field at all.
+func fieldUsed(op isa.Opcode, field string) bool {
+	switch field {
+	case "opcode", "pred":
+		return true
+	case "rd":
+		return op.WritesReg() || writesPred(op)
+	case "rs1":
+		return op.SrcRegs() >= 1 || op == isa.OpPSETP
+	case "rs2":
+		return op.SrcRegs() >= 2 || op == isa.OpPSETP
+	case "rs3":
+		return op.SrcRegs() >= 3
+	case "imm":
+		return op.HasImmediate()
+	case "flags":
+		return op == isa.OpISETP || op == isa.OpFSETP || op == isa.OpPSETP
+	}
+	return false
+}
+
+// MaskedFields predicts which instruction-word fields of instruction i
+// the program masks in software: a permanent decoder fault that only
+// corrupts these fields of this instruction cannot change the program's
+// observable behaviour. The prediction assumes the corruption keeps
+// register indices architecturally valid (an index pushed outside
+// R0..R63/RZ traps instead — the IVRA model — which is a DUE, not SDC).
+//
+// Rules, in order:
+//   - unreachable instruction: every field is masked, the word is never
+//     decoded on any path;
+//   - NOP: everything except the opcode is ignored by the hardware;
+//   - fields the opcode does not interpret are masked;
+//   - a side-effect-free instruction whose destination is dead masks its
+//     source-operand fields and its guard predicate too — any value
+//     written to a dead destination is equivalent. The rd field itself is
+//     NOT masked: redirecting the write clobbers a different, possibly
+//     live, register.
+func (a *KasmAnalysis) MaskedFields(i int) []string {
+	in := a.Prog.At(i)
+	if !a.Reachable[i] {
+		return append([]string(nil), InstrFields[:]...)
+	}
+	if in.Op == isa.OpNOP || !in.Op.Valid() {
+		// NOP ignores every other field; an invalid opcode traps (IVOC)
+		// no matter what the other fields hold.
+		return append([]string(nil), InstrFields[1:]...)
+	}
+	var masked []string
+	sideEffectFree := in.Op.Valid() && !in.Op.IsMemory() &&
+		in.Op != isa.OpBRA && in.Op != isa.OpBAR && in.Op != isa.OpEXIT
+	dead := sideEffectFree && a.DeadDest(i)
+	for _, f := range InstrFields {
+		switch {
+		case !fieldUsed(in.Op, f):
+			masked = append(masked, f)
+		case dead && f != "opcode" && f != "rd":
+			masked = append(masked, f)
+		}
+	}
+	return masked
+}
+
+// MaskedFieldCount tallies, over all instructions, how many
+// (instruction, field) sites the program masks, out of the total.
+func (a *KasmAnalysis) MaskedFieldCount() (masked, total int) {
+	for i := 0; i < a.Prog.Len(); i++ {
+		masked += len(a.MaskedFields(i))
+		total += len(InstrFields)
+	}
+	return
+}

@@ -1,0 +1,191 @@
+package analyze
+
+import (
+	"reflect"
+	"testing"
+
+	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/kasm"
+)
+
+func TestUnreachableBlockAfterUnconditionalBranch(t *testing.T) {
+	p := kasm.New("skip").
+		MOVI(1, 5).
+		BRA("end").
+		MOVI(2, 9). // unreachable
+		IADD(3, 1, 2).
+		Label("end").
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	want := []bool{true, true, false, false, true}
+	if !reflect.DeepEqual(a.Reachable, want) {
+		t.Fatalf("reachable = %v, want %v", a.Reachable, want)
+	}
+	// Unreachable instructions mask every field.
+	if got := a.MaskedFields(2); len(got) != len(InstrFields) {
+		t.Fatalf("masked fields of unreachable instr = %v, want all", got)
+	}
+	r := ReportProgram(p)
+	if !reflect.DeepEqual(r.Unreachable, []int{2, 3}) {
+		t.Fatalf("report unreachable = %v, want [2 3]", r.Unreachable)
+	}
+}
+
+func TestPredicatedBranchKeepsFallthroughAlive(t *testing.T) {
+	p := kasm.New("guarded").
+		MOVI(1, 1).
+		ISETP(isa.CmpEQ, 0, 1, 1).
+		P(0).BRA("end").
+		MOVI(2, 7). // reachable via fallthrough, R2 read below
+		GST(1, 0, 2).
+		Label("end").
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	for i := 0; i < p.Len(); i++ {
+		if !a.Reachable[i] {
+			t.Fatalf("instr %d unreachable; predicated BRA must keep the fallthrough", i)
+		}
+	}
+	if a.DeadDest(3) {
+		t.Fatal("R2 is stored by the GST; its definition is live")
+	}
+}
+
+func TestDeadDestinationMasksSourceFields(t *testing.T) {
+	p := kasm.New("dead").
+		MOVI(1, 3).
+		IADD(2, 1, 1). // R2 never read again: dead destination
+		GST(1, 0, 1).
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	if !a.DeadDest(1) {
+		t.Fatal("IADD writes R2 which is never read: dead destination")
+	}
+	masked := a.MaskedFields(1)
+	// IADD uses rs1, rs2; rs3/imm/flags are unused fields, and the dead
+	// destination additionally masks rs1, rs2 and the guard predicate —
+	// but never rd (a redirected write clobbers a live register).
+	wantMasked := map[string]bool{"pred": true, "rs1": true, "rs2": true,
+		"rs3": true, "imm": true, "flags": true}
+	got := map[string]bool{}
+	for _, f := range masked {
+		got[f] = true
+	}
+	if !reflect.DeepEqual(got, wantMasked) {
+		t.Fatalf("masked = %v, want %v", masked, wantMasked)
+	}
+	if got["rd"] || got["opcode"] {
+		t.Fatal("rd/opcode must never be masked for a live instruction that writes")
+	}
+}
+
+func TestLivenessAcrossLoopBackEdge(t *testing.T) {
+	p := kasm.New("loop").
+		MOVI(1, 0). // i = 0
+		MOVI(2, 4). // n = 4
+		Label("top").
+		MOVI(3, 1).
+		IADD(1, 1, 3). // i++
+		ISETP(isa.CmpLT, 0, 1, 2).
+		P(0).BRA("top").
+		GST(1, 0, 1).
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	// n (R2) is read by the ISETP on every iteration: its definition at
+	// instruction 1 must be live-out.
+	if a.DeadDest(1) {
+		t.Fatal("loop bound R2 is read around the back edge; not dead")
+	}
+	if a.DeadDest(3) || a.DeadDest(4) {
+		t.Fatal("loop body definitions are live")
+	}
+}
+
+func TestWritesToRZAndNOPMasking(t *testing.T) {
+	p := kasm.New("rz").
+		NOP().
+		Op1(isa.OpMOV, int(isa.RZ), 1). // write discarded
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	if !a.DeadDest(1) {
+		t.Fatal("a write to RZ is dead by definition")
+	}
+	// NOP masks everything but the opcode.
+	if got := a.MaskedFields(0); len(got) != len(InstrFields)-1 {
+		t.Fatalf("NOP masked = %v, want all but opcode", got)
+	}
+}
+
+func TestSELReadsGuardPredicateAsData(t *testing.T) {
+	p := kasm.New("sel").
+		MOVI(1, 1).
+		MOVI(2, 2).
+		ISETP(isa.CmpEQ, 3, 1, 2).
+		P(3).SEL(4, 1, 2).
+		GST(1, 0, 4).
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	// P3's definition feeds the SEL: not dead.
+	if a.DeadDest(2) {
+		t.Fatal("ISETP dest predicate is read by the SEL")
+	}
+}
+
+func TestDeadPredicateDefinition(t *testing.T) {
+	p := kasm.New("deadpred").
+		MOVI(1, 1).
+		ISETP(isa.CmpEQ, 5, 1, 1). // P5 never consumed
+		GST(1, 0, 1).
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	if !a.DeadDest(1) {
+		t.Fatal("P5 is never read: the ISETP destination is dead")
+	}
+	masked := map[string]bool{}
+	for _, f := range a.MaskedFields(1) {
+		masked[f] = true
+	}
+	for _, f := range []string{"rs1", "rs2", "flags", "pred"} {
+		if !masked[f] {
+			t.Fatalf("field %s should be masked for dead-dest ISETP (got %v)", f, masked)
+		}
+	}
+}
+
+func TestMaskedFieldCountAndReport(t *testing.T) {
+	p := kasm.New("report").
+		MOVI(1, 3).
+		GST(1, 0, 1).
+		EXIT().
+		Build()
+
+	a := AnalyzeProgram(p)
+	m, total := a.MaskedFieldCount()
+	if total != 3*len(InstrFields) {
+		t.Fatalf("total = %d, want %d", total, 3*len(InstrFields))
+	}
+	if m == 0 || m >= total {
+		t.Fatalf("masked = %d of %d; want a nontrivial fraction", m, total)
+	}
+	r := ReportProgram(p)
+	if r.MaskedSites != m || r.TotalSites != total || r.Instructions != 3 {
+		t.Fatalf("report disagrees with analysis: %+v", r)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+}

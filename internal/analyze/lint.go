@@ -1,0 +1,155 @@
+package analyze
+
+import (
+	"fmt"
+
+	"gpufaultsim/internal/netlist"
+)
+
+// Validate runs the full structural lint over a netlist: the hard
+// netlist.ValidateNetlist checks (dangling references, floating DFFs,
+// combinational cycles — error severity) plus warn-severity findings for
+// structure that simulates but smells: nets nobody reads, primary inputs
+// nobody reads, and cells whose value can never reach a primary output.
+// It never panics, so it is safe on hand-constructed circuits.
+func Validate(nl *netlist.Netlist) []netlist.Diagnostic {
+	diags := netlist.ValidateNetlist(nl)
+	for _, d := range diags {
+		if d.Severity == netlist.SevError {
+			// Broken references make the walks below unsafe; the hard
+			// errors are the only findings that matter anyway.
+			return diags
+		}
+	}
+
+	fanout := fanoutCounts(nl)
+	isInput := make([]bool, len(nl.Cells))
+	for _, id := range nl.Inputs {
+		isInput[id] = true
+	}
+
+	for id := range nl.Cells {
+		if fanout[id] != 0 {
+			continue
+		}
+		if isInput[id] {
+			diags = append(diags, netlist.Diagnostic{
+				Severity: netlist.SevWarn, Code: "unused-input", Node: netlist.Node(id),
+				Msg: fmt.Sprintf("primary input %s has no readers", inputName(nl, netlist.Node(id))),
+			})
+		} else {
+			diags = append(diags, netlist.Diagnostic{
+				Severity: netlist.SevWarn, Code: "dangling-net", Node: netlist.Node(id),
+				Msg: fmt.Sprintf("%s output has no readers and is not a primary output", nl.Cells[id].Kind),
+			})
+		}
+	}
+
+	// Dead logic: cells from which no primary output is reachable, walking
+	// forward through gates and DFFs. They are fault sites the campaign
+	// pays for but that can never corrupt an output (the analyzer's
+	// unobservable class catches the same nets via CO = Inf).
+	reach := reachesOutput(nl)
+	for id := range nl.Cells {
+		if !reach[id] && fanout[id] != 0 {
+			diags = append(diags, netlist.Diagnostic{
+				Severity: netlist.SevWarn, Code: "dead-cell", Node: netlist.Node(id),
+				Msg: fmt.Sprintf("%s feeds other cells but no path reaches a primary output", nl.Cells[id].Kind),
+			})
+		}
+	}
+	return diags
+}
+
+// reachesOutput marks every cell with a structural forward path to a
+// primary output (reverse BFS over the read-by relation, DFF next-state
+// edges included).
+func reachesOutput(nl *netlist.Netlist) []bool {
+	reach := make([]bool, len(nl.Cells))
+	var queue []netlist.Node
+	for _, o := range nl.Outputs {
+		if !reach[o.Node] {
+			reach[o.Node] = true
+			queue = append(queue, o.Node)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for i := 0; i < nl.Cells[id].Kind.NumIns(); i++ {
+			src := nl.Cells[id].In[i]
+			if !reach[src] {
+				reach[src] = true
+				queue = append(queue, src)
+			}
+		}
+	}
+	return reach
+}
+
+func inputName(nl *netlist.Netlist, id netlist.Node) string {
+	for i, n := range nl.Inputs {
+		if n == id {
+			return nl.InNames[i]
+		}
+	}
+	return fmt.Sprintf("node %d", id)
+}
+
+// NetlistStats summarizes the structural shape of a netlist.
+type NetlistStats struct {
+	Cells      int            `json:"cells"`
+	Inputs     int            `json:"inputs"`
+	Outputs    int            `json:"outputs"`
+	DFFs       int            `json:"dffs"`
+	Faults     int            `json:"faults"`
+	KindCounts map[string]int `json:"kind_counts"`
+	MaxFanout  int            `json:"max_fanout"`
+	AvgFanout  float64        `json:"avg_fanout"`
+	ConeDepth  int            `json:"cone_depth"` // longest combinational path, in gates
+}
+
+// Stats computes the structural shape metrics of a netlist.
+func Stats(nl *netlist.Netlist) NetlistStats {
+	s := NetlistStats{
+		Cells:      len(nl.Cells),
+		Inputs:     len(nl.Inputs),
+		Outputs:    len(nl.Outputs),
+		DFFs:       len(nl.DFFs),
+		Faults:     nl.NumFaults(),
+		KindCounts: map[string]int{},
+	}
+	fanout := fanoutCounts(nl)
+	total, gates := 0, 0
+	for id, c := range nl.Cells {
+		s.KindCounts[c.Kind.String()]++
+		if c.Kind != netlist.KInput && c.Kind != netlist.KConst {
+			gates++
+		}
+		total += int(fanout[id])
+		if int(fanout[id]) > s.MaxFanout {
+			s.MaxFanout = int(fanout[id])
+		}
+	}
+	if len(nl.Cells) > 0 {
+		s.AvgFanout = float64(total) / float64(len(nl.Cells))
+	}
+
+	// Longest combinational path: depth over the evaluation order, with
+	// inputs, constants and DFF outputs at depth 0.
+	depth := make([]int, len(nl.Cells))
+	for _, id := range nl.EvalOrder() {
+		c := &nl.Cells[id]
+		d := 0
+		for i := 0; i < c.Kind.NumIns(); i++ {
+			if in := depth[c.In[i]]; in > d {
+				d = in
+			}
+		}
+		depth[id] = d + 1
+		if depth[id] > s.ConeDepth {
+			s.ConeDepth = depth[id]
+		}
+	}
+	return s
+}

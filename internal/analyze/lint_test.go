@@ -1,0 +1,97 @@
+package analyze
+
+import (
+	"testing"
+
+	"gpufaultsim/internal/netlist"
+)
+
+func codes(diags []netlist.Diagnostic) map[string]int {
+	m := map[string]int{}
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestValidateFindsDanglingAndDeadLogic(t *testing.T) {
+	b := netlist.NewBuilder("lint")
+	x := b.Input("x")
+	b.Input("unused")
+	dangling := b.Not(x) // no readers, not an output
+	_ = dangling
+	deadSrc := b.Buf(x) // feeds deadSink only
+	deadSink := b.Not(deadSrc)
+	_ = deadSink // deadSink itself is dangling; deadSrc is dead
+	b.Output("o", 0, b.Buf(x))
+	nl := b.MustBuild()
+
+	got := codes(Validate(nl))
+	if got["unused-input"] != 1 {
+		t.Fatalf("unused-input = %d, want 1 (diags: %v)", got["unused-input"], got)
+	}
+	// dangling and deadSink both have zero readers.
+	if got["dangling-net"] != 2 {
+		t.Fatalf("dangling-net = %d, want 2 (diags: %v)", got["dangling-net"], got)
+	}
+	if got["dead-cell"] != 1 {
+		t.Fatalf("dead-cell = %d, want 1 (diags: %v)", got["dead-cell"], got)
+	}
+}
+
+func TestValidateCleanCircuitHasNoFindings(t *testing.T) {
+	b := netlist.NewBuilder("clean")
+	x := b.Input("x")
+	y := b.Input("y")
+	q := b.DFF()
+	b.SetDFF(q, b.Xor(x, y))
+	b.Output("o", 0, q)
+	nl := b.MustBuild()
+
+	if diags := Validate(nl); len(diags) != 0 {
+		t.Fatalf("clean circuit produced diagnostics: %v", diags)
+	}
+}
+
+func TestValidateReportsHardErrorsFirst(t *testing.T) {
+	// Hand-built broken netlist: a BUF referencing a node out of range.
+	nl := &netlist.Netlist{
+		Name: "broken",
+		Cells: []netlist.Cell{
+			{Kind: netlist.KInput},
+			{Kind: netlist.KBuf, In: [3]netlist.Node{99}},
+		},
+		Inputs:  []netlist.Node{0},
+		InNames: []string{"x"},
+	}
+	diags := Validate(nl)
+	if len(diags) == 0 || diags[0].Code != "dangling-ref" || diags[0].Severity != netlist.SevError {
+		t.Fatalf("want leading dangling-ref error, got %v", diags)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	b := netlist.NewBuilder("shape")
+	x := b.Input("x")
+	y := b.Input("y")
+	n1 := b.And(x, y)
+	n2 := b.Or(n1, x)
+	n3 := b.Xor(n2, y)
+	b.Output("o", 0, n3)
+	nl := b.MustBuild()
+
+	s := Stats(nl)
+	if s.Cells != 5 || s.Inputs != 2 || s.Outputs != 1 || s.DFFs != 0 {
+		t.Fatalf("shape counts wrong: %+v", s)
+	}
+	if s.ConeDepth != 3 {
+		t.Fatalf("cone depth = %d, want 3", s.ConeDepth)
+	}
+	if s.KindCounts["AND"] != 1 || s.KindCounts["INPUT"] != 2 {
+		t.Fatalf("kind counts wrong: %v", s.KindCounts)
+	}
+	// x feeds AND, OR and n... x read by n1 and n2 => fanout 2; y by n1,n3.
+	if s.MaxFanout != 2 {
+		t.Fatalf("max fanout = %d, want 2", s.MaxFanout)
+	}
+}

@@ -1,0 +1,184 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"gpufaultsim/internal/kasm"
+	"gpufaultsim/internal/netlist"
+)
+
+// UnitReport is the JSON-stable static-analysis report for one netlist.
+// Every slice is emitted in a fixed order (node order, canonical field
+// order) and every map is string-keyed (encoding/json sorts those), so the
+// encoded report is byte-for-byte deterministic for a given netlist —
+// tests pin golden copies.
+type UnitReport struct {
+	Unit        string            `json:"unit"`
+	Stats       NetlistStats      `json:"stats"`
+	Testability TestabilityCounts `json:"testability"`
+	Collapse    CollapseCounts    `json:"collapse"`
+	Diagnostics []DiagnosticJSON  `json:"diagnostics"`
+}
+
+// TestabilityCounts aggregates the SCOAP classification of the unit's
+// stuck-at fault universe.
+type TestabilityCounts struct {
+	Uncontrollable int `json:"uncontrollable"`
+	Unobservable   int `json:"unobservable"`
+	Testable       int `json:"testable"`
+	// MaxCC/MaxCO are the largest finite controllability/observability
+	// costs — the unit's hardest-to-reach and hardest-to-observe nets.
+	MaxCC int64 `json:"max_cc"`
+	MaxCO int64 `json:"max_co"`
+}
+
+// CollapseCounts aggregates the fault-collapsing result.
+type CollapseCounts struct {
+	Faults    int     `json:"faults"`
+	Classes   int     `json:"classes"`
+	Inert     int     `json:"inert_classes"`
+	Simulated int     `json:"simulated"`
+	Reduction float64 `json:"reduction"`
+}
+
+// DiagnosticJSON is the JSON shape of one lint finding.
+type DiagnosticJSON struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Node     int    `json:"node"`
+	Msg      string `json:"msg"`
+}
+
+// ReportUnit runs every netlist-level analysis over one unit's circuit and
+// assembles the report.
+func ReportUnit(name string, nl *netlist.Netlist) *UnitReport {
+	t := Analyze(nl)
+	cm := CollapseWith(nl, t)
+	r := &UnitReport{
+		Unit:  name,
+		Stats: Stats(nl),
+		Collapse: CollapseCounts{
+			Faults:    cm.NumFaults(),
+			Classes:   cm.NumClasses(),
+			Inert:     cm.NumInertClasses(),
+			Simulated: len(cm.SimFaults()),
+			Reduction: cm.Reduction(),
+		},
+		Diagnostics: []DiagnosticJSON{},
+	}
+	unc, unobs, test := t.ClassCounts(netlist.FaultList(nl))
+	r.Testability = TestabilityCounts{
+		Uncontrollable: unc, Unobservable: unobs, Testable: test,
+	}
+	for n := range nl.Cells {
+		for _, c := range [...]Cost{t.CC0[n], t.CC1[n]} {
+			if !c.IsInf() && int64(c) > r.Testability.MaxCC {
+				r.Testability.MaxCC = int64(c)
+			}
+		}
+		if co := t.CO[n]; !co.IsInf() && int64(co) > r.Testability.MaxCO {
+			r.Testability.MaxCO = int64(co)
+		}
+	}
+	for _, d := range Validate(nl) {
+		r.Diagnostics = append(r.Diagnostics, DiagnosticJSON{
+			Severity: d.Severity.String(), Code: d.Code, Node: int(d.Node), Msg: d.Msg,
+		})
+	}
+	return r
+}
+
+// JSON renders the report with stable indentation.
+func (r *UnitReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders the report for terminals.
+func (r *UnitReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unit %s: %d cells, %d inputs, %d DFFs, %d outputs\n",
+		r.Unit, r.Stats.Cells, r.Stats.Inputs, r.Stats.DFFs, r.Stats.Outputs)
+	fmt.Fprintf(&b, "  shape: cone depth %d, max fanout %d, avg fanout %.2f\n",
+		r.Stats.ConeDepth, r.Stats.MaxFanout, r.Stats.AvgFanout)
+	fmt.Fprintf(&b, "  testability: %d faults = %d testable + %d uncontrollable + %d unobservable (max CC %d, max CO %d)\n",
+		r.Collapse.Faults, r.Testability.Testable, r.Testability.Uncontrollable,
+		r.Testability.Unobservable, r.Testability.MaxCC, r.Testability.MaxCO)
+	fmt.Fprintf(&b, "  collapse: %d classes (%d inert) -> simulate %d of %d faults (%.1f%% reduction)\n",
+		r.Collapse.Classes, r.Collapse.Inert, r.Collapse.Simulated,
+		r.Collapse.Faults, 100*r.Collapse.Reduction)
+	if len(r.Diagnostics) == 0 {
+		b.WriteString("  lint: clean\n")
+	} else {
+		fmt.Fprintf(&b, "  lint: %d finding(s)\n", len(r.Diagnostics))
+		for _, d := range r.Diagnostics {
+			fmt.Fprintf(&b, "    %s[%s] node %d: %s\n", d.Severity, d.Code, d.Node, d.Msg)
+		}
+	}
+	return b.String()
+}
+
+// ProgramReport is the JSON-stable analysis report for one kernel.
+type ProgramReport struct {
+	Program      string        `json:"program"`
+	Instructions int           `json:"instructions"`
+	Blocks       []Block       `json:"blocks"`
+	Unreachable  []int         `json:"unreachable"`
+	MaskedSites  int           `json:"masked_sites"`
+	TotalSites   int           `json:"total_sites"`
+	Instrs       []InstrReport `json:"instrs"`
+}
+
+// InstrReport is the per-instruction analysis row.
+type InstrReport struct {
+	Index    int      `json:"index"`
+	Text     string   `json:"text"`
+	DeadDest bool     `json:"dead_dest"`
+	Masked   []string `json:"masked_fields"`
+}
+
+// ReportProgram runs the kernel-assembly analysis and assembles the
+// report.
+func ReportProgram(p *kasm.Program) *ProgramReport {
+	a := AnalyzeProgram(p)
+	r := &ProgramReport{
+		Program:      p.Name,
+		Instructions: p.Len(),
+		Blocks:       a.Blocks,
+		Unreachable:  []int{},
+	}
+	for i := 0; i < p.Len(); i++ {
+		if !a.Reachable[i] {
+			r.Unreachable = append(r.Unreachable, i)
+		}
+		masked := a.MaskedFields(i)
+		if masked == nil {
+			masked = []string{}
+		}
+		r.Instrs = append(r.Instrs, InstrReport{
+			Index: i, Text: p.At(i).String(), DeadDest: a.DeadDest(i), Masked: masked,
+		})
+	}
+	r.MaskedSites, r.TotalSites = a.MaskedFieldCount()
+	return r
+}
+
+// JSON renders the report with stable indentation.
+func (r *ProgramReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders the report for terminals.
+func (r *ProgramReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s: %d instructions, %d blocks, %d unreachable\n",
+		r.Program, r.Instructions, len(r.Blocks), len(r.Unreachable))
+	fmt.Fprintf(&b, "  software-masked field sites: %d / %d (%.1f%%)\n",
+		r.MaskedSites, r.TotalSites, 100*float64(r.MaskedSites)/float64(max(1, r.TotalSites)))
+	for _, in := range r.Instrs {
+		mark := " "
+		if in.DeadDest {
+			mark = "d"
+		}
+		fmt.Fprintf(&b, "  %s %3d: %-32s masked={%s}\n",
+			mark, in.Index, in.Text, strings.Join(in.Masked, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package analyze_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpufaultsim/internal/analyze"
+	"gpufaultsim/internal/units"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden analysis reports")
+
+// The unit reports must be byte-for-byte deterministic: `cmd/analyze
+// --unit <u> --json` and these golden files are the same bytes. The test
+// also guards the analyzer's numbers (testability split, collapse
+// reduction, lint findings) against silent drift.
+func TestUnitReportsMatchGolden(t *testing.T) {
+	for _, u := range units.All() {
+		r := analyze.ReportUnit(u.Name, u.NL)
+		got, err := r.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", u.Name, err)
+		}
+		got = append(got, '\n')
+		path := filepath.Join("testdata", u.Name+".json")
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./internal/analyze -run Golden -update` to create)", u.Name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: report drifted from %s; run with -update if intentional", u.Name, path)
+		}
+	}
+}
+
+// Two independent runs over freshly built netlists must serialize
+// identically — no map-order or pointer-identity leaks.
+func TestUnitReportDeterminism(t *testing.T) {
+	a, err := analyze.ReportUnit("decoder", units.Decoder().NL).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analyze.ReportUnit("decoder", units.Decoder().NL).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("decoder report is not deterministic across runs")
+	}
+}

@@ -1,0 +1,135 @@
+package analyze
+
+import (
+	"testing"
+
+	"gpufaultsim/internal/netlist"
+)
+
+// A plain adder-ish combinational circuit: every net can take both values
+// and reach the output, so every fault is testable.
+func TestCombinationalCircuitAllTestable(t *testing.T) {
+	b := netlist.NewBuilder("adder")
+	a := b.Input("a")
+	c := b.Input("b")
+	cin := b.Input("cin")
+	sum := b.Xor(b.Xor(a, c), cin)
+	carry := b.Or(b.And(a, c), b.And(cin, b.Xor(a, c)))
+	b.Output("sum", 0, sum)
+	b.Output("carry", 0, carry)
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	unc, unobs, testable := tb.ClassCounts(netlist.FaultList(nl))
+	if unc != 0 || unobs != 0 {
+		t.Fatalf("adder: %d uncontrollable, %d unobservable; want 0/0", unc, unobs)
+	}
+	if testable != nl.NumFaults() {
+		t.Fatalf("testable = %d, want %d", testable, nl.NumFaults())
+	}
+}
+
+// A constant net can only be stuck the "wrong" way: sa1 at a const-1 node
+// never activates.
+func TestConstantNetsUncontrollable(t *testing.T) {
+	b := netlist.NewBuilder("const")
+	x := b.Input("x")
+	one := b.Const(true)
+	b.Output("y", 0, b.And(x, one))
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	if got := tb.ClassifyFault(netlist.Fault{Node: one, Stuck: true}); got != StaticUncontrollable {
+		t.Fatalf("sa1@const1 = %v, want uncontrollable", got)
+	}
+	if got := tb.ClassifyFault(netlist.Fault{Node: one, Stuck: false}); got != StaticTestable {
+		t.Fatalf("sa0@const1 = %v, want testable", got)
+	}
+	v, constant := tb.ConstantValue(one)
+	if !constant || !v {
+		t.Fatalf("ConstantValue(const1) = %v,%v", v, constant)
+	}
+}
+
+// A net whose only path to the outputs runs through an AND with a
+// constant-0 side can never be observed.
+func TestBlockedPathUnobservable(t *testing.T) {
+	b := netlist.NewBuilder("blocked")
+	x := b.Input("x")
+	y := b.Input("y")
+	zero := b.Const(false)
+	dead := b.And(x, zero) // always 0, and x is unobservable through it
+	b.Output("o", 0, b.Or(dead, y))
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	if got := tb.ClassifyFault(netlist.Fault{Node: x, Stuck: false}); got != StaticUnobservable {
+		t.Fatalf("sa0@x = %v, want unobservable (blocked by const-0 AND)", got)
+	}
+	// The dead AND output itself is constant 0: sa0 is uncontrollable,
+	// sa1 is activated and observable through the OR.
+	if got := tb.ClassifyFault(netlist.Fault{Node: dead, Stuck: false}); got != StaticUncontrollable {
+		t.Fatalf("sa0@dead = %v, want uncontrollable", got)
+	}
+	if got := tb.ClassifyFault(netlist.Fault{Node: dead, Stuck: true}); got != StaticTestable {
+		t.Fatalf("sa1@dead = %v, want testable", got)
+	}
+}
+
+// Logic feeding nothing has CO = Inf.
+func TestFanoutFreeLogicUnobservable(t *testing.T) {
+	b := netlist.NewBuilder("orphan")
+	x := b.Input("x")
+	orphan := b.Not(x)
+	b.Output("o", 0, b.Buf(x))
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	if !tb.CO[orphan].IsInf() {
+		t.Fatalf("CO[orphan] = %v, want inf", tb.CO[orphan])
+	}
+	if got := tb.ClassifyFault(netlist.Fault{Node: orphan, Stuck: true}); got != StaticUnobservable {
+		t.Fatalf("sa1@orphan = %v, want unobservable", got)
+	}
+}
+
+// Sequential depth: each DFF crossing adds one to the controllability of
+// the value it forwards, and to the observability of its next-state net.
+func TestSequentialDepthFoldsIntoCosts(t *testing.T) {
+	b := netlist.NewBuilder("pipe")
+	x := b.Input("x")
+	q1 := b.DFF()
+	q2 := b.DFF()
+	b.SetDFF(q1, x)
+	b.SetDFF(q2, q1)
+	b.Output("o", 0, q2)
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	if tb.CC1[q1] != 2 || tb.CC1[q2] != 3 {
+		t.Fatalf("CC1 chain = %v,%v, want 2,3", tb.CC1[q1], tb.CC1[q2])
+	}
+	// Reset drives every DFF to 0 in one step.
+	if tb.CC0[q1] != 1 || tb.CC0[q2] != 1 {
+		t.Fatalf("CC0 chain = %v,%v, want 1,1", tb.CC0[q1], tb.CC0[q2])
+	}
+	// Observability climbs walking backwards from the output.
+	if tb.CO[q2] != 0 || tb.CO[q1] != 1 || tb.CO[x] != 2 {
+		t.Fatalf("CO chain = %v,%v,%v, want 0,1,2", tb.CO[q2], tb.CO[q1], tb.CO[x])
+	}
+}
+
+// Feedback through a DFF (a toggle counter) still converges and reports
+// both values reachable.
+func TestDFFFeedbackConverges(t *testing.T) {
+	b := netlist.NewBuilder("toggle")
+	q := b.DFF()
+	b.SetDFF(q, b.Not(q))
+	b.Output("o", 0, q)
+	nl := b.MustBuild()
+
+	tb := Analyze(nl)
+	if !tb.Controllable(q, false) || !tb.Controllable(q, true) {
+		t.Fatalf("toggle state should reach both values: CC0=%v CC1=%v", tb.CC0[q], tb.CC1[q])
+	}
+}

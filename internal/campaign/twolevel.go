@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gpufaultsim/internal/analyze"
 	"gpufaultsim/internal/errclass"
 	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/perfi"
@@ -29,6 +30,12 @@ type TwoLevelConfig struct {
 	Injections int
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Collapse runs the static fault-collapsing analysis (package analyze)
+	// before each gate-level campaign and simulates only one representative
+	// fault per equivalence class. Summaries and classifications still
+	// cover the full fault universe — gatesim expands the collapsed
+	// results back — so the outputs are identical, just cheaper.
+	Collapse bool
 }
 
 // UnitOutcome couples one unit's gate-level campaign artifacts.
@@ -119,7 +126,12 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 	t1 := time.Now()
 	outcomes := ParallelMap(units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
 		col := errclass.NewCollector(u.Name)
-		sum := gatesim.Campaign(u, patterns, col)
+		var sum *gatesim.Summary
+		if cfg.Collapse {
+			sum = gatesim.CampaignCollapsed(u, patterns, analyze.Collapse(u.NL), col)
+		} else {
+			sum = gatesim.Campaign(u, patterns, col)
+		}
 		return &UnitOutcome{Unit: u, Summary: sum, Collector: col,
 			Report: errclass.Report(sum, col)}
 	})

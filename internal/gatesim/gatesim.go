@@ -55,13 +55,17 @@ type EventSink interface {
 	Hang(faultIdx int, p units.Pattern, field string)
 }
 
-// Summary aggregates a campaign.
+// Summary aggregates a campaign. Faults/Class always cover the full fault
+// universe handed in; SimulatedSites reports how many faulty machines were
+// actually simulated (smaller than TotalSites when a Collapse map pruned
+// the list).
 type Summary struct {
-	Unit       string
-	Faults     []netlist.Fault
-	Class      []FaultClass // parallel to Faults
-	Patterns   int
-	TotalSites int
+	Unit           string
+	Faults         []netlist.Fault
+	Class          []FaultClass // parallel to Faults
+	Patterns       int
+	TotalSites     int
+	SimulatedSites int
 
 	// Counts per class.
 	NumUncontrollable, NumMasked, NumHang, NumSWError int
@@ -101,6 +105,46 @@ func Campaign(u *units.Unit, patterns []units.Pattern, sink EventSink) *Summary 
 // delay-fault list (netlist.DelayFaultList), the extension the paper
 // mentions alongside stuck-at faults.
 func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fault, sink EventSink) *Summary {
+	return campaignRun(u, patterns, faults, faults, nil, sink)
+}
+
+// Collapse is a pruned view of a fault universe, produced by the static
+// analyzer (analyze.CollapseMap). It is declared here, on the consumer
+// side, so the analyzer does not depend on the simulator.
+type Collapse interface {
+	// SimFaults returns one representative fault per equivalence class
+	// that needs simulating.
+	SimFaults() []netlist.Fault
+	// SimIndex maps an index of the full fault universe to its
+	// representative's position in SimFaults, or -1 when the class is
+	// statically inert (faulty circuit provably identical to golden).
+	SimIndex(fullIdx int) int
+}
+
+// CampaignCollapsed runs the stuck-at campaign simulating only the
+// collapse map's representative faults, then expands the results back to
+// the full fault universe. Per-fault activation is computed from the
+// golden pass for every fault (it costs no extra simulation), while
+// output corruptions — properties of the shared faulty circuit — are
+// replayed to every class member, so Summary and the sink's event stream
+// cover the same universe a full campaign would, fault for fault.
+func CampaignCollapsed(u *units.Unit, patterns []units.Pattern, cm Collapse, sink EventSink) *Summary {
+	full := netlist.FaultList(u.NL)
+	sim := cm.SimFaults()
+	members := make([][]int32, len(sim))
+	for idx := range full {
+		if si := cm.SimIndex(idx); si >= 0 {
+			members[si] = append(members[si], int32(idx))
+		}
+	}
+	return campaignRun(u, patterns, full, sim, members, sink)
+}
+
+// campaignRun is the engine shared by the full and collapsed campaigns.
+// Activation is graded over the full list; faulty machines are simulated
+// for the sim list only. members[si] lists the full-list indices that
+// share sim fault si's faulty circuit (nil means sim IS the full list).
+func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink) *Summary {
 	nl := u.NL
 	patterns = u.ReducePatterns(patterns)
 
@@ -117,12 +161,13 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 		fields[i].outs = append(fields[i].outs, o)
 	}
 
-	activated := make([]bool, len(faults))
-	hang := make([]bool, len(faults))
-	swerr := make([]bool, len(faults))
+	activated := make([]bool, len(full))
+	hang := make([]bool, len(full))
+	swerr := make([]bool, len(full))
 
 	gsim := netlist.NewSimulator(nl)
 	fsim := netlist.NewSimulator(nl)
+	var single [1]int32 // scratch member list for the uncollapsed path
 
 	// goldenNode[c][n] is node n's golden value in cycle c (packed bits).
 	nWords := (len(nl.Cells) + 63) / 64
@@ -160,7 +205,7 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 		// Activation: a stuck-at (n, v) is activated when the golden value
 		// at n differs from v in any cycle; a delay fault when the node
 		// toggles between consecutive cycles.
-		for fi, f := range faults {
+		for fi, f := range full {
 			if activated[fi] {
 				continue
 			}
@@ -182,8 +227,8 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 		}
 
 		// Faulty passes, 64 lanes at a time.
-		for base := 0; base < len(faults); base += 64 {
-			group := faults[base:min(base+64, len(faults))]
+		for base := 0; base < len(sim); base += 64 {
+			group := sim[base:min(base+64, len(sim))]
 			fsim.Reset()
 			fsim.SetFaults(group)
 			for c := 0; c < u.Cycles; c++ {
@@ -208,20 +253,32 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 						if anyDiff>>lane&1 == 0 {
 							continue
 						}
-						idx := base + lane
+						si := base + lane
 						faulty := fsim.OutputWord(fs.name, lane)
 						if faulty == golden {
 							continue
 						}
-						if fs.hang {
-							if !hang[idx] && sink != nil {
-								sink.Hang(idx, p, fs.name)
-							}
-							hang[idx] = true
+						// Expand the event to every fault sharing this
+						// faulty circuit.
+						var mem []int32
+						if members == nil {
+							single[0] = int32(si)
+							mem = single[:]
 						} else {
-							swerr[idx] = true
-							if sink != nil {
-								sink.Corruption(idx, p, fs.name, golden, faulty)
+							mem = members[si]
+						}
+						for _, m := range mem {
+							idx := int(m)
+							if fs.hang {
+								if !hang[idx] && sink != nil {
+									sink.Hang(idx, p, fs.name)
+								}
+								hang[idx] = true
+							} else {
+								swerr[idx] = true
+								if sink != nil {
+									sink.Corruption(idx, p, fs.name, golden, faulty)
+								}
 							}
 						}
 					}
@@ -232,11 +289,12 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 	}
 
 	s := &Summary{
-		Unit: u.Name, Faults: faults, Patterns: len(patterns),
-		TotalSites: len(faults),
-		Class:      make([]FaultClass, len(faults)),
+		Unit: u.Name, Faults: full, Patterns: len(patterns),
+		TotalSites:     len(full),
+		SimulatedSites: len(sim),
+		Class:          make([]FaultClass, len(full)),
 	}
-	for i := range faults {
+	for i := range full {
 		switch {
 		case hang[i]:
 			s.Class[i] = Hang

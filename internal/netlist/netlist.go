@@ -98,8 +98,15 @@ func (n *Netlist) Stats() string {
 		n.Name, len(n.Cells), len(n.Inputs), len(n.DFFs), len(n.Outputs), n.NumFaults())
 }
 
-// Builder constructs a Netlist. Methods panic on structural errors
-// (construction happens at setup time, never during campaigns).
+// EvalOrder returns the combinational cells in dependency order (inputs,
+// constants and DFFs excluded). Static analyses use it to sweep the
+// circuit the same way Eval does. Callers must not mutate the slice.
+func (n *Netlist) EvalOrder() []Node { return n.order }
+
+// Builder constructs a Netlist. Wiring methods panic on out-of-range node
+// arguments (programming errors at construction time); whole-circuit
+// defects — combinational cycles, unwired DFFs — surface as a structured
+// *BuildError from Build, or a panic from MustBuild.
 type Builder struct {
 	name    string
 	cells   []Cell
@@ -248,24 +255,36 @@ func (b *Builder) OutputBus(field string, bus []Node) {
 	}
 }
 
-// Build finalizes the netlist: verifies DFF wiring and computes the
-// combinational evaluation order.
-func (b *Builder) Build() *Netlist {
-	for _, q := range b.dffs {
-		if b.cells[q].In[0] < 0 {
-			panic(fmt.Sprintf("netlist %s: DFF node %d has no next-state input", b.name, q))
-		}
-	}
+// Build finalizes the netlist: validates the structure (DFF wiring,
+// combinational cycles, node references) and computes the combinational
+// evaluation order. Structural defects return a *BuildError carrying one
+// Diagnostic per finding.
+func (b *Builder) Build() (*Netlist, error) {
 	nl := &Netlist{
 		Name: b.name, Cells: b.cells, Inputs: b.inputs, InNames: b.inNames,
 		Outputs: b.outputs, DFFs: b.dffs,
 	}
+	if diags := errorDiags(ValidateNetlist(nl)); len(diags) > 0 {
+		return nil, &BuildError{Name: b.name, Diags: diags}
+	}
 	nl.order = topoOrder(nl)
+	return nl, nil
+}
+
+// MustBuild is Build for setup-time construction: it panics on a
+// structurally invalid circuit. The unit builders use it — their netlists
+// are fixed at compile time, so fail-fast is the right trade-off.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
 	return nl
 }
 
 // topoOrder returns the combinational cells in dependency order. Inputs,
-// constants and DFFs are sources. A combinational cycle panics.
+// constants and DFFs are sources. Callers validate the netlist first
+// (ValidateNetlist), so cycles cannot occur here.
 func topoOrder(nl *Netlist) []Node {
 	n := len(nl.Cells)
 	state := make([]uint8, n) // 0 unvisited, 1 visiting, 2 done
@@ -285,7 +304,7 @@ func topoOrder(nl *Netlist) []Node {
 			return
 		}
 		state[id] = 1
-		nin := numIns(c.Kind)
+		nin := c.Kind.NumIns()
 		for i := 0; i < nin; i++ {
 			visit(c.In[i])
 		}
@@ -309,7 +328,9 @@ func topoOrder(nl *Netlist) []Node {
 	return order
 }
 
-func numIns(k CellKind) int {
+// NumIns reports how many In slots the cell kind reads. KConst is 0: its
+// In[0] encodes the constant value, not a node reference.
+func (k CellKind) NumIns() int {
 	switch k {
 	case KInput, KConst:
 		return 0

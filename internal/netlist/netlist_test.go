@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func TestPrimitiveGates(t *testing.T) {
 	b.Output("nand", 0, b.Nand(a, c))
 	b.Output("nor", 0, b.Nor(a, c))
 	b.Output("not", 0, b.Not(a))
-	nl := b.Build()
+	nl := b.MustBuild()
 
 	for av := 0; av < 2; av++ {
 		for cv := 0; cv < 2; cv++ {
@@ -60,7 +61,7 @@ func TestMux(t *testing.T) {
 	lo := b.Input("lo")
 	hi := b.Input("hi")
 	b.Output("y", 0, b.Mux(sel, lo, hi))
-	nl := b.Build()
+	nl := b.MustBuild()
 	cases := []struct{ sel, lo, hi, want uint64 }{
 		{0, 0, 1, 0}, {0, 1, 0, 1}, {1, 0, 1, 1}, {1, 1, 0, 0},
 	}
@@ -79,7 +80,7 @@ func buildAdder(width int) *Netlist {
 	sum, cout := b.Adder(a, c, b.Const(false))
 	b.OutputBus("sum", sum)
 	b.Output("cout", 0, cout)
-	return b.Build()
+	return b.MustBuild()
 }
 
 func TestAdderProperty(t *testing.T) {
@@ -104,7 +105,7 @@ func TestIncAndComparators(t *testing.T) {
 	b.OutputBus("inc", b.Inc(a))
 	b.Output("eq100", 0, b.EqConst(a, 100))
 	b.Output("lt37", 0, b.LtConst(a, 37))
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	for v := 0; v < 256; v++ {
 		sim.SetInputBus(0, 8, uint64(v))
@@ -127,7 +128,7 @@ func TestDecodeEncodeRoundTrip(t *testing.T) {
 	oh := b.Decode(sel)
 	b.OutputBus("onehot", oh)
 	b.OutputBus("enc", b.Encode(oh))
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	for v := 0; v < 16; v++ {
 		sim.SetInputBus(0, 4, uint64(v))
@@ -149,7 +150,7 @@ func TestMuxN(t *testing.T) {
 		opts[i] = b.ConstBus(8, uint64(10*i+5))
 	}
 	b.OutputBus("y", b.MuxN(sel, opts))
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	for v := 0; v < 4; v++ {
 		sim.SetInputBus(0, 2, uint64(v))
@@ -166,7 +167,7 @@ func TestDFFCounter(t *testing.T) {
 	q := b.Register(4)
 	b.SetRegister(q, b.Inc(q), NoEnable)
 	b.OutputBus("q", q)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	for cyc := 0; cyc < 20; cyc++ {
 		sim.Eval()
@@ -184,7 +185,7 @@ func TestRegisterEnable(t *testing.T) {
 	q := b.Register(4)
 	b.SetRegister(q, d, en)
 	b.OutputBus("q", q)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	sim.SetInputBus(0, 4, 9)
 	sim.SetInput(4, false)
@@ -208,7 +209,7 @@ func TestRotatePriorityArbiter(t *testing.T) {
 	last := b.InputBus("last", 2)
 	grant := b.RotatePriority(reqs, last)
 	b.OutputBus("grant", grant)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	for last := 0; last < n; last++ {
 		for req := 0; req < 1<<n; req++ {
@@ -295,12 +296,7 @@ func TestFaultListSize(t *testing.T) {
 	}
 }
 
-func TestCombinationalCyclePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cycle did not panic")
-		}
-	}()
+func TestCombinationalCycleBuildError(t *testing.T) {
 	b := NewBuilder("cycle")
 	a := b.Input("a")
 	// Manually create a cycle through two ANDs.
@@ -308,19 +304,72 @@ func TestCombinationalCyclePanics(t *testing.T) {
 	n2 := b.And(n1, n1)
 	b.cells[n1].In[1] = n2
 	b.Output("y", 0, n2)
-	b.Build()
+	nl, err := b.Build()
+	if err == nil || nl != nil {
+		t.Fatal("cycle did not fail Build")
+	}
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BuildError", err)
+	}
+	if !be.HasCode("comb-cycle") {
+		t.Fatalf("diagnostics %v missing comb-cycle", be.Diags)
+	}
+	if be.Name != "cycle" {
+		t.Errorf("BuildError.Name = %q", be.Name)
+	}
 }
 
-func TestUnwiredDFFPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unwired DFF did not panic")
-		}
-	}()
+func TestUnwiredDFFBuildError(t *testing.T) {
 	b := NewBuilder("baddff")
 	q := b.DFF()
 	b.Output("q", 0, q)
-	b.Build()
+	_, err := b.Build()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BuildError", err)
+	}
+	if !be.HasCode("floating-dff") {
+		t.Fatalf("diagnostics %v missing floating-dff", be.Diags)
+	}
+	if got := be.Diags[0].Node; got != q {
+		t.Errorf("diagnostic node = %d, want the DFF node %d", got, q)
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on an unwired DFF did not panic")
+		}
+	}()
+	b := NewBuilder("baddff")
+	b.Output("q", 0, b.DFF())
+	b.MustBuild()
+}
+
+func TestValidateNetlistCleanCircuit(t *testing.T) {
+	nl := buildAdder(4)
+	if diags := ValidateNetlist(nl); len(diags) != 0 {
+		t.Fatalf("clean adder produced diagnostics: %v", diags)
+	}
+}
+
+func TestValidateNetlistDanglingRef(t *testing.T) {
+	nl := &Netlist{
+		Name:  "broken",
+		Cells: []Cell{{Kind: KInput}, {Kind: KBuf, In: [3]Node{99}}},
+	}
+	diags := ValidateNetlist(nl)
+	found := false
+	for _, d := range diags {
+		if d.Code == "dangling-ref" && d.Severity == SevError {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostics %v missing dangling-ref", diags)
+	}
 }
 
 func TestOutputFieldsOrder(t *testing.T) {
@@ -329,7 +378,7 @@ func TestOutputFieldsOrder(t *testing.T) {
 	b.Output("x", 0, a)
 	b.Output("y", 0, a)
 	b.Output("x", 1, a)
-	nl := b.Build()
+	nl := b.MustBuild()
 	fields := nl.OutputFields()
 	if len(fields) != 2 || fields[0] != "x" || fields[1] != "y" {
 		t.Fatalf("OutputFields = %v", fields)
@@ -342,7 +391,7 @@ func TestDelayFaultPresentsPreviousValue(t *testing.T) {
 	a := b.Input("a")
 	y := b.Buf(a)
 	b.Output("y", 0, y)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	sim.SetFaults([]Fault{{Node: y, Kind: Delay}})
 
@@ -369,7 +418,7 @@ func TestDelayFaultOnStableSignalIsMasked(t *testing.T) {
 	a := b.Input("a")
 	y := b.Buf(a)
 	b.Output("y", 0, y)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	sim.SetFaults([]Fault{{Node: y, Kind: Delay}})
 	sim.SetInput(0, false)
@@ -386,7 +435,7 @@ func TestDelayAndStuckFaultsCoexistInOneGroup(t *testing.T) {
 	a := b.Input("a")
 	y := b.Buf(a)
 	b.Output("y", 0, y)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	sim.SetFaults([]Fault{
 		{Node: y, Kind: Delay},  // lane 0
@@ -426,7 +475,7 @@ func TestResetClearsDelayHistory(t *testing.T) {
 	a := b.Input("a")
 	y := b.Buf(a)
 	b.Output("y", 0, y)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 	sim.SetFaults([]Fault{{Node: y, Kind: Delay}})
 	sim.SetInput(0, true)

@@ -56,7 +56,7 @@ func TestRandomCircuitsMatchBooleanModel(t *testing.T) {
 			b.Output("o", i, o.n)
 			outs = append(outs, o)
 		}
-		nl := b.Build()
+		nl := b.MustBuild()
 		sim := NewSimulator(nl)
 
 		for vec := 0; vec < 32; vec++ {
@@ -92,7 +92,7 @@ func TestRandomCircuitFaultConsistency(t *testing.T) {
 	n3 := b.Or(n2, ins[3])
 	n4 := b.Mux(ins[4], n3, ins[5])
 	b.Output("y", 0, n4)
-	nl := b.Build()
+	nl := b.MustBuild()
 	sim := NewSimulator(nl)
 
 	for trial := 0; trial < 100; trial++ {

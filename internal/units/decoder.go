@@ -134,7 +134,7 @@ func Decoder() *Unit {
 	b.SetRegister(hs, []netlist.Node{inValid}, netlist.NoEnable)
 	b.OutputBus("decode_valid", hs)
 
-	nl := b.Build()
+	nl := b.MustBuild()
 	u := &Unit{
 		Name:   "decoder",
 		NL:     nl,

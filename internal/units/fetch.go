@@ -59,7 +59,7 @@ func Fetch() *Unit {
 	b.SetRegister(fv, []netlist.Node{run}, netlist.NoEnable)
 	b.OutputBus("fetch_valid", fv)
 
-	nl := b.Build()
+	nl := b.MustBuild()
 	u := &Unit{
 		Name:   "fetch",
 		NL:     nl,

@@ -116,7 +116,7 @@ func WSC() *Unit {
 	b.OutputBus("op_route", opRoute)
 	b.OutputBus("issued_state", issued)
 
-	nl := b.Build()
+	nl := b.MustBuild()
 	u := &Unit{
 		Name:   "wsc",
 		NL:     nl,

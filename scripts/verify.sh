@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the repo's full static + dynamic gate.
+#
+# Runs go vet, checks gofmt cleanliness, and runs the test suite under
+# the race detector. Exits non-zero on the first failure. Invoked by
+# `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l ./cmd ./internal ./examples ./*.go)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
