@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fmt
+.PHONY: build test verify bench fmt serve-smoke
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 # Full gate: vet + gofmt cleanliness + build + race-enabled tests.
 verify:
 	sh scripts/verify.sh
+
+# End-to-end daemon smoke: boot faultsimd, submit a tiny campaign over
+# HTTP, check artifacts and metrics, shut down gracefully.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -1,0 +1,87 @@
+// Command faultsimd serves the two-level fault-injection campaign as a
+// long-running daemon: clients POST campaign specs, poll or stream job
+// progress, and fetch the final artifacts over plain HTTP. Completed
+// chunk results live in a content-addressed cache shared across jobs, and
+// every chunk completion is checkpointed, so killing the daemon
+// mid-campaign loses at most the chunks in flight — a restart resumes
+// each interrupted job and reproduces byte-identical artifacts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultsimd: ")
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	dataDir := flag.String("data", "faultsimd-data", "state directory (checkpoints + result cache)")
+	cacheBudget := flag.Int64("cache-budget", 256<<20, "result cache budget in bytes")
+	jobWorkers := flag.Int("job-workers", 2, "concurrently executing jobs")
+	chunkWorkers := flag.Int("chunk-workers", 0, "per-job chunk parallelism (0 = GOMAXPROCS)")
+	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
+	flag.Parse()
+
+	st, err := store.Open(*dataDir+"/cache", *cacheBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := jobs.New(jobs.Options{
+		Dir:          *dataDir + "/jobs",
+		Store:        st,
+		JobWorkers:   *jobWorkers,
+		ChunkWorkers: *chunkWorkers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requeued, recErrs := sched.Recover()
+	for _, e := range recErrs {
+		log.Printf("recover: %v", e)
+	}
+	if requeued > 0 {
+		log.Printf("recover: resuming %d interrupted job(s)", requeued)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sched.Start(context.Background())
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(sched)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (data in %s)", *addr, *dataDir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting jobs, let in-flight work finish
+	// within the grace period (progress past it is checkpointed anyway),
+	// then close the listener.
+	log.Printf("shutting down, draining for up to %s", *grace)
+	if sched.Drain(*grace) {
+		log.Printf("drained cleanly")
+	} else {
+		log.Printf("grace expired; interrupted jobs will resume on restart")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"gpufaultsim/internal/jobs"
+)
+
+// metrics is the /metrics payload: everything an operator needs to judge
+// cache effectiveness and daemon load at a glance.
+type metrics struct {
+	Jobs         int                `json:"jobs"`
+	QueueDepth   int                `json:"queue_depth"`
+	Pending      int                `json:"pending"`
+	CacheEntries int                `json:"cache_entries"`
+	CacheBytes   int64              `json:"cache_bytes"`
+	CacheBudget  int64              `json:"cache_budget"`
+	CacheHits    int64              `json:"cache_hits"`
+	CacheMisses  int64              `json:"cache_misses"`
+	CachePuts    int64              `json:"cache_puts"`
+	Evictions    int64              `json:"cache_evictions"`
+	CacheHitRate float64            `json:"cache_hit_rate"`
+	PhaseSec     map[string]float64 `json:"phase_seconds"`
+}
+
+// newServer wires the scheduler into an http.Handler. Split from main so
+// tests can drive the full API through httptest without a listener.
+func newServer(s *jobs.Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec jobs.Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad spec: "+err.Error())
+			return
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if strings.Contains(err.Error(), "draining") || strings.Contains(err.Error(), "queue full") {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.Artifact(r.PathValue("id"), r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such artifact (job unfinished or name unknown)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+
+	// NDJSON progress stream: one snapshot per line, starting with the
+	// current state, closing when the job reaches a terminal state.
+	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		ch, snap, ok := s.Subscribe(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		enc.Encode(snap)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, open := <-ch:
+				if !open {
+					return
+				}
+				enc.Encode(ev)
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		cs := s.CacheStats()
+		phases := map[string]float64{}
+		for ph, sec := range s.PhaseTimings() {
+			phases[string(ph)] = sec
+		}
+		writeJSON(w, http.StatusOK, metrics{
+			Jobs:         len(s.Jobs()),
+			QueueDepth:   s.QueueDepth(),
+			Pending:      s.Pending(),
+			CacheEntries: cs.Entries,
+			CacheBytes:   cs.Bytes,
+			CacheBudget:  cs.Budget,
+			CacheHits:    cs.Hits,
+			CacheMisses:  cs.Misses,
+			CachePuts:    cs.Puts,
+			Evictions:    cs.Evictions,
+			CacheHitRate: cs.HitRate(),
+			PhaseSec:     phases,
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

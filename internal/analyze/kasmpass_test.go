@@ -16,7 +16,7 @@ func TestUnreachableBlockAfterUnconditionalBranch(t *testing.T) {
 		IADD(3, 1, 2).
 		Label("end").
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	want := []bool{true, true, false, false, true}
@@ -42,7 +42,7 @@ func TestPredicatedBranchKeepsFallthroughAlive(t *testing.T) {
 		GST(1, 0, 2).
 		Label("end").
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	for i := 0; i < p.Len(); i++ {
@@ -61,7 +61,7 @@ func TestDeadDestinationMasksSourceFields(t *testing.T) {
 		IADD(2, 1, 1). // R2 never read again: dead destination
 		GST(1, 0, 1).
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	if !a.DeadDest(1) {
@@ -96,7 +96,7 @@ func TestLivenessAcrossLoopBackEdge(t *testing.T) {
 		P(0).BRA("top").
 		GST(1, 0, 1).
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	// n (R2) is read by the ISETP on every iteration: its definition at
@@ -114,7 +114,7 @@ func TestWritesToRZAndNOPMasking(t *testing.T) {
 		NOP().
 		Op1(isa.OpMOV, int(isa.RZ), 1). // write discarded
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	if !a.DeadDest(1) {
@@ -134,7 +134,7 @@ func TestSELReadsGuardPredicateAsData(t *testing.T) {
 		P(3).SEL(4, 1, 2).
 		GST(1, 0, 4).
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	// P3's definition feeds the SEL: not dead.
@@ -149,7 +149,7 @@ func TestDeadPredicateDefinition(t *testing.T) {
 		ISETP(isa.CmpEQ, 5, 1, 1). // P5 never consumed
 		GST(1, 0, 1).
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	if !a.DeadDest(1) {
@@ -171,7 +171,7 @@ func TestMaskedFieldCountAndReport(t *testing.T) {
 		MOVI(1, 3).
 		GST(1, 0, 1).
 		EXIT().
-		Build()
+		MustBuild()
 
 	a := AnalyzeProgram(p)
 	m, total := a.MaskedFieldCount()

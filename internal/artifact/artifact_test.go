@@ -9,6 +9,7 @@ import (
 	"gpufaultsim/internal/errmodel"
 	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/isa"
+	"gpufaultsim/internal/netlist"
 	"gpufaultsim/internal/perfi"
 	"gpufaultsim/internal/units"
 	"gpufaultsim/internal/workloads"
@@ -96,5 +97,51 @@ func TestSchemaValidation(t *testing.T) {
 	}
 	if _, err := ReadSoftwareReport(strings.NewReader(`not json`)); err == nil {
 		t.Error("accepted garbage")
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	type v struct {
+		A int
+		M map[string]int
+	}
+	d1, err := Digest(v{1, map[string]int{"x": 1, "y": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := Digest(v{1, map[string]int{"y": 2, "x": 1}})
+	if d1 != d2 {
+		t.Fatalf("digests differ for equal values: %s vs %s", d1, d2)
+	}
+	d3, _ := Digest(v{2, nil})
+	if d1 == d3 {
+		t.Fatal("digests collide for different values")
+	}
+}
+
+func TestNetlistDigestSensitivity(t *testing.T) {
+	build := func(extraBuf bool) *netlist.Netlist {
+		b := netlist.NewBuilder("d")
+		a := b.Input("a")
+		y := b.And(a, b.Input("c"))
+		if extraBuf {
+			y = b.Buf(y)
+		}
+		b.Output("y", 0, y)
+		return b.MustBuild()
+	}
+	if NetlistDigest(build(false)) != NetlistDigest(build(false)) {
+		t.Fatal("identical circuits digest differently")
+	}
+	if NetlistDigest(build(false)) == NetlistDigest(build(true)) {
+		t.Fatal("structurally different circuits share a digest")
+	}
+}
+
+func TestPatternsDigestOrderSensitive(t *testing.T) {
+	p1 := units.Pattern{PC: 1}
+	p2 := units.Pattern{PC: 2}
+	if PatternsDigest([]units.Pattern{p1, p2}) == PatternsDigest([]units.Pattern{p2, p1}) {
+		t.Fatal("pattern order not reflected in digest")
 	}
 }

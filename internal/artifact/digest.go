@@ -1,0 +1,86 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"gpufaultsim/internal/netlist"
+	"gpufaultsim/internal/units"
+)
+
+// Content addressing for campaign sub-results: the job scheduler caches
+// each work unit's artifact under a digest of everything the result
+// depends on — the unit netlist, the stimulus set, the seed and the
+// config knobs that reach the computation. Two jobs that share a
+// sub-campaign therefore share its bytes.
+
+// Canonical serializes v into the canonical byte form used for digests
+// and cached payloads: compact JSON with struct fields in declaration
+// order and map keys sorted (encoding/json's marshaling rules), no
+// timestamps. Identical values always yield identical bytes.
+func Canonical(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// Digest returns the hex SHA-256 of v's canonical serialization.
+func Digest(v any) (string, error) {
+	b, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	return DigestBytes(b), nil
+}
+
+// DigestBytes returns the hex SHA-256 of raw bytes.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// netlistWire is the canonical serializable view of a netlist's structure.
+type netlistWire struct {
+	Name    string           `json:"name"`
+	Cells   [][4]int32       `json:"cells"` // kind, in0, in1, in2
+	Inputs  []netlist.Node   `json:"inputs"`
+	InNames []string         `json:"in_names"`
+	Outputs []netlist.Output `json:"outputs"`
+	DFFs    []netlist.Node   `json:"dffs"`
+}
+
+// NetlistDigest fingerprints a netlist's full structure — every cell,
+// wire, input and classified output. Any circuit change invalidates
+// cached gate-level results keyed on it.
+func NetlistDigest(nl *netlist.Netlist) string {
+	w := netlistWire{
+		Name:    nl.Name,
+		Cells:   make([][4]int32, len(nl.Cells)),
+		Inputs:  nl.Inputs,
+		InNames: nl.InNames,
+		Outputs: nl.Outputs,
+		DFFs:    nl.DFFs,
+	}
+	for i, c := range nl.Cells {
+		w.Cells[i] = [4]int32{int32(c.Kind), int32(c.In[0]), int32(c.In[1]), int32(c.In[2])}
+	}
+	b, err := Canonical(w)
+	if err != nil {
+		// netlistWire contains only marshalable fields; unreachable.
+		panic(err)
+	}
+	return DigestBytes(b)
+}
+
+// PatternsDigest fingerprints an exciting-pattern stimulus set in order.
+func PatternsDigest(ps []units.Pattern) string {
+	b, err := Canonical(ps)
+	if err != nil {
+		panic(err)
+	}
+	return DigestBytes(b)
+}

@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"context"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"gpufaultsim/internal/errmodel"
@@ -22,6 +24,39 @@ func TestParallelMapOrderAndCompleteness(t *testing.T) {
 				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
 			}
 		}
+	}
+}
+
+func TestParallelMapCtxCancel(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	_, err := ParallelMapCtx(ctx, items, 2, func(x int) int {
+		if n.Add(1) == 10 {
+			cancel()
+		}
+		return x
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= 1000 {
+		t.Fatalf("all %d items ran despite cancellation", got)
+	}
+}
+
+func TestParallelMapCtxSingleWorkerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ParallelMapCtx(ctx, []int{1, 2, 3}, 1, func(x int) int { return x })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out[0] != 0 {
+		t.Fatal("item ran on already-canceled context")
 	}
 }
 

@@ -6,15 +6,20 @@
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// ParallelMap applies f to every item on up to workers goroutines and
+// ParallelMapCtx applies f to every item on up to workers goroutines and
 // returns the results in input order. It is deterministic as long as f is
 // a pure function of its input: scheduling never changes which result
 // lands at which index. workers <= 0 selects GOMAXPROCS.
-func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
+//
+// When ctx is canceled no further items are dispatched; items already in
+// flight run to completion. A non-nil error (ctx.Err()) means the result
+// slice is partial and must be discarded.
+func ParallelMapCtx[T, R any](ctx context.Context, items []T, workers int, f func(T) R) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,9 +29,12 @@ func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
 	out := make([]R, len(items))
 	if workers <= 1 {
 		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = f(it)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -39,10 +47,22 @@ func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := range items {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return out, ctx.Err()
+}
+
+// ParallelMap is ParallelMapCtx without cancellation.
+func ParallelMap[T, R any](items []T, workers int, f func(T) R) []R {
+	out, _ := ParallelMapCtx(context.Background(), items, workers, f)
 	return out
 }

@@ -1,10 +1,9 @@
 package campaign
 
 import (
-	"fmt"
+	"context"
 	"time"
 
-	"gpufaultsim/internal/analyze"
 	"gpufaultsim/internal/errclass"
 	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/perfi"
@@ -90,12 +89,9 @@ func (r *Results) UnitReports() []*errclass.UnitReport {
 	return out
 }
 
-// RunTwoLevel executes the five-step methodology: (1) unit profiling, (2)
-// gate-level stuck-at campaigns on WSC/fetch/decoder, (3) error
-// identification and classification, (4-5) software-level error
-// propagation on the evaluation applications. All steps are timed for the
-// speed-up accounting.
-func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
+// Defaults fills the zero-valued fields with the paper's scaled-down
+// defaults, returning the completed config.
+func (cfg TwoLevelConfig) Defaults() TwoLevelConfig {
 	if cfg.ProfilingWorkloads == nil {
 		cfg.ProfilingWorkloads = workloads.Profiling()
 	}
@@ -108,14 +104,30 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 	if cfg.Injections == 0 {
 		cfg.Injections = 50
 	}
+	return cfg
+}
+
+// RunTwoLevel executes the five-step methodology: (1) unit profiling, (2)
+// gate-level stuck-at campaigns on WSC/fetch/decoder, (3) error
+// identification and classification, (4-5) software-level error
+// propagation on the evaluation applications. All steps are timed for the
+// speed-up accounting.
+func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
+	return RunTwoLevelCtx(context.Background(), cfg)
+}
+
+// RunTwoLevelCtx is RunTwoLevel with cancellation: when ctx is canceled
+// the campaign aborts at the next step or chunk boundary and returns
+// ctx.Err().
+func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
+	cfg = cfg.Defaults()
 	res := &Results{}
 
 	// Step 1: hardware unit profiling.
 	t0 := time.Now()
-	prof, err := profiler.Collect(cfg.ProfilingWorkloads,
-		profiler.Config{Seed: cfg.Seed, MaxPatterns: cfg.MaxPatterns})
+	prof, err := ProfileStep(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: profiling: %w", err)
+		return nil, err
 	}
 	res.Profile = prof
 	res.Timing.ProfilingSec = time.Since(t0).Seconds()
@@ -124,17 +136,12 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 	// worker per unit.
 	patterns := prof.TopPatterns(cfg.MaxPatterns)
 	t1 := time.Now()
-	outcomes := ParallelMap(units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
-		col := errclass.NewCollector(u.Name)
-		var sum *gatesim.Summary
-		if cfg.Collapse {
-			sum = gatesim.CampaignCollapsed(u, patterns, analyze.Collapse(u.NL), col)
-		} else {
-			sum = gatesim.Campaign(u, patterns, col)
-		}
-		return &UnitOutcome{Unit: u, Summary: sum, Collector: col,
-			Report: errclass.Report(sum, col)}
+	outcomes, err := ParallelMapCtx(ctx, units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
+		return GateStep(u, patterns, cfg.Collapse)
 	})
+	if err != nil {
+		return nil, err
+	}
 	res.Units = outcomes
 	res.Timing.GateSec = time.Since(t1).Seconds()
 	res.Timing.GatePatterns = len(patterns)
@@ -145,7 +152,7 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 
 	// Steps 4-5: software-level error propagation.
 	t2 := time.Now()
-	apps, err := RunSuiteParallel(cfg.EvalApps, perfi.Config{
+	apps, err := RunSuiteParallelCtx(ctx, cfg.EvalApps, perfi.Config{
 		Injections: cfg.Injections, Seed: cfg.Seed,
 	}, cfg.Workers)
 	if err != nil {
@@ -166,14 +173,23 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 // the worker pool. Each worker owns its devices, so results are identical
 // to the sequential perfi.RunSuite.
 func RunSuiteParallel(apps []workloads.Workload, cfg perfi.Config, workers int) ([]*perfi.AppResult, error) {
+	return RunSuiteParallelCtx(context.Background(), apps, cfg, workers)
+}
+
+// RunSuiteParallelCtx is RunSuiteParallel with cancellation at app
+// boundaries.
+func RunSuiteParallelCtx(ctx context.Context, apps []workloads.Workload, cfg perfi.Config, workers int) ([]*perfi.AppResult, error) {
 	type outcome struct {
 		res *perfi.AppResult
 		err error
 	}
-	outs := ParallelMap(apps, workers, func(w workloads.Workload) outcome {
+	outs, err := ParallelMapCtx(ctx, apps, workers, func(w workloads.Workload) outcome {
 		r, err := perfi.RunApp(w, cfg)
 		return outcome{r, err}
 	})
+	if err != nil {
+		return nil, err
+	}
 	results := make([]*perfi.AppResult, len(outs))
 	for i, o := range outs {
 		if o.err != nil {

@@ -29,7 +29,7 @@ func gatherKernel() *kasm.Program {
 	k.PNot(1).GLD(3, 2, 0)      // value (R3 stays 0.0 for padding)
 	k.IADD(4, 11, 0).GST(4, 0, 3)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // matmulKernel: C[M x N] = A[M x K] · B[K x N], thread (ty,tx) computes
@@ -61,7 +61,7 @@ func matmulKernel() *kasm.Program {
 	k.IMUL(16, 1, 4).IADD(16, 16, 2).IADD(16, 16, 12)
 	k.GST(16, 0, 6)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // biasActKernel: for channel ch = ctaid.y, element e = ctaid.x*32+tx
@@ -89,7 +89,7 @@ func biasActKernel() *kasm.Program {
 	k.P(1).FMAX(6, 6, isa.RZ)        // max(v, +0.0)
 	k.IADD(5, 5, 12).GST(5, 0, 6)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // maxpoolKernel: out[i] = max over 4 gathered inputs addressed by the
@@ -118,5 +118,5 @@ func maxpoolKernel() *kasm.Program {
 	k.LoopLT(0, 5, 6, "loop")
 	k.IADD(4, 11, 0).GST(4, 0, 3)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }

@@ -26,7 +26,7 @@ func vecAddProgram() *kasm.Program {
 	b.IADD(5, 4, 0)
 	b.GST(5, 0, 8)
 	b.Label("done").EXIT()
-	return b.Build()
+	return b.MustBuild()
 }
 
 func launchVecAdd(t *testing.T, d *Device, n, blockX int) Result {
@@ -96,7 +96,7 @@ func TestLoopExecution(t *testing.T) {
 	b.GST(4, 0, 0)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, err := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, err := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if err != nil || res.Hung() {
 		t.Fatalf("err=%v res=%v", err, res)
 	}
@@ -126,7 +126,7 @@ func TestDivergentBranchReconverges(t *testing.T) {
 	b.GST(5, 0, 0) // global[32+tid] = tid (post-reconvergence)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, err := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}})
+	res, err := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}})
 	if err != nil || res.Hung() {
 		t.Fatalf("err=%v res=%v", err, res)
 	}
@@ -170,7 +170,7 @@ func TestBarrierAndSharedMemoryReduction(t *testing.T) {
 	b.GST(8, 0, 4)
 	b.Label("done").EXIT()
 	d := NewDevice(DefaultConfig())
-	res, err := d.Launch(b.Build(), LaunchConfig{
+	res, err := d.Launch(b.MustBuild(), LaunchConfig{
 		Grid: Dim3{X: 1}, Block: Dim3{X: 64}, SharedWords: 64,
 	})
 	if err != nil || res.Hung() {
@@ -225,7 +225,7 @@ func TestTrapBadGlobalAddress(t *testing.T) {
 	b.GLD(1, 0, 0)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Trap != TrapBadGlobalAddr {
 		t.Fatalf("trap = %v, want bad-global-address", res.Trap)
 	}
@@ -237,7 +237,7 @@ func TestTrapBadSharedAddress(t *testing.T) {
 	b.LDS(1, 0, 0)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{
 		Grid: Dim3{X: 1}, Block: Dim3{X: 1}, SharedWords: 16,
 	})
 	if res.Trap != TrapBadSharedAddr {
@@ -252,7 +252,7 @@ func TestTrapWatchdogOnInfiniteLoop(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxIssues = 1000
 	d := NewDevice(cfg)
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Trap != TrapWatchdog {
 		t.Fatalf("trap = %v, want watchdog-timeout", res.Trap)
 	}
@@ -297,7 +297,7 @@ func TestBarrierDiscountsExitedLanes(t *testing.T) {
 	cfg.MaxIssues = 10000
 	d := NewDevice(cfg)
 	// Two warps so the barrier is genuinely cross-warp.
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 64}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 64}})
 	if res.Hung() {
 		t.Fatalf("barrier with exited lane hung: %v", res)
 	}
@@ -319,7 +319,7 @@ func TestSpecialRegisters(t *testing.T) {
 	b.GST(5, 0, 7)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, err := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 2}, Block: Dim3{X: 64}})
+	res, err := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 2}, Block: Dim3{X: 64}})
 	if err != nil || res.Hung() {
 		t.Fatalf("err=%v res=%v", err, res)
 	}
@@ -348,7 +348,7 @@ func TestSFUAndConversions(t *testing.T) {
 	b.GST(6, 3, 5)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}
@@ -375,7 +375,7 @@ func TestHookRewritesInstruction(t *testing.T) {
 	b.MOVI(3, 0)
 	b.GST(3, 0, 2)
 	b.EXIT()
-	p := b.Build()
+	p := b.MustBuild()
 	d := NewDevice(DefaultConfig())
 	d.AddHook(HookFuncs{BeforeFn: func(ctx *InstrCtx) {
 		if ctx.Instr.Op == isa.OpFADD {
@@ -455,7 +455,7 @@ func TestPredicatedSELPair(t *testing.T) {
 	b.GST(0, 0, 2)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}
@@ -479,7 +479,7 @@ func TestRZSemantics(t *testing.T) {
 	b.GST(2, 0, 1)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}
@@ -532,7 +532,7 @@ func TestPPBAssignment(t *testing.T) {
 	b := kasm.New("ppb")
 	b.S2R(0, isa.SRWarpID)
 	b.EXIT()
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 8 * 32}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 8 * 32}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}
@@ -600,7 +600,7 @@ func TestShiftSemantics(t *testing.T) {
 	b.GST(3, 1, 2)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}
@@ -625,7 +625,7 @@ func TestFMinMaxSemantics(t *testing.T) {
 	b.GST(4, 1, 3)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 	if res.Hung() {
 		t.Fatalf("trap: %v", res)
 	}

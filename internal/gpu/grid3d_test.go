@@ -45,7 +45,7 @@ func TestThreeDimensionalGridAndBlock(t *testing.T) {
 	d := NewDevice(DefaultConfig())
 	grid := Dim3{X: 2, Y: 3, Z: 2}
 	block := Dim3{X: 4, Y: 2, Z: 2}
-	res, err := d.Launch(b.Build(), LaunchConfig{Grid: grid, Block: block})
+	res, err := d.Launch(b.MustBuild(), LaunchConfig{Grid: grid, Block: block})
 	if err != nil || res.Hung() {
 		t.Fatalf("err=%v res=%v", err, res)
 	}
@@ -69,7 +69,7 @@ func TestLDCWithRegisterOffset(t *testing.T) {
 	b.GST(0, 0, 1)
 	b.EXIT()
 	d := NewDevice(DefaultConfig())
-	res, _ := d.Launch(b.Build(), LaunchConfig{
+	res, _ := d.Launch(b.MustBuild(), LaunchConfig{
 		Grid: Dim3{X: 1}, Block: Dim3{X: 4},
 		Params: []uint32{10, 20, 30, 40},
 	})
@@ -82,7 +82,7 @@ func TestLDCWithRegisterOffset(t *testing.T) {
 		}
 	}
 	// Past the parameter array: trap.
-	res, _ = d.Launch(b.Build(), LaunchConfig{
+	res, _ = d.Launch(b.MustBuild(), LaunchConfig{
 		Grid: Dim3{X: 1}, Block: Dim3{X: 8},
 		Params: []uint32{10, 20, 30, 40},
 	})
@@ -115,7 +115,7 @@ func TestPSETPLogicOps(t *testing.T) {
 		b.GST(0, 0, 3)
 		b.EXIT()
 		d := NewDevice(DefaultConfig())
-		res, _ := d.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 4}})
+		res, _ := d.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 4}})
 		if res.Hung() {
 			t.Fatalf("trap: %v", res)
 		}

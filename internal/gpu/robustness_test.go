@@ -95,7 +95,7 @@ func TestHooksCannotBreakTermination(t *testing.T) {
 	b.MOVI(4, 0)
 	b.GST(4, 0, 2)
 	b.EXIT()
-	prog := b.Build()
+	prog := b.MustBuild()
 
 	for trial := 0; trial < 50; trial++ {
 		res, err := dev.Launch(prog, LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 64}})
@@ -121,7 +121,7 @@ func TestGarbageRegisterInitIsDeterministic(t *testing.T) {
 		b := kasm.New("probe")
 		b.NOP()
 		b.EXIT()
-		if _, err := dev.Launch(b.Build(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}}); err != nil {
+		if _, err := dev.Launch(b.MustBuild(), LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 32}}); err != nil {
 			t.Fatal(err)
 		}
 		return got
@@ -147,7 +147,7 @@ func TestDeviceIsReusableAcrossLaunches(t *testing.T) {
 	b.IADD(1, 1, 2)
 	b.GST(0, 0, 1)
 	b.EXIT()
-	prog := b.Build()
+	prog := b.MustBuild()
 	for i := 1; i <= 5; i++ {
 		res, err := dev.Launch(prog, LaunchConfig{Grid: Dim3{X: 1}, Block: Dim3{X: 1}})
 		if err != nil || res.Hung() {

@@ -1,0 +1,563 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gpufaultsim/internal/artifact"
+	"gpufaultsim/internal/campaign"
+	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/store"
+	"gpufaultsim/internal/units"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Dir holds job checkpoints (one JSON file per job).
+	Dir string
+	// Store is the content-addressed result cache shared by all jobs.
+	Store *store.Store
+	// JobWorkers bounds concurrently executing jobs (<=0 selects 2).
+	JobWorkers int
+	// ChunkWorkers bounds per-job chunk parallelism (<=0 selects
+	// GOMAXPROCS). Worker counts never influence results.
+	ChunkWorkers int
+	// QueueCap bounds the submission queue (<=0 selects 1024).
+	QueueCap int
+}
+
+// Scheduler runs campaign jobs: deterministic chunking, bounded
+// parallelism, per-chunk checkpointing and content-addressed caching.
+type Scheduler struct {
+	opts  Options
+	store *store.Store
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+
+	queue  chan string
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a scheduler over a checkpoint directory and a result cache.
+func New(opts Options) (*Scheduler, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("jobs: nil store")
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 1024
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	return &Scheduler{
+		opts:  opts,
+		store: opts.Store,
+		jobs:  make(map[string]*Job),
+		queue: make(chan string, opts.QueueCap),
+	}, nil
+}
+
+// Start launches the worker pool. Jobs submitted before Start wait in the
+// queue.
+func (s *Scheduler) Start(ctx context.Context) {
+	ctx, s.cancel = context.WithCancel(ctx)
+	for w := 0; w < s.opts.JobWorkers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case id := <-s.queue:
+					s.runJob(ctx, id)
+				}
+			}
+		}()
+	}
+}
+
+// Stop cancels in-flight work at the next chunk boundary and waits for
+// the workers to exit. Interrupted jobs keep their checkpoints and resume
+// via Recover on the next start.
+func (s *Scheduler) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+}
+
+// Drain stops accepting submissions, then waits up to grace for queued
+// and running jobs to finish before stopping. It reports whether the
+// queue fully drained.
+func (s *Scheduler) Drain(grace time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	drained := false
+	for time.Now().Before(deadline) {
+		if s.Pending() == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.Stop()
+	return drained
+}
+
+// Pending counts jobs that are queued or running.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueDepth counts jobs waiting for a worker.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// CacheStats snapshots the result cache counters.
+func (s *Scheduler) CacheStats() store.Stats { return s.store.Stats() }
+
+// PhaseTimings sums per-phase wall-clock seconds across all jobs.
+func (s *Scheduler) PhaseTimings() map[Phase]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[Phase]float64{PhaseProfile: 0, PhaseGate: 0, PhaseSoftware: 0}
+	for _, j := range s.jobs {
+		out[PhaseProfile] += j.timing.ProfilingSec
+		out[PhaseGate] += j.timing.GateSec
+		out[PhaseSoftware] += j.timing.SoftwareSec
+	}
+	return out
+}
+
+// Submit validates the spec, registers a new job and enqueues it. Every
+// submission is a distinct job; result reuse happens underneath in the
+// content-addressed cache, so resubmitting an identical spec completes
+// almost entirely from cache.
+func (s *Scheduler) Submit(spec Spec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	spec = spec.WithDefaults()
+	digest, err := spec.Digest()
+	if err != nil {
+		return Status{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("jobs: scheduler is draining")
+	}
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d-%s", s.seq, digest[:8]),
+		Spec:    spec,
+		Digest:  digest,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+	}
+	for _, c := range Chunks(spec) {
+		j.chunks = append(j.chunks, ChunkState{Chunk: c})
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	st := j.statusLocked()
+	s.mu.Unlock()
+
+	if err := s.checkpoint(j); err != nil {
+		return st, err
+	}
+	select {
+	case s.queue <- j.ID:
+	default:
+		s.mu.Lock()
+		j.state = StateFailed
+		j.err = "submission queue full"
+		st = j.statusLocked()
+		s.mu.Unlock()
+		s.checkpoint(j)
+		return st, fmt.Errorf("jobs: submission queue full")
+	}
+	return st, nil
+}
+
+// Recover loads every checkpoint under Dir, restores finished jobs and
+// re-enqueues unfinished ones. Chunks already recorded done are served
+// from the cache on re-execution, so a recovered job only recomputes what
+// it never finished. It returns the number of jobs re-enqueued.
+func (s *Scheduler) Recover() (int, []error) {
+	cps, errs := loadCheckpoints(s.opts.Dir)
+	requeued := 0
+	for _, cp := range cps {
+		s.mu.Lock()
+		if _, dup := s.jobs[cp.ID]; dup {
+			s.mu.Unlock()
+			continue
+		}
+		j := &Job{
+			ID: cp.ID, Spec: cp.Spec.WithDefaults(), Digest: cp.Digest,
+			state: cp.State, err: cp.Err, created: cp.Created,
+			chunks: cp.Chunks,
+		}
+		// A sequence collision would mint duplicate job IDs after restart.
+		var seq int
+		if _, err := fmt.Sscanf(cp.ID, "j%06d-", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.mu.Unlock()
+
+		switch cp.State {
+		case StateDone:
+			// Reassemble artifacts from cached payloads; if the cache lost
+			// one, fall back to re-running the missing chunks.
+			if err := s.restoreArtifacts(j); err == nil {
+				continue
+			}
+			fallthrough
+		case StateQueued, StateRunning:
+			s.mu.Lock()
+			j.state = StateQueued
+			j.err = ""
+			s.mu.Unlock()
+			select {
+			case s.queue <- j.ID:
+				requeued++
+			default:
+				errs = append(errs, fmt.Errorf("jobs: queue full recovering %s", j.ID))
+			}
+		}
+	}
+	return requeued, errs
+}
+
+// restoreArtifacts rebuilds a finished job's artifacts from the cache.
+func (s *Scheduler) restoreArtifacts(j *Job) error {
+	s.mu.Lock()
+	chunks := append([]ChunkState(nil), j.chunks...)
+	spec := j.Spec
+	s.mu.Unlock()
+
+	payloads := make(map[string][]byte)
+	for _, c := range chunks {
+		if !c.Done || c.CacheKey == "" {
+			return fmt.Errorf("jobs: %s: chunk %s not done", j.ID, c.ID)
+		}
+		b, ok := s.store.Get(c.CacheKey)
+		if !ok {
+			return fmt.Errorf("jobs: %s: chunk %s evicted from cache", j.ID, c.ID)
+		}
+		payloads[c.ID] = b
+	}
+	arts, err := assembleArtifacts(spec, payloads)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.artifacts = arts
+	s.mu.Unlock()
+	return nil
+}
+
+// Job returns a job's status.
+func (s *Scheduler) Job(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Scheduler) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked())
+	}
+	return out
+}
+
+// Artifact returns one output artifact of a finished job.
+func (s *Scheduler) Artifact(id, name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.artifacts == nil {
+		return nil, false
+	}
+	b, ok := j.artifacts[name]
+	return b, ok
+}
+
+// Subscribe attaches a progress listener to a job. The returned channel
+// receives snapshots until the job finishes, then closes; the bool
+// reports whether the job exists. The current snapshot is returned
+// immediately so late subscribers see state without waiting for an event.
+func (s *Scheduler) Subscribe(id string) (<-chan report.ProgressSnapshot, report.ProgressSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, report.ProgressSnapshot{}, false
+	}
+	snap := j.snapshotLocked("", "")
+	ch := make(chan report.ProgressSnapshot, 64)
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		close(ch)
+		return ch, snap, true
+	}
+	j.subs = append(j.subs, ch)
+	return ch, snap, true
+}
+
+// checkpoint persists a job's current state.
+func (s *Scheduler) checkpoint(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return saveCheckpoint(s.opts.Dir, j)
+}
+
+// --- execution ------------------------------------------------------------
+
+func (s *Scheduler) runJob(ctx context.Context, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || (j.state != StateQueued && j.state != StateRunning) {
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	saveCheckpoint(s.opts.Dir, j)
+	j.emitLocked(j.snapshotLocked("", ""))
+	s.mu.Unlock()
+
+	err := s.executeJob(ctx, j)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.err = ""
+	case ctx.Err() != nil:
+		// Shutdown, not failure: leave the job resumable. The checkpoint
+		// keeps every chunk completed so far.
+		j.state = StateQueued
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	saveCheckpoint(s.opts.Dir, j)
+	snap := j.snapshotLocked("", "")
+	j.emitLocked(snap)
+	if j.state != StateQueued {
+		j.closeSubsLocked()
+	}
+}
+
+// executeJob runs a job's chunks phase by phase. Chunk results come from
+// the content-addressed cache when available; every completion is
+// checkpointed, so progress survives a kill at any point.
+func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
+	spec := j.Spec
+
+	// Phase 1: profiling.
+	t0 := time.Now()
+	key, err := profileKey(spec)
+	if err != nil {
+		return err
+	}
+	profBytes, err := s.ensureChunk(ctx, j, "profile", key, func() ([]byte, error) {
+		return computeProfile(spec)
+	})
+	if err != nil {
+		return err
+	}
+	var prof profilePayload
+	if err := json.Unmarshal(profBytes, &prof); err != nil {
+		return fmt.Errorf("jobs: profile payload: %w", err)
+	}
+	s.mu.Lock()
+	j.timing.ProfilingSec += time.Since(t0).Seconds()
+	j.timing.AppDynInstrs = prof.DynInstrs
+	s.mu.Unlock()
+
+	payloads := map[string][]byte{"profile": profBytes}
+	var payloadMu sync.Mutex
+
+	// Phases 2-3: gate-level campaigns, one chunk per unit.
+	t1 := time.Now()
+	patternsDigest := artifact.PatternsDigest(prof.Patterns)
+	type chunkOut struct {
+		id  string
+		b   []byte
+		err error
+	}
+	gateOuts, err := campaign.ParallelMapCtx(ctx, units.All(), s.opts.ChunkWorkers,
+		func(u *units.Unit) chunkOut {
+			id := "gate:" + u.Name
+			key, err := gateKey(spec, u, patternsDigest)
+			if err != nil {
+				return chunkOut{id: id, err: err}
+			}
+			b, err := s.ensureChunk(ctx, j, id, key, func() ([]byte, error) {
+				return computeGate(spec, u, prof.Patterns)
+			})
+			return chunkOut{id: id, b: b, err: err}
+		})
+	if err != nil {
+		return err
+	}
+	gateFaults := 0
+	for _, o := range gateOuts {
+		if o.err != nil {
+			return o.err
+		}
+		payloadMu.Lock()
+		payloads[o.id] = o.b
+		payloadMu.Unlock()
+		var gr artifact.GateReport
+		if err := json.Unmarshal(o.b, &gr); err != nil {
+			return fmt.Errorf("jobs: gate payload %s: %w", o.id, err)
+		}
+		gateFaults += gr.TotalFaults
+	}
+	s.mu.Lock()
+	j.timing.GateSec += time.Since(t1).Seconds()
+	j.timing.GatePatterns = len(prof.Patterns)
+	j.timing.GateFaults = gateFaults
+	s.mu.Unlock()
+
+	// Phases 4-5: software campaigns, one chunk per application.
+	t2 := time.Now()
+	swOuts, err := campaign.ParallelMapCtx(ctx, spec.Apps, s.opts.ChunkWorkers,
+		func(app string) chunkOut {
+			id := "sw:" + app
+			key, err := softwareKey(spec, app)
+			if err != nil {
+				return chunkOut{id: id, err: err}
+			}
+			b, err := s.ensureChunk(ctx, j, id, key, func() ([]byte, error) {
+				return computeSoftware(spec, app)
+			})
+			return chunkOut{id: id, b: b, err: err}
+		})
+	if err != nil {
+		return err
+	}
+	injections := 0
+	for _, o := range swOuts {
+		if o.err != nil {
+			return o.err
+		}
+		payloadMu.Lock()
+		payloads[o.id] = o.b
+		payloadMu.Unlock()
+		var sp softwarePayload
+		if err := json.Unmarshal(o.b, &sp); err != nil {
+			return fmt.Errorf("jobs: software payload %s: %w", o.id, err)
+		}
+		for _, m := range sp.Row.Models {
+			injections += m.Masked + m.SDC + m.DUE
+		}
+	}
+	s.mu.Lock()
+	j.timing.SoftwareSec += time.Since(t2).Seconds()
+	j.timing.SWInjections = injections
+	s.mu.Unlock()
+
+	arts, err := assembleArtifacts(spec, payloads)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.artifacts = arts
+	s.mu.Unlock()
+	return nil
+}
+
+// ensureChunk returns the chunk's payload, from the cache when possible,
+// computing, storing and checkpointing it otherwise.
+func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, compute func() ([]byte, error)) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if b, ok := s.store.Get(key); ok {
+		s.markChunkDone(j, id, key, true)
+		return b, nil
+	}
+	// Miss: either first execution or the entry was evicted; compute.
+	s.mu.Lock()
+	c := j.chunk(id)
+	if c != nil {
+		c.CacheKey = key
+		j.emitLocked(j.snapshotLocked(id, c.Phase))
+	}
+	s.mu.Unlock()
+
+	b, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put(key, b); err != nil {
+		return nil, err
+	}
+	s.markChunkDone(j, id, key, false)
+	return b, nil
+}
+
+// markChunkDone records completion, checkpoints the job, and emits a
+// progress event.
+func (s *Scheduler) markChunkDone(j *Job, id, key string, fromCache bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := j.chunk(id)
+	if c == nil {
+		return
+	}
+	c.Done = true
+	c.CacheKey = key
+	c.FromCache = fromCache
+	saveCheckpoint(s.opts.Dir, j)
+	j.emitLocked(j.snapshotLocked(id, c.Phase))
+}

@@ -37,7 +37,7 @@ func ExampleBuilder() {
 	b.ISETP(2 /* CmpLT */, 0, 1, 0) // P0 = 1 < R0
 	b.P(0).BRA("loop")
 	b.EXIT()
-	p := b.Build()
+	p := b.MustBuild()
 	fmt.Println(p.Len(), "instructions")
 	// Output:
 	// 6 instructions

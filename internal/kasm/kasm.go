@@ -10,6 +10,7 @@ package kasm
 
 import (
 	"fmt"
+	"strings"
 
 	"gpufaultsim/internal/isa"
 )
@@ -52,16 +53,18 @@ type fixup struct {
 // Builder assembles a Program instruction by instruction.
 //
 // Register allocation is the caller's business: helpers return isa register
-// numbers. The builder panics on malformed programs (unknown labels,
-// duplicate labels) at Build time — assembling happens at test/benchmark
-// setup, never on a fault-injection fast path, so fail-fast is the right
-// trade-off.
+// numbers. Malformed programs (duplicate labels, undefined labels,
+// out-of-range immediates) are recorded as the chain is built and surface
+// as a single error from Build — mirroring the netlist Builder — so
+// chained emission never panics mid-construction. MustBuild keeps the
+// fail-fast behavior for setup-time construction.
 type Builder struct {
 	name   string
 	code   []isa.Instruction
 	labels map[string]int
 	fixups []fixup
 	pred   uint8 // predicate applied to the next emitted instruction
+	errs   []string
 }
 
 // New returns a Builder for a kernel with the given name.
@@ -69,10 +72,17 @@ func New(name string) *Builder {
 	return &Builder{name: name, labels: make(map[string]int), pred: isa.PT}
 }
 
+// errorf records a build error; the chain keeps going so callers see
+// every defect from one Build call.
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}
+
 // Label defines a label at the current position.
 func (b *Builder) Label(name string) *Builder {
 	if _, dup := b.labels[name]; dup {
-		panic(fmt.Sprintf("kasm: duplicate label %q in %s", name, b.name))
+		b.errorf("duplicate label %q", name)
+		return b
 	}
 	b.labels[name] = len(b.code)
 	return b
@@ -97,19 +107,37 @@ func (b *Builder) emit(in isa.Instruction) *Builder {
 	return b
 }
 
-// Build resolves fixups and returns the finished Program.
-func (b *Builder) Build() *Program {
+// Build resolves fixups and returns the finished Program. Defects
+// recorded during emission (duplicate labels, out-of-range immediates)
+// and unresolved branch targets are joined into one error.
+func (b *Builder) Build() (*Program, error) {
+	errs := b.errs
 	for _, f := range b.fixups {
 		target, ok := b.labels[f.label]
 		if !ok {
-			panic(fmt.Sprintf("kasm: undefined label %q in %s", f.label, b.name))
+			errs = append(errs, fmt.Sprintf("undefined label %q", f.label))
+			continue
 		}
 		b.code[f.index].Imm = uint16(target)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("kasm: %s: %s", b.name, strings.Join(errs, "; "))
 	}
 	p := &Program{Name: b.name, Code: make([]isa.Word, len(b.code)),
 		Labels: b.labels}
 	for i, in := range b.code {
 		p.Code[i] = in.Encode()
+	}
+	return p, nil
+}
+
+// MustBuild is Build for setup-time construction: it panics on a
+// malformed program. The workload kernels use it — their sources are
+// fixed at compile time, so fail-fast is the right trade-off.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -163,7 +191,8 @@ func (b *Builder) MOV(rd, ra int) *Builder   { return b.Op1(isa.OpMOV, rd, ra) }
 // MOVI loads a signed 16-bit immediate into rd.
 func (b *Builder) MOVI(rd int, imm int) *Builder {
 	if imm < -32768 || imm > 32767 {
-		panic(fmt.Sprintf("kasm: MOVI immediate %d out of range in %s", imm, b.name))
+		b.errorf("MOVI immediate %d out of range", imm)
+		imm = 0
 	}
 	return b.emit(isa.Instruction{Op: isa.OpMOV32I, Rd: uint8(rd), Imm: uint16(int16(imm))})
 }

@@ -14,7 +14,7 @@ func TestForwardAndBackwardLabels(t *testing.T) {
 	b.BRA("end") // forward reference
 	b.BRA("top") // backward reference
 	b.Label("end").EXIT()
-	p := b.Build()
+	p := b.MustBuild()
 	if p.At(1).Imm != 3 {
 		t.Errorf("forward branch target = %d, want 3", p.At(1).Imm)
 	}
@@ -23,38 +23,53 @@ func TestForwardAndBackwardLabels(t *testing.T) {
 	}
 }
 
-func TestUndefinedLabelPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Build with undefined label did not panic")
-		}
-	}()
-	New("bad").BRA("nowhere").Build()
+func TestUndefinedLabelError(t *testing.T) {
+	_, err := New("bad").BRA("nowhere").Build()
+	if err == nil || !strings.Contains(err.Error(), `undefined label "nowhere"`) {
+		t.Fatalf("Build with undefined label: err = %v", err)
+	}
 }
 
-func TestDuplicateLabelPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate label did not panic")
-		}
-	}()
-	New("dup").Label("a").Label("a")
+func TestDuplicateLabelError(t *testing.T) {
+	_, err := New("dup").Label("a").Label("a").EXIT().Build()
+	if err == nil || !strings.Contains(err.Error(), `duplicate label "a"`) {
+		t.Fatalf("Build with duplicate label: err = %v", err)
+	}
 }
 
-func TestMOVIRangePanics(t *testing.T) {
+func TestMOVIRangeError(t *testing.T) {
+	_, err := New("movi").MOVI(0, 1<<20).Build()
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Build with out-of-range MOVI: err = %v", err)
+	}
+}
+
+func TestBuildJoinsAllErrors(t *testing.T) {
+	_, err := New("multi").Label("a").Label("a").MOVI(0, 1<<20).BRA("gone").Build()
+	if err == nil {
+		t.Fatal("Build on triply-broken program succeeded")
+	}
+	for _, want := range []string{"duplicate label", "out of range", "undefined label"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("out-of-range MOVI did not panic")
+			t.Fatal("MustBuild with undefined label did not panic")
 		}
 	}()
-	New("movi").MOVI(0, 1<<20)
+	New("bad").BRA("nowhere").MustBuild()
 }
 
 func TestPredicateAppliesToNextInstructionOnly(t *testing.T) {
 	b := New("pred")
 	b.P(2).MOVI(0, 1)
 	b.MOVI(1, 2)
-	p := b.Build()
+	p := b.MustBuild()
 	if p.At(0).PredIndex() != 2 || p.At(0).Unconditional() {
 		t.Error("P(2) not applied to first instruction")
 	}
@@ -64,7 +79,7 @@ func TestPredicateAppliesToNextInstructionOnly(t *testing.T) {
 }
 
 func TestPNotSetsNegation(t *testing.T) {
-	p := New("pnot").PNot(1).MOVI(0, 5).Build()
+	p := New("pnot").PNot(1).MOVI(0, 5).MustBuild()
 	in := p.At(0)
 	if !in.PredNegated() || in.PredIndex() != 1 {
 		t.Errorf("PNot encoding wrong: %+v", in)
@@ -72,7 +87,7 @@ func TestPNotSetsNegation(t *testing.T) {
 }
 
 func TestParamSugar(t *testing.T) {
-	p := New("param").Param(3, 2).Build()
+	p := New("param").Param(3, 2).MustBuild()
 	in := p.At(0)
 	if in.Op != isa.OpLDC || in.Rd != 3 || in.Rs1 != isa.RZ || in.SImm() != 2 {
 		t.Errorf("Param encoding wrong: %v", in)
@@ -80,7 +95,7 @@ func TestParamSugar(t *testing.T) {
 }
 
 func TestNegativeMemoryOffsets(t *testing.T) {
-	p := New("neg").GLD(0, 1, -4).Build()
+	p := New("neg").GLD(0, 1, -4).MustBuild()
 	if p.At(0).SImm() != -4 {
 		t.Errorf("negative offset = %d, want -4", p.At(0).SImm())
 	}
@@ -89,7 +104,7 @@ func TestNegativeMemoryOffsets(t *testing.T) {
 func TestDisassembleContainsLabelsAndMnemonics(t *testing.T) {
 	b := New("dis")
 	b.Label("start").MOVI(0, 7).BRA("start")
-	text := b.Build().Disassemble()
+	text := b.MustBuild().Disassemble()
 	for _, want := range []string{"start:", "MOV32I R0, 7", "BRA 0"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("disassembly missing %q:\n%s", want, text)
@@ -98,7 +113,7 @@ func TestDisassembleContainsLabelsAndMnemonics(t *testing.T) {
 }
 
 func TestGlobalThreadIdXSequence(t *testing.T) {
-	p := New("gid").GlobalThreadIdX(0, 1).Build()
+	p := New("gid").GlobalThreadIdX(0, 1).MustBuild()
 	ops := []isa.Opcode{isa.OpS2R, isa.OpS2R, isa.OpIMUL, isa.OpS2R, isa.OpIADD}
 	if p.Len() != len(ops) {
 		t.Fatalf("GlobalThreadIdX emitted %d instructions, want %d", p.Len(), len(ops))
@@ -121,7 +136,7 @@ func TestAllMnemonicHelpersEncodeTheirOpcode(t *testing.T) {
 	b.GLD(0, 1, 0).GST(1, 0, 2).LDS(0, 1, 0).STS(1, 0, 2).LDC(0, 1, 0)
 	b.ISETP(isa.CmpEQ, 0, 1, 2).FSETP(isa.CmpLT, 0, 1, 2)
 	b.S2R(0, isa.SRTidX).SEL(0, 1, 2).BAR().NOP().EXIT()
-	p := b.Build()
+	p := b.MustBuild()
 	want := []isa.Opcode{
 		isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMIN, isa.OpIMAX,
 		isa.OpIAND, isa.OpIOR, isa.OpIXOR,

@@ -86,21 +86,7 @@ func Parse(name, src string) (*Program, error) {
 		b.fixups = append(b.fixups, fixup{index: br.line, label: br.target})
 	}
 
-	// Resolve via Build, converting its panics into errors.
-	var p *Program
-	err := func() (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("kasm: %v", r)
-			}
-		}()
-		p = b.Build()
-		return nil
-	}()
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
+	return b.Build()
 }
 
 func validIdent(s string) bool {

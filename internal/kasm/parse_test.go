@@ -77,7 +77,7 @@ func TestParseDisassembleRoundTrip(t *testing.T) {
 			}
 		}
 		b.EXIT()
-		p1 := b.Build()
+		p1 := b.MustBuild()
 		p2, err := Parse("rt", p1.Disassemble())
 		if err != nil {
 			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, p1.Disassemble())

@@ -3,6 +3,39 @@ package netlist
 import "fmt"
 
 // Datapath macros. All buses are LSB-first []Node.
+//
+// Misuse of a macro (mismatched bus widths, a MuxN whose option count
+// does not match its select bus) is recorded as an error-severity
+// Diagnostic on the builder and surfaces from Build — the same path as
+// structural defects — instead of panicking mid-construction. The macro
+// still returns a bus of the expected width (padded with constant zeros)
+// so chained construction can continue to Build, where the diagnostics
+// are reported together.
+
+// defect records a construction-time diagnostic surfaced by Build.
+func (b *Builder) defect(code, format string, args ...any) {
+	b.diags = append(b.diags, Diagnostic{SevError, code, Node(-1),
+		fmt.Sprintf(format, args...)})
+}
+
+// sameLen checks that two buses match in width, recording a "bus-width"
+// diagnostic otherwise. It reports whether the widths matched.
+func (b *Builder) sameLen(a, c []Node, op string) bool {
+	if len(a) != len(c) {
+		b.defect("bus-width", "%s: bus width mismatch %d vs %d", op, len(a), len(c))
+		return false
+	}
+	return true
+}
+
+// padTo extends a bus to width with constant zeros (recovery filler after
+// a width-mismatch diagnostic; never emitted on well-formed circuits).
+func (b *Builder) padTo(bus []Node, width int) []Node {
+	for len(bus) < width {
+		bus = append(bus, b.Const(false))
+	}
+	return bus[:width]
+}
 
 // ConstBus returns a bus holding the constant value, LSB first.
 func (b *Builder) ConstBus(width int, value uint64) []Node {
@@ -33,7 +66,9 @@ func (b *Builder) NotBus(a []Node) []Node {
 
 // XorBus returns a⊕c bitwise.
 func (b *Builder) XorBus(a, c []Node) []Node {
-	mustSameLen(a, c)
+	if !b.sameLen(a, c, "XorBus") {
+		c = b.padTo(c, len(a))
+	}
 	out := make([]Node, len(a))
 	for i := range a {
 		out[i] = b.Xor(a[i], c[i])
@@ -43,7 +78,9 @@ func (b *Builder) XorBus(a, c []Node) []Node {
 
 // AndBus returns a∧c bitwise.
 func (b *Builder) AndBus(a, c []Node) []Node {
-	mustSameLen(a, c)
+	if !b.sameLen(a, c, "AndBus") {
+		c = b.padTo(c, len(a))
+	}
 	out := make([]Node, len(a))
 	for i := range a {
 		out[i] = b.And(a[i], c[i])
@@ -62,7 +99,9 @@ func (b *Builder) AndNode(a []Node, en Node) []Node {
 
 // MuxBus returns sel ? hi : lo per bit.
 func (b *Builder) MuxBus(sel Node, lo, hi []Node) []Node {
-	mustSameLen(lo, hi)
+	if !b.sameLen(lo, hi, "MuxBus") {
+		hi = b.padTo(hi, len(lo))
+	}
 	out := make([]Node, len(lo))
 	for i := range lo {
 		out[i] = b.Mux(sel, lo[i], hi[i])
@@ -74,8 +113,12 @@ func (b *Builder) MuxBus(sel Node, lo, hi []Node) []Node {
 // a power of two and equal 1<<len(sel)).
 func (b *Builder) MuxN(sel []Node, options [][]Node) []Node {
 	if len(options) != 1<<len(sel) {
-		panic(fmt.Sprintf("netlist: MuxN with %d options and %d select bits",
-			len(options), len(sel)))
+		b.defect("muxn-arity", "MuxN with %d options and %d select bits",
+			len(options), len(sel))
+		if len(options) == 0 {
+			return nil
+		}
+		return b.BufBus(options[0])
 	}
 	if len(options) == 1 {
 		return options[0]
@@ -88,7 +131,9 @@ func (b *Builder) MuxN(sel []Node, options [][]Node) []Node {
 
 // Adder returns a ripple-carry a+c+cin, plus the carry out.
 func (b *Builder) Adder(a, c []Node, cin Node) (sum []Node, cout Node) {
-	mustSameLen(a, c)
+	if !b.sameLen(a, c, "Adder") {
+		c = b.padTo(c, len(a))
+	}
 	sum = make([]Node, len(a))
 	carry := cin
 	for i := range a {
@@ -138,7 +183,9 @@ func (b *Builder) LtConst(a []Node, value uint64) Node {
 
 // Eq returns a == c.
 func (b *Builder) Eq(a, c []Node) Node {
-	mustSameLen(a, c)
+	if !b.sameLen(a, c, "Eq") {
+		c = b.padTo(c, len(a))
+	}
 	acc := b.Const(true)
 	for i := range a {
 		acc = b.And(acc, b.Not(b.Xor(a[i], c[i])))
@@ -198,7 +245,9 @@ func (b *Builder) Register(width int) []Node {
 // SetRegister connects the register's next state, optionally gated by an
 // enable (nil = always load).
 func (b *Builder) SetRegister(q, d []Node, en Node) {
-	mustSameLen(q, d)
+	if !b.sameLen(q, d, "SetRegister") {
+		d = b.padTo(d, len(q))
+	}
 	for i := range q {
 		next := d[i]
 		if en >= 0 {
@@ -237,10 +286,4 @@ func (b *Builder) RotatePriority(requests []Node, lastGrant []Node) (grant []Nod
 		}
 	}
 	return grant
-}
-
-func mustSameLen(a, c []Node) {
-	if len(a) != len(c) {
-		panic(fmt.Sprintf("netlist: bus width mismatch %d vs %d", len(a), len(c)))
-	}
 }

@@ -105,7 +105,8 @@ func (n *Netlist) EvalOrder() []Node { return n.order }
 
 // Builder constructs a Netlist. Wiring methods panic on out-of-range node
 // arguments (programming errors at construction time); whole-circuit
-// defects — combinational cycles, unwired DFFs — surface as a structured
+// defects — combinational cycles, unwired DFFs, misused datapath macros
+// (bus width mismatches, MuxN arity) — surface as a structured
 // *BuildError from Build, or a panic from MustBuild.
 type Builder struct {
 	name    string
@@ -118,6 +119,7 @@ type Builder struct {
 	const1  Node
 	hasC0   bool
 	hasC1   bool
+	diags   []Diagnostic // macro-misuse findings, reported by Build
 }
 
 // NewBuilder starts a netlist.
@@ -257,14 +259,16 @@ func (b *Builder) OutputBus(field string, bus []Node) {
 
 // Build finalizes the netlist: validates the structure (DFF wiring,
 // combinational cycles, node references) and computes the combinational
-// evaluation order. Structural defects return a *BuildError carrying one
+// evaluation order. Structural defects — including datapath-macro misuse
+// recorded during construction — return a *BuildError carrying one
 // Diagnostic per finding.
 func (b *Builder) Build() (*Netlist, error) {
 	nl := &Netlist{
 		Name: b.name, Cells: b.cells, Inputs: b.inputs, InNames: b.inNames,
 		Outputs: b.outputs, DFFs: b.dffs,
 	}
-	if diags := errorDiags(ValidateNetlist(nl)); len(diags) > 0 {
+	diags := append(errorDiags(b.diags), errorDiags(ValidateNetlist(nl))...)
+	if len(diags) > 0 {
 		return nil, &BuildError{Name: b.name, Diags: diags}
 	}
 	nl.order = topoOrder(nl)

@@ -487,3 +487,61 @@ func TestResetClearsDelayHistory(t *testing.T) {
 		t.Fatalf("post-reset y = %d, want 0 (history cleared)", got)
 	}
 }
+
+func TestMuxNArityReportedByBuild(t *testing.T) {
+	b := NewBuilder("muxn")
+	sel := b.InputBus("sel", 2) // 2 select bits but only 3 options
+	opts := [][]Node{b.InputBus("a", 4), b.InputBus("c", 4), b.InputBus("d", 4)}
+	out := b.MuxN(sel, opts)
+	if len(out) != 4 {
+		t.Fatalf("recovery bus width = %d, want 4", len(out))
+	}
+	b.OutputBus("y", out)
+	_, err := b.Build()
+	var be *BuildError
+	if !errors.As(err, &be) || !be.HasCode("muxn-arity") {
+		t.Fatalf("Build after bad MuxN: err = %v, want muxn-arity diagnostic", err)
+	}
+}
+
+func TestBusWidthMismatchReportedByBuild(t *testing.T) {
+	for _, tc := range []struct {
+		op    string
+		build func(b *Builder)
+	}{
+		{"XorBus", func(b *Builder) { b.OutputBus("y", b.XorBus(b.InputBus("a", 4), b.InputBus("c", 3))) }},
+		{"AndBus", func(b *Builder) { b.OutputBus("y", b.AndBus(b.InputBus("a", 4), b.InputBus("c", 3))) }},
+		{"MuxBus", func(b *Builder) {
+			s := b.Input("s")
+			b.OutputBus("y", b.MuxBus(s, b.InputBus("a", 4), b.InputBus("c", 3)))
+		}},
+		{"Adder", func(b *Builder) {
+			sum, _ := b.Adder(b.InputBus("a", 4), b.InputBus("c", 3), b.Const(false))
+			b.OutputBus("y", sum)
+		}},
+		{"Eq", func(b *Builder) { b.Output("y", 0, b.Eq(b.InputBus("a", 4), b.InputBus("c", 3))) }},
+		{"SetRegister", func(b *Builder) {
+			q := b.Register(4)
+			b.SetRegister(q, b.InputBus("d", 3), NoEnable)
+			b.OutputBus("y", q)
+		}},
+	} {
+		b := NewBuilder("w-" + tc.op)
+		tc.build(b)
+		_, err := b.Build()
+		var be *BuildError
+		if !errors.As(err, &be) || !be.HasCode("bus-width") {
+			t.Errorf("%s: Build err = %v, want bus-width diagnostic", tc.op, err)
+		}
+	}
+}
+
+func TestWellFormedMacrosStillBuild(t *testing.T) {
+	b := NewBuilder("ok")
+	sel := b.InputBus("sel", 1)
+	out := b.MuxN(sel, [][]Node{b.InputBus("a", 4), b.InputBus("c", 4)})
+	b.OutputBus("y", out)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("well-formed circuit failed Build: %v", err)
+	}
+}

@@ -296,7 +296,7 @@ func TestEvalBinopMatchesDeviceSemantics(t *testing.T) {
 			kb.MOVI(3, 0)
 			kb.GST(3, 0, 2)
 			kb.EXIT()
-			prog := kb.Build()
+			prog := kb.MustBuild()
 			dev.ResetGlobal()
 			dev.ClearHooks()
 			dev.AddHook(gpu.HookFuncs{BeforeFn: func(ctx *gpu.InstrCtx) {

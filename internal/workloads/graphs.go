@@ -55,7 +55,7 @@ func bfsKernel() *kasm.Program {
 	k.IADD(5, 5, 9)
 	k.BRA("edge")
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w BFS) Build(rng *rand.Rand) *Job {
@@ -209,7 +209,7 @@ func acclKernel() *kasm.Program {
 	k.IADD(5, 12, 3)
 	k.GST(5, 0, 4)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w ACCL) Build(rng *rand.Rand) *Job {

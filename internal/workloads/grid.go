@@ -65,7 +65,7 @@ func hotspotKernel() *kasm.Program {
 	k.IADD(8, 8, 12)
 	k.GST(8, 0, 23)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Hotspot) Build(rng *rand.Rand) *Job {
@@ -182,7 +182,7 @@ func cfdKernel() *kasm.Program {
 	k.IADD(13, 12, 0)
 	k.GST(13, 0, 3)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w CFD) Build(rng *rand.Rand) *Job {
@@ -332,7 +332,7 @@ func nwKernel() *kasm.Program {
 	k.IADD(22, 22, 20)
 	k.BRA("wb")
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w NW) Build(rng *rand.Rand) *Job {

@@ -52,7 +52,7 @@ func (w VectorAdd) Build(rng *rand.Rand) *Job {
 	blk := 64
 	return &Job{
 		Init: init,
-		Kernels: []Kernel{{Prog: k.Build(), Cfg: gpu.LaunchConfig{
+		Kernels: []Kernel{{Prog: k.MustBuild(), Cfg: gpu.LaunchConfig{
 			Grid:   gpu.Dim3{X: (n + blk - 1) / blk},
 			Block:  gpu.Dim3{X: blk},
 			Params: []uint32{0, uint32(n), uint32(2 * n), uint32(n)},
@@ -95,7 +95,7 @@ func mxmKernel() *kasm.Program {
 	k.IMUL(5, 1, 2).IADD(5, 5, 0).IADD(5, 5, 12)
 	k.GST(5, 0, 4)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // hostMxM computes the reference using the simulator's FFMA chain order.
@@ -198,7 +198,7 @@ func gemmKernel() *kasm.Program {
 	k.FFMA(6, 27, 25, 6)
 	k.GST(26, 0, 6)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w GEMM) Build(rng *rand.Rand) *Job {
@@ -296,7 +296,7 @@ func gaussianFan1() *kasm.Program {
 	k.IADD(6, 11, 1)
 	k.GST(6, 0, 5)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // gaussianFan2 updates rows below the pivot: for i>k, column j in [0,N]
@@ -337,7 +337,7 @@ func gaussianFan2() *kasm.Program {
 	k.FSUB(8, 8, 6)
 	k.GST(7, 0, 8)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Gaussian) Build(rng *rand.Rand) *Job {
@@ -432,7 +432,7 @@ func ludScale() *kasm.Program {
 	k.FMUL(6, 6, 4)
 	k.GST(5, 0, 6)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // ludUpdate: for i>k, j>k: A[i][j] -= A[i][k]*A[k][j]. The pivot row
@@ -470,7 +470,7 @@ func ludUpdate() *kasm.Program {
 	k.FSUB(13, 13, 4)
 	k.GST(12, 0, 13)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w LUD) Build(rng *rand.Rand) *Job {

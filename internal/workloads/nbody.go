@@ -59,7 +59,7 @@ func lavaKernel() *kasm.Program {
 	k.IADD(22, 22, 0).GST(22, 0, 6)
 	k.IADD(23, 23, 0).GST(23, 0, 7)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Lava) Build(rng *rand.Rand) *Job {

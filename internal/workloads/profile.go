@@ -64,7 +64,7 @@ func reductionKernel() *kasm.Program {
 	k.IADD(8, 11, 1)
 	k.GST(8, 0, 6)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Reduction) Build(rng *rand.Rand) *Job {
@@ -149,7 +149,7 @@ func fftStageKernel() *kasm.Program {
 	k.FSUB(22, 13, 20).GST(16, 0, 22)
 	k.FSUB(22, 15, 21).GST(18, 0, 22)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w FFT) Build(rng *rand.Rand) *Job {
@@ -249,7 +249,7 @@ func grayKernel() *kasm.Program {
 	k.FFMA(5, 4, 16, 5)
 	k.IADD(6, 13, 0).GST(6, 0, 5)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w GrayFilter) Build(rng *rand.Rand) *Job {
@@ -335,7 +335,7 @@ func sobelKernel() *kasm.Program {
 	k.IMUL(25, 1, 2).IADD(25, 25, 0).IADD(25, 25, 11)
 	k.GST(25, 0, 20)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Sobel) Build(rng *rand.Rand) *Job {
@@ -412,7 +412,7 @@ func svmulKernel() *kasm.Program {
 	k.FMUL(2, 2, 12)
 	k.IADD(3, 11, 0).GST(3, 0, 2)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w SVMul) Build(rng *rand.Rand) *Job {
@@ -465,7 +465,7 @@ func nnKernel() *kasm.Program {
 	k.FSQRT(4, 4)
 	k.IADD(5, 12, 0).GST(5, 0, 4)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w NN) Build(rng *rand.Rand) *Job {
@@ -543,7 +543,7 @@ func scanKernel(n int) *kasm.Program {
 	k.IADD(12, 6, 0).LDS(13, 12, 0)
 	k.IADD(14, 11, 0).GST(14, 0, 13)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Scan3D) Build(rng *rand.Rand) *Job {
@@ -605,7 +605,7 @@ func transposeKernel() *kasm.Program {
 	k.IADD(7, 3, 11)
 	k.GST(7, 0, 6)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Transpose) Build(rng *rand.Rand) *Job {
@@ -674,7 +674,7 @@ func bpForward() *kasm.Program {
 	k.FRCP(4, 4)
 	k.IADD(5, 12, 0).GST(5, 0, 4)
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // bpUpdate: w[i*H+j] += lr * (target[j]-hidden[j]) * in[i].
@@ -696,7 +696,7 @@ func bpUpdate() *kasm.Program {
 	k.FFMA(7, 4, 5, 7)
 	k.GST(6, 0, 7)
 	k.EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w Backprop) Build(rng *rand.Rand) *Job {

@@ -62,7 +62,7 @@ func mergeKernel() *kasm.Program {
 	k.IADD(8, 8, 9)
 	k.BRA("loop")
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w MergeSort) Build(rng *rand.Rand) *Job {
@@ -178,7 +178,7 @@ func qsPartitionKernel() *kasm.Program {
 	k.GST(23, 1, 3)
 	k.GST(24, 1, 3) // child1 empty
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 // qsInsertionKernel: thread t insertion-sorts its segment in place.
@@ -213,7 +213,7 @@ func qsInsertionKernel() *kasm.Program {
 	k.IADD(4, 4, 9)
 	k.BRA("iloop")
 	k.Label("done").EXIT()
-	return k.Build()
+	return k.MustBuild()
 }
 
 func (w QuickSort) Build(rng *rand.Rand) *Job {

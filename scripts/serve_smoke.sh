@@ -1,0 +1,73 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the faultsimd daemon.
+#
+# Boots the daemon on a scratch state directory, submits a tiny campaign
+# over HTTP, waits for it to finish, fetches an artifact and the metrics,
+# then shuts the daemon down. Exits non-zero if any step fails. Invoked
+# by `make serve-smoke`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18091"
+BASE="http://$ADDR"
+DATA="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT INT TERM
+
+fetch() { # fetch URL [curl-extra-args...]
+	url="$1"; shift
+	if command -v curl >/dev/null 2>&1; then
+		curl -sSf "$@" "$url"
+	else
+		wget -qO- "$url"
+	fi
+}
+
+echo "==> build faultsimd"
+go build -o "$DATA/faultsimd" ./cmd/faultsimd
+
+echo "==> start daemon on $ADDR"
+"$DATA/faultsimd" -addr "$ADDR" -data "$DATA/state" -grace 5s &
+PID=$!
+
+for i in $(seq 1 50); do
+	if fetch "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	[ "$i" -eq 50 ] && { echo "daemon never became healthy" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "==> submit tiny campaign"
+SPEC='{"seed":7,"max_patterns":16,"injections":2,"apps":["vectoradd"],"profiling":["vectoradd","gemm"]}'
+JOB=$(fetch "$BASE/jobs" -X POST -d "$SPEC")
+ID=$(printf '%s' "$JOB" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$ID" ] || { echo "no job id in response: $JOB" >&2; exit 1; }
+echo "    job $ID"
+
+echo "==> wait for completion"
+for i in $(seq 1 300); do
+	STATE=$(fetch "$BASE/jobs/$ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
+	case "$STATE" in
+	done) break ;;
+	failed) echo "job failed:" >&2; fetch "$BASE/jobs/$ID" >&2; exit 1 ;;
+	esac
+	[ "$i" -eq 300 ] && { echo "job never finished (state: $STATE)" >&2; exit 1; }
+	sleep 0.2
+done
+
+echo "==> fetch artifacts + metrics"
+fetch "$BASE/jobs/$ID/artifacts/software.json" | head -c 200 >/dev/null
+fetch "$BASE/jobs/$ID/artifacts/gate_wsc.json" >/dev/null
+METRICS=$(fetch "$BASE/metrics")
+printf '%s' "$METRICS" | grep -q '"cache_puts": 5' || {
+	echo "unexpected metrics: $METRICS" >&2; exit 1
+}
+
+echo "==> graceful shutdown (SIGTERM)"
+kill -TERM "$PID"
+for i in $(seq 1 100); do
+	kill -0 "$PID" 2>/dev/null || break
+	[ "$i" -eq 100 ] && { echo "daemon ignored SIGTERM" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "serve-smoke: OK"
