@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fmt serve-smoke
+.PHONY: build test verify bench bench-compare fmt serve-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ serve-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Engine A/B on the decoder campaign; writes BENCH_gatesim.json and fails
+# below MIN_SPEEDUP (default 1.0; CI uses 2.0).
+bench-compare:
+	sh scripts/bench_compare.sh
 
 fmt:
 	gofmt -w ./cmd ./internal ./examples ./*.go

@@ -351,13 +351,28 @@ func BenchmarkAblationWorkers(b *testing.B) {
 // static fault collapsing on the decoder: the collapsed run simulates one
 // representative per equivalence class and expands the results, producing
 // byte-identical summaries while shedding a reported fraction of the fault
-// list.
+// list. BenchmarkFullCampaign pins the dense reference engine explicitly —
+// Campaign defaults to the event engine — so the pair
+// BenchmarkFullCampaign/BenchmarkEventCampaign stays a true engine A/B on
+// the same decoder campaign (scripts/bench_compare.sh gates on the ratio).
 func BenchmarkFullCampaign(b *testing.B) {
 	u := units.Decoder()
 	patterns := campaignPatterns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum := gatesim.Campaign(u, patterns, nil)
+		sum := gatesim.CampaignWith(u, patterns, nil, gatesim.EngineFull)
+		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
+	}
+}
+
+// BenchmarkEventCampaign is the same decoder campaign on the levelized
+// event-driven engine (the default).
+func BenchmarkEventCampaign(b *testing.B) {
+	u := units.Decoder()
+	patterns := campaignPatterns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := gatesim.CampaignWith(u, patterns, nil, gatesim.EngineEvent)
 		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
 	}
 }

@@ -31,8 +31,14 @@ func main() {
 	unitName := flag.String("unit", "all", "unit to inject: wsc, fetch, decoder, all")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	collapse := flag.Bool("collapse", false, "statically collapse the fault list before simulation (identical results, fewer simulated faults)")
+	engineName := flag.String("engine", "event", "simulation engine: event (levelized event-driven) or full (dense re-evaluation); results are byte-identical")
 	jsonPath := flag.String("json", "", "also write a JSON artifact per unit to <path>_<unit>.json")
 	flag.Parse()
+
+	eng, err := gatesim.ParseEngine(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	prof, err := profiler.Collect(workloads.Profiling(), profiler.Config{
 		Seed: *seed, MaxPatterns: *maxPatterns,
@@ -64,9 +70,9 @@ func main() {
 		var sum *gatesim.Summary
 		if *collapse {
 			cm := analyze.Collapse(u.NL)
-			sum = gatesim.CampaignCollapsed(u, patterns, cm, col)
+			sum = gatesim.CampaignCollapsedWith(u, patterns, cm, col, eng)
 		} else {
-			sum = gatesim.Campaign(u, patterns, col)
+			sum = gatesim.CampaignWith(u, patterns, col, eng)
 		}
 		return outcome{sum, col}
 	})

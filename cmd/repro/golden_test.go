@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden repro output")
+
+// Wall-clock readings are the only legitimately nondeterministic bytes in a
+// repro run: the seconds columns of the speed-up accounting and the derived
+// extrapolation/ratio. Everything else — every table, histogram and
+// classification — is a pure function of the seed.
+var (
+	timingLineRe = regexp.MustCompile(`^(  (?:profiling|gate-level campaigns|error analysis|software campaigns|total \(two-level\)|gate-level-only est\.)\s+)[0-9.eE+-]+ s`)
+	speedupRe    = regexp.MustCompile(`\(speed-up [^)]+\)`)
+)
+
+func maskTimings(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		ln = timingLineRe.ReplaceAllString(ln, "${1}<time> s")
+		ln = speedupRe.ReplaceAllString(ln, "(speed-up <ratio>)")
+		lines[i] = ln
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestReproGoldenDefault locks the complete default-scale, seed-1 output of
+// cmd/repro — every exhibit of the paper — byte-for-byte (timing masked).
+// It is the end-to-end determinism gate: any change to the netlists, the
+// profiler, either campaign engine, the classifiers or the report layer
+// shows up here as a diff that must be reviewed and -update'd consciously.
+func TestReproGoldenDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale campaign takes ~1 min; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("skipped under -race; run by the non-race golden step of make verify")
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "1"}, &buf); err != nil {
+		t.Fatalf("repro run failed: %v", err)
+	}
+	got := maskTimings(buf.String())
+
+	golden := filepath.Join("testdata", "repro_default_output.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	n := min(len(gotLines), len(wantLines))
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output diverges from golden at line %d:\n got: %q\nwant: %q\n(rerun with -update after reviewing the change)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("output length diverges from golden: got %d lines, want %d", len(gotLines), len(wantLines))
+}
+
+// TestMaskTimings pins the masking itself so a format drift in the speed-up
+// report can't silently let real timings into the golden comparison.
+func TestMaskTimings(t *testing.T) {
+	in := "  profiling                  0.01 s\n" +
+		"  gate-level campaigns       1.47 s (22694 faults x 512 patterns)\n" +
+		"  gate-level-only est.   5.22e+05 s  (speed-up 1.14e+04x)\n" +
+		"  unrelated 3.14 s\n"
+	want := "  profiling                  <time> s\n" +
+		"  gate-level campaigns       <time> s (22694 faults x 512 patterns)\n" +
+		"  gate-level-only est.   <time> s  (speed-up <ratio>)\n" +
+		"  unrelated 3.14 s\n"
+	if got := maskTimings(in); got != want {
+		t.Errorf("maskTimings:\n got: %q\nwant: %q", got, want)
+	}
+}

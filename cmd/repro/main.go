@@ -9,12 +9,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"gpufaultsim/internal/campaign"
 	"gpufaultsim/internal/cnn"
 	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/isa"
 	"gpufaultsim/internal/mitigate"
 	"gpufaultsim/internal/perfi"
@@ -42,16 +45,31 @@ var scales = map[string]scale{
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("repro: ")
-	seed := flag.Int64("seed", 1, "campaign seed")
-	exhibit := flag.String("exhibit", "all",
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: the golden end-to-end
+// test drives it with a fixed argument list and locks its output.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "campaign seed")
+	exhibit := fs.String("exhibit", "all",
 		"table1|table2|table3|table4|table5|fig2|fig45|fig6|fig7|fig8|fig9|fig10|fig11|speedup|discussion|mitigation|all")
-	scaleName := flag.String("scale", "default", "quick|default|paper")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	flag.Parse()
+	scaleName := fs.String("scale", "default", "quick|default|paper")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	engineName := fs.String("engine", "event", "gate-level simulation engine: event or full (byte-identical results)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sc, ok := scales[*scaleName]
 	if !ok {
-		log.Fatalf("unknown scale %q", *scaleName)
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if _, err := gatesim.ParseEngine(*engineName); err != nil {
+		return err
 	}
 	want := func(names ...string) bool {
 		if *exhibit == "all" {
@@ -65,13 +83,13 @@ func main() {
 		return false
 	}
 	section := func(s string) {
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Println(s)
+		fmt.Fprintln(w, strings.Repeat("=", 72))
+		fmt.Fprintln(w, s)
 	}
 
 	if want("table1") {
 		section("")
-		fmt.Print(report.Table1(cnn.Evaluation15()))
+		fmt.Fprint(w, report.Table1(cnn.Evaluation15()))
 	}
 
 	// RTL study: Figure 2, Figures 4-5, Figure 6, Table 2/Figure 7, Figure 8.
@@ -81,11 +99,11 @@ func main() {
 			LanesSampled: sc.microLanes}
 		rows, syn := rtlfi.Figure2(mcfg)
 		if want("fig2") {
-			fmt.Print(report.Fig2(rows))
-			fmt.Println()
+			fmt.Fprint(w, report.Fig2(rows))
+			fmt.Fprintln(w)
 		}
 		if want("fig45") {
-			fmt.Println("Figures 4-5 — fault syndrome (relative error) distributions")
+			fmt.Fprintln(w, "Figures 4-5 — fault syndrome (relative error) distributions")
 			for _, op := range []isa.Opcode{isa.OpFADD, isa.OpFMUL, isa.OpFFMA,
 				isa.OpIADD, isa.OpIMUL, isa.OpIMAD} {
 				for _, m := range rtlfi.ModulesFor(op) {
@@ -94,16 +112,16 @@ func main() {
 					if len(res) == 0 {
 						continue
 					}
-					fmt.Print(report.SyndromeHistogram(
+					fmt.Fprint(w, report.SyndromeHistogram(
 						fmt.Sprintf("%v / %v", op, m), syndrome.Build(res)))
 					if fit, err := syndrome.Fit(res); err == nil {
 						_, p, swErr := syndrome.ShapiroWilk(res[:min(len(res), 5000)])
-						fmt.Printf("  power-law fit: alpha=%.2f xmin=%.3g KS=%.3f",
+						fmt.Fprintf(w, "  power-law fit: alpha=%.2f xmin=%.3g KS=%.3f",
 							fit.Alpha, fit.Xmin, fit.KS)
 						if swErr == nil {
-							fmt.Printf("  Shapiro-Wilk p=%.3g (non-Gaussian: %v)", p, p < 0.05)
+							fmt.Fprintf(w, "  Shapiro-Wilk p=%.3g (non-Gaussian: %v)", p, p < 0.05)
 						}
-						fmt.Println()
+						fmt.Fprintln(w)
 					}
 				}
 			}
@@ -115,15 +133,15 @@ func main() {
 		st := rtlfi.RunTMxMStudy(rtlfi.TMxMConfig{Seed: *seed,
 			ValuesPerTile: sc.tmxmValues, SiteStride: sc.tmxmStride})
 		if want("fig6") {
-			fmt.Print(report.Fig6(st.Rows))
-			fmt.Println()
+			fmt.Fprint(w, report.Fig6(st.Rows))
+			fmt.Fprintln(w)
 		}
 		if want("fig7", "table2") {
-			fmt.Print(report.Table2(st))
-			fmt.Println()
+			fmt.Fprint(w, report.Table2(st))
+			fmt.Fprintln(w)
 		}
 		if want("fig8") {
-			fmt.Print(report.Fig8(st))
+			fmt.Fprint(w, report.Fig8(st))
 		}
 	}
 
@@ -137,41 +155,42 @@ func main() {
 			Injections:  sc.injections,
 			EvalApps:    cnn.Evaluation15(),
 			Workers:     *workers,
+			Engine:      *engineName,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if want("table3") {
-			fmt.Print(report.Table3(res.Profile))
-			fmt.Println()
+			fmt.Fprint(w, report.Table3(res.Profile))
+			fmt.Fprintln(w)
 		}
 		if want("table4") {
-			fmt.Print(report.Table4(res.Summaries()))
-			fmt.Println()
+			fmt.Fprint(w, report.Table4(res.Summaries()))
+			fmt.Fprintln(w)
 		}
 		if want("table5") {
-			fmt.Print(report.Table5(res.UnitReports()))
-			fmt.Println()
+			fmt.Fprint(w, report.Table5(res.UnitReports()))
+			fmt.Fprintln(w)
 		}
 		if want("fig9") {
-			fmt.Print(report.Fig9(res.Collectors(), res.FaultTotals()))
-			fmt.Println()
+			fmt.Fprint(w, report.Fig9(res.Collectors(), res.FaultTotals()))
+			fmt.Fprintln(w)
 		}
 		if want("fig10") {
-			fmt.Print(report.Fig10(res.Apps, errmodel.Injectable()))
-			fmt.Println()
+			fmt.Fprint(w, report.Fig10(res.Apps, errmodel.Injectable()))
+			fmt.Fprintln(w)
 		}
 		if want("fig11") {
-			fmt.Print(report.Fig11(perfi.Average(res.Apps), errmodel.Injectable()))
-			fmt.Println()
+			fmt.Fprint(w, report.Fig11(perfi.Average(res.Apps), errmodel.Injectable()))
+			fmt.Fprintln(w)
 		}
 		if want("speedup") {
-			fmt.Print(res.Timing.Report())
+			fmt.Fprint(w, res.Timing.Report())
 		}
 		if want("discussion") {
-			fmt.Print(report.Discussion(report.CorrelateUnits(
+			fmt.Fprint(w, report.Discussion(report.CorrelateUnits(
 				res.Collectors(), res.FaultTotals(), perfi.Average(res.Apps))))
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
 
@@ -179,19 +198,20 @@ func main() {
 	if want("mitigation") {
 		section("")
 		for _, name := range []string{"mxm", "gemm"} {
-			var w workloads.Workload
+			var wl workloads.Workload
 			for _, cand := range cnn.Evaluation15() {
 				if cand.Name() == name {
-					w = cand
+					wl = cand
 				}
 			}
-			dets, err := mitigate.Evaluate(w, mitigate.Config{
+			dets, err := mitigate.Evaluate(wl, mitigate.Config{
 				Injections: sc.injections / 2, Seed: *seed,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Println(mitigate.Render(name, dets))
+			fmt.Fprintln(w, mitigate.Render(name, dets))
 		}
 	}
+	return nil
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the binary was built with -race. The golden
+// end-to-end test skips under the race detector: it would multiply an
+// already long default-scale campaign severalfold without adding coverage
+// the dedicated -race tests don't have.
+const raceEnabled = false

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelMapCtxCancelMidBatch cancels a pool mid-batch while workers
+// hold items in flight. The contract under test: cancellation stops further
+// dispatch, in-flight items run to completion and land at their input
+// index, and the call reports ctx.Err(). Run under -race this also proves
+// the out[i] writes, the dispatch select and the cancellation path are
+// free of data races.
+func TestParallelMapCtxCancelMidBatch(t *testing.T) {
+	const items, workers = 64, 4
+	in := make([]int, items)
+	for i := range in {
+		in[i] = i
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan int, items)
+	release := make(chan struct{})
+	var completed atomic.Int32
+
+	var out []int
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, err = ParallelMapCtx(ctx, in, workers, func(x int) int {
+			started <- x
+			<-release
+			completed.Add(1)
+			return x + 1
+		})
+	}()
+
+	// Let every worker pick up an item, then cancel while all are blocked
+	// mid-batch, then unblock them.
+	inFlight := make(map[int]bool)
+	for i := 0; i < workers; i++ {
+		inFlight[<-started] = true
+	}
+	cancel()
+	close(release)
+	<-done
+
+	if err == nil {
+		t.Fatal("canceled pool returned nil error")
+	}
+	// Anything dispatched after cancel drains here; in-flight items must
+	// have completed, and dispatch must have stopped well short of the
+	// full batch.
+	close(started)
+	for x := range started {
+		inFlight[x] = true
+	}
+	nc := int(completed.Load())
+	if nc != len(inFlight) {
+		t.Fatalf("completed %d items but %d were dispatched", nc, len(inFlight))
+	}
+	if nc < workers {
+		t.Fatalf("only %d items completed; the %d in-flight items must finish", nc, workers)
+	}
+	if nc == items {
+		t.Fatal("cancellation did not stop dispatch: whole batch ran")
+	}
+	for x := range inFlight {
+		if out[x] != x+1 {
+			t.Fatalf("in-flight item %d: out = %d, want %d", x, out[x], x+1)
+		}
+	}
+}

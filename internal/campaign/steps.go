@@ -34,14 +34,15 @@ func ProfileStep(cfg TwoLevelConfig) (*profiler.Profile, error) {
 // GateStep runs steps 2-3 for one unit: the stuck-at campaign over the
 // exciting patterns with inline error classification. collapse prunes the
 // fault list through the static analyzer first (results are identical,
-// just cheaper).
-func GateStep(u *units.Unit, patterns []units.Pattern, collapse bool) *UnitOutcome {
+// just cheaper); eng selects the simulation engine (both engines are
+// byte-identical, the event engine is just faster).
+func GateStep(u *units.Unit, patterns []units.Pattern, collapse bool, eng gatesim.Engine) *UnitOutcome {
 	col := errclass.NewCollector(u.Name)
 	var sum *gatesim.Summary
 	if collapse {
-		sum = gatesim.CampaignCollapsed(u, patterns, analyze.Collapse(u.NL), col)
+		sum = gatesim.CampaignCollapsedWith(u, patterns, analyze.Collapse(u.NL), col, eng)
 	} else {
-		sum = gatesim.Campaign(u, patterns, col)
+		sum = gatesim.CampaignWith(u, patterns, col, eng)
 	}
 	return &UnitOutcome{Unit: u, Summary: sum, Collector: col,
 		Report: errclass.Report(sum, col)}

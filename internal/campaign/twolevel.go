@@ -35,6 +35,10 @@ type TwoLevelConfig struct {
 	// cover the full fault universe — gatesim expands the collapsed
 	// results back — so the outputs are identical, just cheaper.
 	Collapse bool
+	// Engine selects the gate-level simulation engine: "event" (levelized
+	// event-driven delta simulation, the default) or "full" (dense
+	// re-evaluation, the reference). Both produce byte-identical results.
+	Engine string
 }
 
 // UnitOutcome couples one unit's gate-level campaign artifacts.
@@ -104,6 +108,9 @@ func (cfg TwoLevelConfig) Defaults() TwoLevelConfig {
 	if cfg.Injections == 0 {
 		cfg.Injections = 50
 	}
+	if cfg.Engine == "" {
+		cfg.Engine = gatesim.EngineEvent.String()
+	}
 	return cfg
 }
 
@@ -121,6 +128,10 @@ func RunTwoLevel(cfg TwoLevelConfig) (*Results, error) {
 // ctx.Err().
 func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 	cfg = cfg.Defaults()
+	eng, err := gatesim.ParseEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
 	res := &Results{}
 
 	// Step 1: hardware unit profiling.
@@ -137,7 +148,7 @@ func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 	patterns := prof.TopPatterns(cfg.MaxPatterns)
 	t1 := time.Now()
 	outcomes, err := ParallelMapCtx(ctx, units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
-		return GateStep(u, patterns, cfg.Collapse)
+		return GateStep(u, patterns, cfg.Collapse, eng)
 	})
 	if err != nil {
 		return nil, err

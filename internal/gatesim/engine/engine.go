@@ -1,0 +1,368 @@
+// Package engine implements a levelized, event-driven, 64-way bit-parallel
+// fault simulation engine — the delta-only counterpart of the full
+// re-evaluation in netlist.Simulator.
+//
+// The observation it exploits is the one behind GATSPI-style gate
+// simulators: a single stuck-at pin perturbs a small cone of logic, yet the
+// full simulator re-evaluates the *entire* netlist for every pattern of
+// every fault batch. The event engine instead runs one fault-free baseline
+// evaluation per pattern (recorded by the campaign as a packed golden
+// trace), then for each 64-fault batch seeds an event queue with only the
+// faulty pins and the diverged flip-flops, and propagates value *deltas*
+// level-by-level through the precomputed fanout (analyze.Levelize). Gates
+// whose inputs never change are never touched; when the active set goes
+// empty a cycle costs O(batch) instead of O(netlist) — which is how
+// hardware-masked and uncontrollable faults, the bulk of every campaign,
+// become nearly free.
+//
+// The engine is exact, not approximate: every value it exposes is the word
+// the full simulator would compute, because a gate's output can only
+// deviate from the golden trace if one of its inputs deviates, and the
+// level order guarantees every deviating input is final before its readers
+// evaluate. The differential and fuzz harnesses in package gatesim assert
+// byte-identical campaign results across both engines.
+package engine
+
+import (
+	"gpufaultsim/internal/analyze"
+	"gpufaultsim/internal/netlist"
+)
+
+// nodeState fuses the per-node sparse state into one 16-byte record so a
+// value lookup touches a single cache line. stamp==epoch means cur holds
+// the node's faulty word (otherwise the node sits at its golden value);
+// dirty==epoch means the node is on the touched list.
+type nodeState struct {
+	cur   uint64
+	stamp uint32
+	dirty uint32
+}
+
+// override fuses a node's stuck-at masks: set bits are forced to 1, clr
+// bits to 0, per lane.
+type override struct {
+	set, clr uint64
+}
+
+// Sim is an event-driven 64-lane fault simulator bound to one netlist.
+// It is not safe for concurrent use; campaigns own one per worker.
+//
+// Protocol, per pattern:
+//
+//	sim.BindGolden(trace)          // packed fault-free node values per cycle
+//	sim.SetFaults(group)           // ≤64 stuck-at faults, one per lane
+//	for c := 0; c < cycles; c++ {
+//		sim.BeginCycle(c)          // seed + propagate deltas
+//		if sim.Active() { ... }    // read Node / OutputWord
+//		sim.Clock(c)               // capture DFF divergence for cycle c+1
+//	}
+//
+// Delay faults are not supported (they need the previous evaluation's raw
+// value at every node); campaigns route batches containing them to the
+// full simulator.
+type Sim struct {
+	nl *netlist.Netlist
+	lv *analyze.Levelization
+
+	golden [][]uint64 // packed golden node bits, per cycle (borrowed)
+	gcur   []uint64   // golden[c] for the cycle being simulated
+
+	// Fault overrides for the current group, dense by node.
+	ovr        []override
+	faultNodes []netlist.Node
+
+	// Per-cycle sparse state, invalidated wholesale by bumping epoch.
+	state   []nodeState
+	epoch   uint32
+	touched []netlist.Node // nodes marked dirty this cycle (deduplicated)
+
+	// Level-bucketed event queue.
+	bucket [][]netlist.Node
+	sched  []uint32 // per-node scheduled stamp
+
+	// DFFs whose faulty state diverges from golden going into the next
+	// cycle: parallel node/word lists, rebuilt by every Clock.
+	divNode []netlist.Node
+	divWord []uint64
+
+	// Output tracking: isOut flags nodes bound to primary outputs;
+	// outTouched lists the ones marked dirty this cycle (a conservative
+	// superset of the deviating outputs — a node can be re-evaluated back
+	// to its golden value after marking).
+	isOut      []bool
+	outTouched []netlist.Node
+}
+
+// New builds an event-driven simulator from a netlist and its levelization.
+// Pass a nil levelization to compute one internally.
+func New(nl *netlist.Netlist, lv *analyze.Levelization) *Sim {
+	if lv == nil {
+		lv = analyze.Levelize(nl)
+	}
+	n := len(nl.Cells)
+	s := &Sim{
+		nl:     nl,
+		lv:     lv,
+		ovr:    make([]override, n),
+		state:  make([]nodeState, n),
+		sched:  make([]uint32, n),
+		bucket: make([][]netlist.Node, lv.MaxLevel+1),
+		isOut:  make([]bool, n),
+	}
+	for _, o := range nl.Outputs {
+		s.isOut[o.Node] = true
+	}
+	return s
+}
+
+// BindGolden attaches the fault-free trace of the current pattern:
+// golden[c] holds every node's value in cycle c, packed 64 nodes per word
+// (bit n%64 of word n/64). The engine aliases the slice — the caller must
+// keep it stable until the next BindGolden. Divergence state from the
+// previous pattern is discarded (machines restart from reset, where all
+// lanes agree with golden).
+func (s *Sim) BindGolden(golden [][]uint64) {
+	s.golden = golden
+	s.divNode = s.divNode[:0]
+	s.divWord = s.divWord[:0]
+}
+
+// SetFaults installs a group of up to 64 stuck-at faults, fault i on lane
+// i, replacing the previous group. Divergence state is reset.
+func (s *Sim) SetFaults(group []netlist.Fault) {
+	if len(group) > 64 {
+		panic("engine: fault group exceeds 64 lanes")
+	}
+	for _, n := range s.faultNodes {
+		s.ovr[n] = override{}
+	}
+	s.faultNodes = s.faultNodes[:0]
+	for lane, f := range group {
+		if f.Kind != netlist.StuckAt {
+			panic("engine: only stuck-at faults are event-driven; route delay faults to the full simulator")
+		}
+		o := &s.ovr[f.Node]
+		if o.set == 0 && o.clr == 0 {
+			s.faultNodes = append(s.faultNodes, f.Node)
+		}
+		if f.Stuck {
+			o.set |= 1 << lane
+		} else {
+			o.clr |= 1 << lane
+		}
+	}
+	s.divNode = s.divNode[:0]
+	s.divWord = s.divWord[:0]
+}
+
+// gb returns node n's golden value broadcast to all 64 lanes.
+func (s *Sim) gb(n netlist.Node) uint64 {
+	return -(s.gcur[uint(n)>>6] >> (uint(n) & 63) & 1)
+}
+
+// val returns node n's faulty word for the current cycle.
+func (s *Sim) val(n netlist.Node) uint64 {
+	if st := &s.state[n]; st.stamp == s.epoch {
+		return st.cur
+	}
+	return s.gb(n)
+}
+
+// markDirty records a node that deviates from golden and schedules its
+// combinational readers. BeginCycle's sweep inlines the same logic; this
+// method serves the seeding phase.
+func (s *Sim) markDirty(n netlist.Node) {
+	if st := &s.state[n]; st.dirty != s.epoch {
+		st.dirty = s.epoch
+		s.touched = append(s.touched, n)
+		if s.isOut[n] {
+			s.outTouched = append(s.outTouched, n)
+		}
+	}
+	lv := s.lv
+	for i, end := lv.ReadersOff[n], lv.ReadersOff[n+1]; i < end; i++ {
+		r := lv.ReadersFlat[i]
+		if s.sched[r] != s.epoch {
+			s.sched[r] = s.epoch
+			s.bucket[lv.ReadersLvl[i]] = append(s.bucket[lv.ReadersLvl[i]], r)
+		}
+	}
+}
+
+// seed installs a known faulty base word at node n (golden for plain fault
+// sites, the latched state for diverged DFFs), applies the node's own
+// stuck-at override, and schedules propagation if the result deviates.
+func (s *Sim) seed(n netlist.Node, base uint64) {
+	o := s.ovr[n]
+	v := (base | o.set) &^ o.clr
+	st := &s.state[n]
+	st.stamp = s.epoch
+	st.cur = v
+	if v != s.gb(n) {
+		s.markDirty(n)
+	}
+}
+
+// BeginCycle evaluates cycle c of the faulty machines as a delta over the
+// golden trace: diverged DFFs and fault sites are seeded, then deltas
+// propagate level-by-level through the fanout. On return, Node and
+// OutputWord serve exactly the values the full simulator would hold after
+// its Eval of cycle c.
+func (s *Sim) BeginCycle(c int) {
+	s.gcur = s.golden[c]
+	s.epoch++
+	s.touched = s.touched[:0]
+	s.outTouched = s.outTouched[:0]
+
+	// Seeds: flip-flops whose captured state deviates from golden, then
+	// every fault site (stuck-at pins force their value every cycle).
+	for i, q := range s.divNode {
+		s.seed(q, s.divWord[i])
+	}
+	for _, n := range s.faultNodes {
+		if s.state[n].stamp != s.epoch {
+			s.seed(n, s.gb(n))
+		}
+	}
+
+	// Levelized sweep: a gate evaluates at most once, after every deviating
+	// input is final. Everything hot is hoisted into locals; the scheduling
+	// loop is inlined (markDirty mirrors it for the seeding phase).
+	cells := s.nl.Cells
+	state, gcur := s.state, s.gcur
+	ovr := s.ovr
+	sched, epoch := s.sched, s.epoch
+	flat, lvls := s.lv.ReadersFlat, s.lv.ReadersLvl
+	offs := s.lv.ReadersOff
+	for lvl := 1; lvl <= s.lv.MaxLevel; lvl++ {
+		q := s.bucket[lvl]
+		if len(q) == 0 {
+			continue
+		}
+		s.bucket[lvl] = q[:0]
+		for _, id := range q {
+			cell := &cells[id]
+			var v uint64
+			val := func(n netlist.Node) uint64 {
+				if st := &state[n]; st.stamp == epoch {
+					return st.cur
+				}
+				return -(gcur[uint(n)>>6] >> (uint(n) & 63) & 1)
+			}
+			switch cell.Kind {
+			case netlist.KBuf:
+				v = val(cell.In[0])
+			case netlist.KInv:
+				v = ^val(cell.In[0])
+			case netlist.KAnd:
+				v = val(cell.In[0]) & val(cell.In[1])
+			case netlist.KOr:
+				v = val(cell.In[0]) | val(cell.In[1])
+			case netlist.KXor:
+				v = val(cell.In[0]) ^ val(cell.In[1])
+			case netlist.KNand:
+				v = ^(val(cell.In[0]) & val(cell.In[1]))
+			case netlist.KNor:
+				v = ^(val(cell.In[0]) | val(cell.In[1]))
+			case netlist.KMux:
+				sel := val(cell.In[2])
+				v = (val(cell.In[0]) &^ sel) | (val(cell.In[1]) & sel)
+			}
+			o := ovr[id]
+			v = (v | o.set) &^ o.clr
+			st := &state[id]
+			st.stamp = epoch
+			st.cur = v
+			if v != -(gcur[uint(id)>>6] >> (uint(id) & 63) & 1) {
+				if st.dirty != epoch {
+					st.dirty = epoch
+					s.touched = append(s.touched, id)
+					if s.isOut[id] {
+						s.outTouched = append(s.outTouched, id)
+					}
+				}
+				for i, end := offs[id], offs[id+1]; i < end; i++ {
+					r := flat[i]
+					if sched[r] != epoch {
+						sched[r] = epoch
+						s.bucket[lvls[i]] = append(s.bucket[lvls[i]], r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Active reports whether any node deviates from golden in the current
+// cycle. When false, every output equals its golden value and comparison
+// can be skipped wholesale — the event engine's early exit.
+func (s *Sim) Active() bool { return len(s.touched) > 0 }
+
+// Touched returns the nodes marked dirty this cycle — the active set of
+// the delta propagation. The slice is valid until the next BeginCycle;
+// callers must not mutate it. Diagnostics use it to measure sparsity.
+func (s *Sim) Touched() []netlist.Node { return s.touched }
+
+// OutputsActive reports whether any primary-output node may deviate from
+// golden this cycle. It is a conservative upper bound (a marked node can
+// settle back to its golden value), so a false return guarantees every
+// output field grades clean and the campaign can skip comparison.
+func (s *Sim) OutputsActive() bool { return len(s.outTouched) > 0 }
+
+// OutTouched returns the primary-output nodes marked dirty this cycle — a
+// conservative superset of the outputs deviating from golden. Campaigns
+// use it to grade only the fields a batch can possibly have corrupted.
+// The slice is valid until the next BeginCycle.
+func (s *Sim) OutTouched() []netlist.Node { return s.outTouched }
+
+// Clock captures cycle c's DFF next-state inputs, recording only the
+// flip-flops whose faulty state will deviate from golden in cycle c+1.
+// Flip-flops fed by clean nets converge back to the golden trace and cost
+// nothing.
+func (s *Sim) Clock(c int) {
+	s.divNode = s.divNode[:0]
+	s.divWord = s.divWord[:0]
+	dffOff, dffFlat := s.lv.DFFOff, s.lv.DFFFlat
+	for _, n := range s.touched {
+		lo, hi := dffOff[n], dffOff[n+1]
+		if lo == hi {
+			continue // latched by nothing
+		}
+		cur := s.state[n].cur
+		if cur == s.gb(n) {
+			continue // re-evaluated back to golden
+		}
+		for _, di := range dffFlat[lo:hi] {
+			s.divNode = append(s.divNode, s.nl.DFFs[di])
+			s.divWord = append(s.divWord, cur)
+		}
+	}
+}
+
+// Node returns node n's current value word, one machine per bit lane.
+func (s *Sim) Node(n netlist.Node) uint64 { return s.val(n) }
+
+// OutputWord assembles the value of a named output field for machine
+// lane, LSB first — the same contract as netlist.Simulator.OutputWord.
+func (s *Sim) OutputWord(field string, lane int) uint64 {
+	var v uint64
+	for _, o := range s.nl.Outputs {
+		if o.Field == field && s.val(o.Node)>>lane&1 == 1 {
+			v |= 1 << o.Bit
+		}
+	}
+	return v
+}
+
+// OutputSlice assembles a field value for machine lane from an explicit
+// output-bit list, LSB first — the same contract as
+// netlist.Simulator.OutputSlice.
+func (s *Sim) OutputSlice(outs []netlist.Output, lane int) uint64 {
+	var v uint64
+	for _, o := range outs {
+		if s.val(o.Node)>>lane&1 == 1 {
+			v |= 1 << o.Bit
+		}
+	}
+	return v
+}

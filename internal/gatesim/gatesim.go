@@ -14,10 +14,50 @@ import (
 	"math/rand"
 	"sort"
 
+	"gpufaultsim/internal/gatesim/engine"
 	"gpufaultsim/internal/netlist"
 	"gpufaultsim/internal/stats"
 	"gpufaultsim/internal/units"
 )
+
+// Engine selects the faulty-machine evaluation strategy of a campaign.
+// Both engines produce byte-identical summaries, classifications and sink
+// event streams — the differential and fuzz harnesses (diff_test.go,
+// fuzz_test.go) hold them to that.
+type Engine uint8
+
+const (
+	// EngineEvent is the levelized event-driven engine (package
+	// gatesim/engine): per fault batch, only the fanout cones of nodes
+	// that actually deviate from the golden trace are re-evaluated. The
+	// default.
+	EngineEvent Engine = iota
+	// EngineFull re-evaluates the entire netlist every cycle of every
+	// batch (netlist.Simulator) — the reference implementation and the
+	// fallback for delay faults.
+	EngineFull
+)
+
+var engineNames = [...]string{"event", "full"}
+
+func (e Engine) String() string {
+	if int(e) < len(engineNames) {
+		return engineNames[e]
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine maps a config string to an Engine. The empty string selects
+// the default (event).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "event":
+		return EngineEvent, nil
+	case "full":
+		return EngineFull, nil
+	}
+	return 0, fmt.Errorf("gatesim: unknown engine %q (want \"event\" or \"full\")", s)
+}
 
 // FaultClass is the paper's Table 4 taxonomy.
 type FaultClass int
@@ -98,14 +138,27 @@ type fieldSpan struct {
 // pattern list. Each pattern is applied from reset for unit.Cycles clock
 // cycles; outputs are compared after every evaluation.
 func Campaign(u *units.Unit, patterns []units.Pattern, sink EventSink) *Summary {
-	return CampaignFaults(u, patterns, netlist.FaultList(u.NL), sink)
+	return CampaignWith(u, patterns, sink, EngineEvent)
+}
+
+// CampaignWith is Campaign with an explicit engine selection.
+func CampaignWith(u *units.Unit, patterns []units.Pattern, sink EventSink, eng Engine) *Summary {
+	return CampaignFaultsWith(u, patterns, netlist.FaultList(u.NL), sink, eng)
 }
 
 // CampaignFaults runs a campaign over an explicit fault list — e.g. the
 // delay-fault list (netlist.DelayFaultList), the extension the paper
 // mentions alongside stuck-at faults.
 func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fault, sink EventSink) *Summary {
-	return campaignRun(u, patterns, faults, faults, nil, sink)
+	return CampaignFaultsWith(u, patterns, faults, sink, EngineEvent)
+}
+
+// CampaignFaultsWith is CampaignFaults with an explicit engine selection.
+// Batches containing delay faults always run on the full simulator (the
+// event engine's delta representation has no previous-evaluation values
+// for clean nodes).
+func CampaignFaultsWith(u *units.Unit, patterns []units.Pattern, faults []netlist.Fault, sink EventSink, eng Engine) *Summary {
+	return campaignRun(u, patterns, faults, faults, nil, sink, eng)
 }
 
 // Collapse is a pruned view of a fault universe, produced by the static
@@ -129,6 +182,12 @@ type Collapse interface {
 // replayed to every class member, so Summary and the sink's event stream
 // cover the same universe a full campaign would, fault for fault.
 func CampaignCollapsed(u *units.Unit, patterns []units.Pattern, cm Collapse, sink EventSink) *Summary {
+	return CampaignCollapsedWith(u, patterns, cm, sink, EngineEvent)
+}
+
+// CampaignCollapsedWith is CampaignCollapsed with an explicit engine
+// selection.
+func CampaignCollapsedWith(u *units.Unit, patterns []units.Pattern, cm Collapse, sink EventSink, eng Engine) *Summary {
 	full := netlist.FaultList(u.NL)
 	sim := cm.SimFaults()
 	members := make([][]int32, len(sim))
@@ -137,14 +196,119 @@ func CampaignCollapsed(u *units.Unit, patterns []units.Pattern, cm Collapse, sin
 			members[si] = append(members[si], int32(idx))
 		}
 	}
-	return campaignRun(u, patterns, full, sim, members, sink)
+	return campaignRun(u, patterns, full, sim, members, sink, eng)
+}
+
+// laneReader is the view of one faulty batch the classification loop
+// reads: per-node lane words. Both the full simulator (netlist.Simulator)
+// and the event engine (engine.Sim) satisfy it. gradeCycle is generic
+// over it so the per-output calls devirtualize and inline for each
+// engine.
+type laneReader interface {
+	Node(n netlist.Node) uint64
+}
+
+// grader carries the classification state of one campaignRun: the field
+// grouping, the per-cycle golden field values, and the per-fault verdict
+// accumulators shared by every batch of every pattern.
+type grader struct {
+	fields      []fieldSpan
+	goldenField [][]uint64 // per cycle, per field value
+	members     [][]int32  // nil when sim IS the full list
+	single      [1]int32   // scratch member list for the uncollapsed path
+	ws          []uint64   // scratch: lane words of the field under grade
+	hang, swerr []bool
+	sink        EventSink
+}
+
+// gradeCycle grades output fields of cycle c against golden and fans
+// events out to the fault universe — the classification inner loop,
+// shared by both engines so their event streams cannot diverge.
+//
+// fieldMask bit fi set means field fi may deviate and must be graded; the
+// full engine passes all-ones, the event engine derives the mask from the
+// output nodes its delta propagation actually touched (a clean field's
+// anyDiff is identically zero, so skipping it emits exactly nothing —
+// byte-identity is preserved). Fields at index ≥64 are always graded.
+func gradeCycle[S laneReader](g *grader, p units.Pattern, c, base, groupLen int, ls S, fieldMask uint64) {
+	for fi := range g.fields {
+		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {
+			continue
+		}
+		fs := &g.fields[fi]
+		golden := g.goldenField[c][fi]
+		// Cheap pre-check: diff word across all lanes, keeping each
+		// output's lane word so deviating lanes assemble their field
+		// value from registers instead of re-reading the simulator.
+		ws := g.ws[:len(fs.outs)]
+		var anyDiff uint64
+		for i, o := range fs.outs {
+			w := ls.Node(o.Node)
+			ws[i] = w
+			gbit := uint64(0)
+			if golden>>o.Bit&1 == 1 {
+				gbit = ^uint64(0)
+			}
+			anyDiff |= w ^ gbit
+		}
+		if anyDiff == 0 {
+			continue
+		}
+		for lane := 0; lane < groupLen; lane++ {
+			if anyDiff>>lane&1 == 0 {
+				continue
+			}
+			si := base + lane
+			var faulty uint64
+			for i, o := range fs.outs {
+				faulty |= (ws[i] >> uint(lane) & 1) << o.Bit
+			}
+			if faulty == golden {
+				continue
+			}
+			// Expand the event to every fault sharing this faulty
+			// circuit.
+			var mem []int32
+			if g.members == nil {
+				g.single[0] = int32(si)
+				mem = g.single[:]
+			} else {
+				mem = g.members[si]
+			}
+			for _, m := range mem {
+				idx := int(m)
+				if fs.hang {
+					if !g.hang[idx] && g.sink != nil {
+						g.sink.Hang(idx, p, fs.name)
+					}
+					g.hang[idx] = true
+				} else {
+					g.swerr[idx] = true
+					if g.sink != nil {
+						g.sink.Corruption(idx, p, fs.name, golden, faulty)
+					}
+				}
+			}
+		}
+	}
+}
+
+// groupHasDelay reports whether a fault batch contains a delay fault and
+// must therefore run on the full simulator.
+func groupHasDelay(group []netlist.Fault) bool {
+	for _, f := range group {
+		if f.Kind == netlist.Delay {
+			return true
+		}
+	}
+	return false
 }
 
 // campaignRun is the engine shared by the full and collapsed campaigns.
 // Activation is graded over the full list; faulty machines are simulated
 // for the sim list only. members[si] lists the full-list indices that
 // share sim fault si's faulty circuit (nil means sim IS the full list).
-func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink) *Summary {
+func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink, eng Engine) *Summary {
 	nl := u.NL
 	patterns = u.ReducePatterns(patterns)
 
@@ -162,12 +326,38 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 	}
 
 	activated := make([]bool, len(full))
-	hang := make([]bool, len(full))
-	swerr := make([]bool, len(full))
+	maxOuts := 0
+	for i := range fields {
+		if n := len(fields[i].outs); n > maxOuts {
+			maxOuts = n
+		}
+	}
+	g := &grader{
+		fields:      fields,
+		goldenField: make([][]uint64, u.Cycles),
+		members:     members,
+		ws:          make([]uint64, maxOuts),
+		hang:        make([]bool, len(full)),
+		swerr:       make([]bool, len(full)),
+		sink:        sink,
+	}
 
 	gsim := netlist.NewSimulator(nl)
 	fsim := netlist.NewSimulator(nl)
-	var single [1]int32 // scratch member list for the uncollapsed path
+	var esim *engine.Sim
+	var fieldMaskOf []uint64 // per node, bit fi set when the node feeds field fi (<64)
+	if eng == EngineEvent {
+		esim = engine.New(nl, nil)
+		fieldMaskOf = make([]uint64, len(nl.Cells))
+		for fi, fs := range fields {
+			if fi >= 64 {
+				break
+			}
+			for _, o := range fs.outs {
+				fieldMaskOf[o.Node] |= 1 << uint(fi)
+			}
+		}
+	}
 
 	// goldenNode[c][n] is node n's golden value in cycle c (packed bits).
 	nWords := (len(nl.Cells) + 63) / 64
@@ -175,7 +365,7 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 	for c := range goldenNode {
 		goldenNode[c] = make([]uint64, nWords)
 	}
-	goldenField := make([][]uint64, u.Cycles) // per cycle, per field value
+	goldenField := g.goldenField
 
 	for _, p := range patterns {
 		// Golden pass.
@@ -197,7 +387,7 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 				goldenField[c] = make([]uint64, len(fields))
 			}
 			for fi := range fields {
-				goldenField[c][fi] = gsim.OutputWord(fields[fi].name, 0)
+				goldenField[c][fi] = gsim.OutputSlice(fields[fi].outs, 0)
 			}
 			gsim.Clock()
 		}
@@ -227,62 +417,37 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 		}
 
 		// Faulty passes, 64 lanes at a time.
+		if esim != nil {
+			esim.BindGolden(goldenNode)
+		}
 		for base := 0; base < len(sim); base += 64 {
 			group := sim[base:min(base+64, len(sim))]
+			if esim != nil && !groupHasDelay(group) {
+				// Event-driven: seed only the faulty pins and diverged
+				// flip-flops, propagate deltas through the fanout, skip
+				// output grading entirely on quiet cycles.
+				esim.SetFaults(group)
+				for c := 0; c < u.Cycles; c++ {
+					esim.BeginCycle(c)
+					if esim.Active() {
+						var mask uint64
+						for _, n := range esim.OutTouched() {
+							mask |= fieldMaskOf[n]
+						}
+						if mask != 0 || len(fields) > 64 {
+							gradeCycle(g, p, c, base, len(group), esim, mask)
+						}
+					}
+					esim.Clock(c)
+				}
+				continue
+			}
 			fsim.Reset()
 			fsim.SetFaults(group)
 			for c := 0; c < u.Cycles; c++ {
 				u.Drive(fsim, p, c)
 				fsim.Eval()
-				for fi := range fields {
-					fs := &fields[fi]
-					golden := goldenField[c][fi]
-					// Cheap pre-check: diff word across all lanes.
-					var anyDiff uint64
-					for _, o := range fs.outs {
-						gbit := uint64(0)
-						if golden>>o.Bit&1 == 1 {
-							gbit = ^uint64(0)
-						}
-						anyDiff |= fsim.Node(o.Node) ^ gbit
-					}
-					if anyDiff == 0 {
-						continue
-					}
-					for lane := 0; lane < len(group); lane++ {
-						if anyDiff>>lane&1 == 0 {
-							continue
-						}
-						si := base + lane
-						faulty := fsim.OutputWord(fs.name, lane)
-						if faulty == golden {
-							continue
-						}
-						// Expand the event to every fault sharing this
-						// faulty circuit.
-						var mem []int32
-						if members == nil {
-							single[0] = int32(si)
-							mem = single[:]
-						} else {
-							mem = members[si]
-						}
-						for _, m := range mem {
-							idx := int(m)
-							if fs.hang {
-								if !hang[idx] && sink != nil {
-									sink.Hang(idx, p, fs.name)
-								}
-								hang[idx] = true
-							} else {
-								swerr[idx] = true
-								if sink != nil {
-									sink.Corruption(idx, p, fs.name, golden, faulty)
-								}
-							}
-						}
-					}
-				}
+				gradeCycle(g, p, c, base, len(group), fsim, ^uint64(0))
 				fsim.Clock()
 			}
 		}
@@ -296,10 +461,10 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 	}
 	for i := range full {
 		switch {
-		case hang[i]:
+		case g.hang[i]:
 			s.Class[i] = Hang
 			s.NumHang++
-		case swerr[i]:
+		case g.swerr[i]:
 			s.Class[i] = SWError
 			s.NumSWError++
 		case activated[i]:

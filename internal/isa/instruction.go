@@ -245,7 +245,9 @@ func (in Instruction) String() string {
 		fmt.Fprintf(&b, ".%s P%d, %s, %s", in.Cmp(), in.DestPred(),
 			regName(in.Rs1), regName(in.Rs2))
 	case OpPSETP:
-		fmt.Fprintf(&b, " P%d, P%d, P%d", in.DestPred(), in.Rs1&0x7, in.Rs2&0x7)
+		// The logic op (AND/XOR/... encoded as a CmpOp) is semantically
+		// load-bearing, so it must survive the disassemble/parse round trip.
+		fmt.Fprintf(&b, ".%s P%d, P%d, P%d", in.Cmp(), in.DestPred(), in.Rs1&0x7, in.Rs2&0x7)
 	case OpSHL, OpSHR:
 		fmt.Fprintf(&b, " %s, %s, %d", regName(in.Rd), regName(in.Rs1), in.Imm)
 	default:

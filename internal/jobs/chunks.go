@@ -6,6 +6,7 @@ import (
 	"gpufaultsim/internal/artifact"
 	"gpufaultsim/internal/campaign"
 	"gpufaultsim/internal/errmodel"
+	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/perfi"
 	"gpufaultsim/internal/units"
 	"gpufaultsim/internal/workloads"
@@ -14,7 +15,13 @@ import (
 // chunkSchema versions every cached payload and cache key. Bumping it
 // invalidates the whole store, so bump only when payload shape or step
 // semantics change.
-const chunkSchema = 1
+//
+// Schema history:
+//
+//	1: initial resumable-campaign cache.
+//	2: gate keys carry the simulation engine (event vs full), so results
+//	   from the two engines can never alias in the cache.
+const chunkSchema = 2
 
 // Phase names a stage of the methodology; chunks group under phases for
 // progress reporting and per-phase timing.
@@ -100,6 +107,7 @@ type gateKeyMaterial struct {
 	PatternsDigest string `json:"patterns_digest"`
 	Seed           int64  `json:"seed"`
 	Collapse       bool   `json:"collapse"`
+	Engine         string `json:"engine"`
 }
 
 func gateKey(spec Spec, u *units.Unit, patternsDigest string) (string, error) {
@@ -108,6 +116,7 @@ func gateKey(spec Spec, u *units.Unit, patternsDigest string) (string, error) {
 		NetlistDigest:  artifact.NetlistDigest(u.NL),
 		PatternsDigest: patternsDigest,
 		Seed:           spec.Seed, Collapse: spec.Collapse,
+		Engine: spec.Engine,
 	})
 }
 
@@ -150,7 +159,11 @@ func computeProfile(spec Spec) ([]byte, error) {
 // computeGate runs one unit's gate-level campaign chunk. The payload is
 // the unit's final gate artifact, byte-for-byte.
 func computeGate(spec Spec, u *units.Unit, patterns []units.Pattern) ([]byte, error) {
-	out := campaign.GateStep(u, patterns, spec.Collapse)
+	eng, err := gatesim.ParseEngine(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	out := campaign.GateStep(u, patterns, spec.Collapse, eng)
 	return artifact.Canonical(artifact.NewGateReport(spec.Seed, out.Summary, out.Collector))
 }
 

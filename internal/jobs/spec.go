@@ -14,6 +14,7 @@ import (
 
 	"gpufaultsim/internal/artifact"
 	"gpufaultsim/internal/campaign"
+	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/workloads"
 )
 
@@ -26,6 +27,15 @@ type Spec struct {
 	MaxPatterns int   `json:"max_patterns,omitempty"` // 0 = 512
 	Injections  int   `json:"injections,omitempty"`   // 0 = 50
 	Collapse    bool  `json:"collapse,omitempty"`
+
+	// Engine selects the gate-level simulation engine: "event" (default)
+	// or "full". Both engines produce byte-identical campaign artifacts —
+	// the differential harness in package gatesim holds them to that —
+	// but the engine still enters every gate chunk's cache key, so a
+	// result computed by one engine is never served as a cache hit for
+	// the other: an engine-difference bug would surface as a digest
+	// mismatch instead of silently aliasing.
+	Engine string `json:"engine,omitempty"`
 
 	// Apps are the software-injection targets by Table-1 name
 	// (empty = the 13 non-CNN evaluation apps).
@@ -43,6 +53,9 @@ func (s Spec) WithDefaults() Spec {
 	}
 	if s.Injections == 0 {
 		s.Injections = 50
+	}
+	if s.Engine == "" {
+		s.Engine = gatesim.EngineEvent.String()
 	}
 	if len(s.Apps) == 0 {
 		for _, w := range workloads.Evaluation() {
@@ -62,6 +75,9 @@ func (s Spec) Validate() error {
 	s = s.WithDefaults()
 	if s.MaxPatterns < 0 || s.Injections < 0 {
 		return fmt.Errorf("jobs: negative campaign size")
+	}
+	if _, err := gatesim.ParseEngine(s.Engine); err != nil {
+		return err
 	}
 	for _, name := range append(append([]string{}, s.Apps...), s.Profiling...) {
 		if workloads.ByName(name) == nil {
@@ -98,6 +114,7 @@ func (s Spec) campaignConfig() campaign.TwoLevelConfig {
 		MaxPatterns:        s.MaxPatterns,
 		Injections:         s.Injections,
 		Collapse:           s.Collapse,
+		Engine:             s.Engine,
 		ProfilingWorkloads: resolve(s.Profiling),
 		EvalApps:           resolve(s.Apps),
 	}

@@ -1,0 +1,41 @@
+package kasm
+
+import (
+	"testing"
+)
+
+// FuzzKasmParse throws arbitrary text at the assembler. Parse must never
+// panic, and any text it accepts must survive the documented round trip:
+// Disassemble emits exactly the syntax Parse accepts, so
+// Parse(Disassemble(p)) must succeed and reproduce p's code words.
+func FuzzKasmParse(f *testing.F) {
+	f.Add("EXIT\n")
+	f.Add("entry:\n  S2R R0, SR_TID.X\n  MOV32I R1, 128\n  ISETP.GE P0, R0, R1\n  @P0 BRA done\n  GLD R2, [R0+0]\n  IADD R2, R2, R1\n  GST [R0+0], R2\ndone:\n  EXIT\n")
+	f.Add("loop:\n  IADD R1, R1, R2 // comment\n  BRA loop\n")
+	f.Add("  0: NOP\n  1: @!P3 FFMA R4, R5, R6, R7\n  2: SHL R1, R2, 31\n")
+	f.Add("x:\nx:\n")      // duplicate label
+	f.Add("BRA nowhere\n") // undefined label
+	f.Add("MOV32I R0, 99999\n# bare comment\n\t\n")
+	f.Add("PSETP.NE P0, P1, P2\n  LDS R3, [R4-12]\n  BAR\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejected input: only panics are bugs here
+		}
+		text := p.Disassemble()
+		q, err := Parse("fuzz2", text)
+		if err != nil {
+			t.Fatalf("re-parse of disassembly failed: %v\ninput:\n%s\ndisassembly:\n%s", err, src, text)
+		}
+		if len(p.Code) != len(q.Code) {
+			t.Fatalf("round trip changed length: %d -> %d\ndisassembly:\n%s", len(p.Code), len(q.Code), text)
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Fatalf("round trip changed instruction %d: %v -> %v\ndisassembly:\n%s",
+					i, p.At(i), q.At(i), text)
+			}
+		}
+	})
+}

@@ -168,6 +168,13 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		}
 		return parseReg(operands[i])
 	}
+	// opnd guards raw operand access for the fixed-shape cases below.
+	opnd := func(i int) string {
+		if i < len(operands) {
+			return operands[i]
+		}
+		return ""
+	}
 
 	switch op {
 	case isa.OpNOP, isa.OpEXIT, isa.OpBAR:
@@ -184,9 +191,9 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		if rerr != nil {
 			return in, "", rerr
 		}
-		v, verr := strconv.ParseInt(operands[1], 10, 32)
+		v, verr := strconv.ParseInt(opnd(1), 10, 32)
 		if verr != nil || v < -32768 || v > 32767 {
-			return in, "", fmt.Errorf("MOV32I immediate %q out of int16 range", operands[1])
+			return in, "", fmt.Errorf("MOV32I immediate %q out of int16 range", opnd(1))
 		}
 		in.Rd, in.Imm = rd, uint16(int16(v))
 		return in, "", nil
@@ -196,7 +203,7 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		if rerr != nil {
 			return in, "", rerr
 		}
-		sr, serr := parseSpecialReg(operands[1])
+		sr, serr := parseSpecialReg(opnd(1))
 		if serr != nil {
 			return in, "", serr
 		}
@@ -209,9 +216,9 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		if e1 != nil || e2 != nil {
 			return in, "", fmt.Errorf("%v: bad registers", op)
 		}
-		n, nerr := strconv.Atoi(operands[2])
+		n, nerr := strconv.Atoi(opnd(2))
 		if nerr != nil || n < 0 || n > 31 {
-			return in, "", fmt.Errorf("%v: bad shift count %q", op, operands[2])
+			return in, "", fmt.Errorf("%v: bad shift count %q", op, opnd(2))
 		}
 		in.Rd, in.Rs1, in.Imm = rd, rs, uint16(n)
 		return in, "", nil
@@ -221,7 +228,7 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		if rerr != nil {
 			return in, "", rerr
 		}
-		base, off, merr := parseMemRef(operands[1])
+		base, off, merr := parseMemRef(opnd(1))
 		if merr != nil {
 			return in, "", merr
 		}
@@ -229,7 +236,7 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		return in, "", nil
 
 	case isa.OpGST, isa.OpSTS:
-		base, off, merr := parseMemRef(operands[0])
+		base, off, merr := parseMemRef(opnd(0))
 		if merr != nil {
 			return in, "", merr
 		}
@@ -244,7 +251,7 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		if !hasCmp {
 			return in, "", fmt.Errorf("%v needs a comparison suffix", op)
 		}
-		pd, perr := parsePred(operands[0])
+		pd, perr := parsePred(opnd(0))
 		if perr != nil {
 			return in, "", perr
 		}
@@ -257,9 +264,9 @@ func parseInstruction(line string) (in isa.Instruction, branchTo string, err err
 		return in, "", nil
 
 	case isa.OpPSETP:
-		pd, e0 := parsePred(operands[0])
-		pa, e1 := parsePred(operands[1])
-		pb, e2 := parsePred(operands[2])
+		pd, e0 := parsePred(opnd(0))
+		pa, e1 := parsePred(opnd(1))
+		pb, e2 := parsePred(opnd(2))
 		if e0 != nil || e1 != nil || e2 != nil {
 			return in, "", fmt.Errorf("PSETP: bad predicates")
 		}
@@ -358,6 +365,9 @@ func parseMemRef(s string) (base uint8, off uint16, err error) {
 		return 0, 0, fmt.Errorf("bad memory reference %q", s)
 	}
 	body := s[1 : len(s)-1]
+	if body == "" {
+		return 0, 0, fmt.Errorf("bad memory reference %q", s)
+	}
 	sign := 1
 	regPart, offPart := body, ""
 	if i := strings.IndexAny(body[1:], "+-"); i >= 0 {

@@ -238,3 +238,16 @@ func (s *Simulator) OutputWord(field string, lane int) uint64 {
 func (s *Simulator) OutputBit(o Output, lane int) bool {
 	return s.vals[o.Node]>>lane&1 == 1
 }
+
+// OutputSlice assembles a field value for machine lane from an explicit
+// output-bit list (one field's Outputs entries), LSB first. Campaign inner
+// loops use it to avoid OutputWord's scan over every declared output.
+func (s *Simulator) OutputSlice(outs []Output, lane int) uint64 {
+	var v uint64
+	for _, o := range outs {
+		if s.vals[o.Node]>>lane&1 == 1 {
+			v |= 1 << o.Bit
+		}
+	}
+	return v
+}

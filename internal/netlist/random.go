@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomSpec sizes a randomly generated netlist (RandomNetlist). The
+// generator backs the differential and fuzz harnesses that hold the
+// event-driven campaign engine byte-identical to full evaluation: random
+// circuits exercise gate-kind, fanout and sequential-feedback shapes the
+// hand-built units never reach.
+type RandomSpec struct {
+	Inputs  int // primary inputs (≥1)
+	Gates   int // combinational gates
+	DFFs    int // state elements (0 for a pure combinational circuit)
+	Outputs int // output bits, split across two fields ("data", "flow")
+}
+
+// RandomNetlist builds a pseudo-random synchronous circuit from a seeded
+// rng. The same rng state always yields the same circuit. DFF next-state
+// nets are drawn from the whole pool, so feedback through state (a DFF
+// observing logic fed by its own output) occurs routinely. Outputs are
+// split across a "data" field and a "flow" field so campaigns exercise
+// both the software-error and the hang classification paths.
+func RandomNetlist(rng *rand.Rand, spec RandomSpec) *Netlist {
+	if spec.Inputs < 1 {
+		spec.Inputs = 1
+	}
+	if spec.Outputs < 1 {
+		spec.Outputs = 1
+	}
+	b := NewBuilder("random")
+	pool := make([]Node, 0, spec.Inputs+spec.DFFs+spec.Gates+2)
+	for i := 0; i < spec.Inputs; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("in[%d]", i)))
+	}
+	dffs := make([]Node, spec.DFFs)
+	for i := range dffs {
+		dffs[i] = b.DFF()
+		pool = append(pool, dffs[i])
+	}
+	// An occasional constant leg exercises the collapser's constant rules.
+	pool = append(pool, b.Const(false), b.Const(true))
+	pick := func() Node { return pool[rng.Intn(len(pool))] }
+	for g := 0; g < spec.Gates; g++ {
+		x, y, z := pick(), pick(), pick()
+		var n Node
+		switch rng.Intn(9) {
+		case 0:
+			n = b.Buf(x)
+		case 1:
+			n = b.Not(x)
+		case 2:
+			n = b.And(x, y)
+		case 3:
+			n = b.Or(x, y)
+		case 4:
+			n = b.Xor(x, y)
+		case 5:
+			n = b.Nand(x, y)
+		case 6:
+			n = b.Nor(x, y)
+		default:
+			n = b.Mux(z, x, y)
+		}
+		pool = append(pool, n)
+	}
+	for _, q := range dffs {
+		b.SetDFF(q, pick())
+	}
+	dataBits := (spec.Outputs + 1) / 2
+	for i := 0; i < spec.Outputs; i++ {
+		if i < dataBits {
+			b.Output("data", i, pick())
+		} else {
+			b.Output("flow", i-dataBits, pick())
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench_compare.sh — engine A/B on the decoder campaign.
+#
+# Runs BenchmarkFullCampaign (dense reference engine) and
+# BenchmarkEventCampaign (levelized event-driven engine) on identical
+# stimuli, computes the speed-up, writes BENCH_gatesim.json, and fails if
+# the event engine is slower than MIN_SPEEDUP times the full engine
+# (default 1.0; CI gates at 2.0).
+#
+#   MIN_SPEEDUP=2 sh scripts/bench_compare.sh
+#
+# Knobs: GPUFAULTSIM_PATTERNS (stimulus count, default 64 via bench_test),
+# BENCH_COUNT (benchmark repetitions, default 3; the best run of each
+# engine is compared so machine noise only ever understates the ratio).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.0}"
+BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="${BENCH_OUT:-BENCH_gatesim.json}"
+
+echo "==> benchmarking decoder campaign: full vs event engine (count=$BENCH_COUNT)"
+raw=$(go test -run '^$' -bench '^(BenchmarkFullCampaign|BenchmarkEventCampaign)$' \
+	-benchtime 1x -count "$BENCH_COUNT" .)
+echo "$raw"
+
+echo "$raw" | awk -v min="$MIN_SPEEDUP" -v out="$OUT" '
+	$1 ~ /^BenchmarkFullCampaign/  { if (full  == 0 || $3 < full)  full  = $3 }
+	$1 ~ /^BenchmarkEventCampaign/ { if (event == 0 || $3 < event) event = $3 }
+	END {
+		if (full == 0 || event == 0) {
+			print "bench_compare: missing benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		speedup = full / event
+		printf "{\n"                                        > out
+		printf "  \"benchmark\": \"decoder full-fault campaign\",\n" > out
+		printf "  \"full_ns_per_op\": %.0f,\n", full        > out
+		printf "  \"event_ns_per_op\": %.0f,\n", event      > out
+		printf "  \"speedup\": %.3f,\n", speedup            > out
+		printf "  \"min_speedup\": %.3f\n", min             > out
+		printf "}\n"                                        > out
+		printf "\nevent engine speed-up: %.2fx (gate: >= %.2fx)\n", speedup, min
+		if (speedup < min) {
+			printf "bench_compare: REGRESSION: %.2fx < %.2fx\n", speedup, min > "/dev/stderr"
+			exit 1
+		}
+	}'
+
+echo "wrote $OUT"

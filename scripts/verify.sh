@@ -25,4 +25,19 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Short fuzz smoke: the differential fuzzers must at least survive their
+# seed corpora plus a few seconds of mutation. Saved crashers under
+# testdata/fuzz/ run as regular tests above; this step keeps the mutation
+# machinery itself exercised. One -fuzz target per invocation (go test
+# limitation).
+echo "==> fuzz smoke"
+go test ./internal/kasm -run '^$' -fuzz '^FuzzKasmParse$' -fuzztime 5s
+go test ./internal/gatesim -run '^$' -fuzz '^FuzzNetlistEval$' -fuzztime 5s
+
+# Golden end-to-end: the full default-scale repro output, byte-for-byte
+# (timing masked). Runs without -race on purpose — the test skips itself
+# under the race detector.
+echo "==> golden end-to-end (cmd/repro)"
+go test ./cmd/repro -run '^TestReproGoldenDefault$' -count=1
+
 echo "verify: OK"
