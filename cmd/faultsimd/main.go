@@ -31,6 +31,7 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrently executing jobs")
 	chunkWorkers := flag.Int("chunk-workers", 0, "per-job chunk parallelism (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	st, err := store.Open(*dataDir+"/cache", *cacheBudget)
@@ -59,7 +60,7 @@ func main() {
 	defer stop()
 	sched.Start(context.Background())
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(sched)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(sched, *enablePprof)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (data in %s)", *addr, *dataDir)

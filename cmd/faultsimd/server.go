@@ -3,13 +3,17 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/telemetry"
 )
 
-// metrics is the /metrics payload: everything an operator needs to judge
-// cache effectiveness and daemon load at a glance.
+// metrics is the /metrics JSON payload: the scheduler-scoped view an
+// operator needs to judge cache effectiveness and daemon load at a
+// glance, plus the process-wide telemetry registry snapshot (counters,
+// gauges, histograms from every instrumented package).
 type metrics struct {
 	Jobs         int                `json:"jobs"`
 	QueueDepth   int                `json:"queue_depth"`
@@ -23,11 +27,13 @@ type metrics struct {
 	Evictions    int64              `json:"cache_evictions"`
 	CacheHitRate float64            `json:"cache_hit_rate"`
 	PhaseSec     map[string]float64 `json:"phase_seconds"`
+	Registry     telemetry.Snapshot `json:"registry"`
 }
 
 // newServer wires the scheduler into an http.Handler. Split from main so
 // tests can drive the full API through httptest without a listener.
-func newServer(s *jobs.Scheduler) http.Handler {
+// enablePprof additionally mounts net/http/pprof under /debug/pprof/.
+func newServer(s *jobs.Scheduler, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -109,27 +115,68 @@ func newServer(s *jobs.Scheduler) http.Handler {
 		}
 	})
 
+	// /metrics serves the scheduler view plus the registry snapshot as
+	// JSON (default), or the full registry in Prometheus text exposition
+	// format with ?format=prometheus. The scheduler fields come from one
+	// consistent MetricsSnapshot pass rather than field-by-field getters,
+	// so a scrape never sees a queue depth from before a job transition
+	// paired with phase timings from after it.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		cs := s.CacheStats()
-		phases := map[string]float64{}
-		for ph, sec := range s.PhaseTimings() {
-			phases[string(ph)] = sec
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			v := s.MetricsSnapshot()
+			phases := make(map[string]float64, len(v.PhaseSec))
+			for ph, sec := range v.PhaseSec {
+				phases[string(ph)] = sec
+			}
+			writeJSON(w, http.StatusOK, metrics{
+				Jobs:         v.Jobs,
+				QueueDepth:   v.QueueDepth,
+				Pending:      v.Pending,
+				CacheEntries: v.Cache.Entries,
+				CacheBytes:   v.Cache.Bytes,
+				CacheBudget:  v.Cache.Budget,
+				CacheHits:    v.Cache.Hits,
+				CacheMisses:  v.Cache.Misses,
+				CachePuts:    v.Cache.Puts,
+				Evictions:    v.Cache.Evictions,
+				CacheHitRate: v.Cache.HitRate(),
+				PhaseSec:     phases,
+				Registry:     telemetry.Default().Snapshot(),
+			})
+		case "prometheus":
+			s.MetricsSnapshot() // refresh queue-depth/pending gauges
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			telemetry.Default().WritePrometheus(w)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format (want json or prometheus)")
 		}
-		writeJSON(w, http.StatusOK, metrics{
-			Jobs:         len(s.Jobs()),
-			QueueDepth:   s.QueueDepth(),
-			Pending:      s.Pending(),
-			CacheEntries: cs.Entries,
-			CacheBytes:   cs.Bytes,
-			CacheBudget:  cs.Budget,
-			CacheHits:    cs.Hits,
-			CacheMisses:  cs.Misses,
-			CachePuts:    cs.Puts,
-			Evictions:    cs.Evictions,
-			CacheHitRate: cs.HitRate(),
-			PhaseSec:     phases,
-		})
 	})
+
+	// /debug/trace exports the flight recorder: Chrome trace_event JSON
+	// by default (load in chrome://tracing or Perfetto), one span per
+	// line with ?format=ndjson.
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		rec := telemetry.DefaultRecorder()
+		switch r.URL.Query().Get("format") {
+		case "", "trace":
+			w.Header().Set("Content-Type", "application/json")
+			rec.WriteTrace(w)
+		case "ndjson":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			rec.WriteNDJSON(w)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format (want trace or ndjson)")
+		}
+	})
+
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	return mux
 }

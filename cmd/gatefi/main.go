@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"gpufaultsim/internal/artifact"
 
@@ -19,6 +18,7 @@ import (
 	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/profiler"
 	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/telemetry"
 	"gpufaultsim/internal/units"
 	"gpufaultsim/internal/workloads"
 )
@@ -33,6 +33,7 @@ func main() {
 	collapse := flag.Bool("collapse", false, "statically collapse the fault list before simulation (identical results, fewer simulated faults)")
 	engineName := flag.String("engine", "event", "simulation engine: event (levelized event-driven) or full (dense re-evaluation); results are byte-identical")
 	jsonPath := flag.String("json", "", "also write a JSON artifact per unit to <path>_<unit>.json")
+	telemetryPath := flag.String("telemetry", "", "write an end-of-run telemetry report (metrics + spans) to this JSON file")
 	flag.Parse()
 
 	eng, err := gatesim.ParseEngine(*engineName)
@@ -40,9 +41,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	runSpan := telemetry.StartSpan("gatefi")
+
+	profSpan := runSpan.Child("profile")
 	prof, err := profiler.Collect(workloads.Profiling(), profiler.Config{
 		Seed: *seed, MaxPatterns: *maxPatterns,
 	})
+	profSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +65,14 @@ func main() {
 		log.Fatalf("unknown unit %q", *unitName)
 	}
 
-	start := time.Now()
+	tm := telemetry.StartTimer(nil)
 	type outcome struct {
 		sum *gatesim.Summary
 		col *errclass.Collector
 	}
 	outs := campaign.ParallelMap(targets, *workers, func(u *units.Unit) outcome {
+		sp := runSpan.Child("gate:" + u.Name)
+		defer sp.End()
 		col := errclass.NewCollector(u.Name)
 		var sum *gatesim.Summary
 		if *collapse {
@@ -76,7 +83,7 @@ func main() {
 		}
 		return outcome{sum, col}
 	})
-	fmt.Printf("campaigns finished in %.2fs\n\n", time.Since(start).Seconds())
+	fmt.Printf("campaigns finished in %.2fs\n\n", tm.Stop())
 
 	var sums []*gatesim.Summary
 	var reports []*errclass.UnitReport
@@ -113,4 +120,12 @@ func main() {
 	fmt.Print(report.Table5(reports))
 	fmt.Println()
 	fmt.Print(report.Fig9(cols, totals))
+
+	runSpan.End()
+	if *telemetryPath != "" {
+		if err := telemetry.WriteReportFile(*telemetryPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntelemetry report: %s\n", *telemetryPath)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"gpufaultsim/internal/report"
 	"gpufaultsim/internal/rtlfi"
 	"gpufaultsim/internal/syndrome"
+	"gpufaultsim/internal/telemetry"
 	"gpufaultsim/internal/workloads"
 )
 
@@ -60,6 +61,7 @@ func run(args []string, w io.Writer) error {
 	scaleName := fs.String("scale", "default", "quick|default|paper")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	engineName := fs.String("engine", "event", "gate-level simulation engine: event or full (byte-identical results)")
+	telemetryPath := fs.String("telemetry", "", "write an end-of-run telemetry report (metrics + spans) to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +72,16 @@ func run(args []string, w io.Writer) error {
 	}
 	if _, err := gatesim.ParseEngine(*engineName); err != nil {
 		return err
+	}
+	runSpan := telemetry.StartSpan("repro")
+	defer runSpan.End()
+	if *telemetryPath != "" {
+		defer func() {
+			runSpan.End()
+			if err := telemetry.WriteReportFile(*telemetryPath); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: telemetry report: %v\n", err)
+			}
+		}()
 	}
 	want := func(names ...string) bool {
 		if *exhibit == "all" {
@@ -94,6 +106,8 @@ func run(args []string, w io.Writer) error {
 
 	// RTL study: Figure 2, Figures 4-5, Figure 6, Table 2/Figure 7, Figure 8.
 	if want("fig2", "fig45") {
+		sp := runSpan.Child("rtl:micro")
+		defer sp.End()
 		section("")
 		mcfg := rtlfi.MicroConfig{Seed: *seed, ValuesPerRange: sc.microValues,
 			LanesSampled: sc.microLanes}
@@ -129,9 +143,11 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if want("fig6", "fig7", "table2", "fig8") {
+		sp := runSpan.Child("rtl:tmxm")
 		section("")
 		st := rtlfi.RunTMxMStudy(rtlfi.TMxMConfig{Seed: *seed,
 			ValuesPerTile: sc.tmxmValues, SiteStride: sc.tmxmStride})
+		sp.End()
 		if want("fig6") {
 			fmt.Fprint(w, report.Fig6(st.Rows))
 			fmt.Fprintln(w)
@@ -148,6 +164,7 @@ func run(args []string, w io.Writer) error {
 	// Two-level methodology: Table 3, Table 4, Table 5, Figure 9, Figures
 	// 10-11, speed-up accounting.
 	if want("table3", "table4", "table5", "fig9", "fig10", "fig11", "speedup", "discussion") {
+		sp := runSpan.Child("exhibits:twolevel")
 		section("")
 		res, err := campaign.RunTwoLevel(campaign.TwoLevelConfig{
 			Seed:        *seed,
@@ -157,6 +174,7 @@ func run(args []string, w io.Writer) error {
 			Workers:     *workers,
 			Engine:      *engineName,
 		})
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -196,6 +214,8 @@ func run(args []string, w io.Writer) error {
 
 	// Extension: the Section-6.3 mitigation proposal, measured.
 	if want("mitigation") {
+		sp := runSpan.Child("mitigation")
+		defer sp.End()
 		section("")
 		for _, name := range []string{"mxm", "gemm"} {
 			var wl workloads.Workload

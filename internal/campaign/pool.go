@@ -9,7 +9,30 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"gpufaultsim/internal/telemetry"
 )
+
+// Pool utilization metrics: items are chunky (a whole unit campaign or
+// app suite each), so per-item timing costs nothing relative to the
+// work. The busy gauge against GOMAXPROCS is the worker-utilization
+// signal the speed-up analysis wants.
+var (
+	telTasks   = telemetry.Default().Counter("campaign_tasks_total", "work items executed by the parallel-map pools")
+	telTaskSec = telemetry.Default().Histogram("campaign_task_seconds", "per-item latency in the parallel-map pools", telemetry.SecondsBuckets())
+	telBusy    = telemetry.Default().Gauge("campaign_workers_busy", "pool workers currently executing an item")
+)
+
+// runInstrumented executes one pool item with utilization accounting.
+func runInstrumented[T, R any](f func(T) R, item T) R {
+	telBusy.Add(1)
+	tm := telemetry.StartTimer(telTaskSec)
+	r := f(item)
+	tm.Stop()
+	telTasks.Inc()
+	telBusy.Add(-1)
+	return r
+}
 
 // ParallelMapCtx applies f to every item on up to workers goroutines and
 // returns the results in input order. It is deterministic as long as f is
@@ -32,7 +55,7 @@ func ParallelMapCtx[T, R any](ctx context.Context, items []T, workers int, f fun
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i] = f(it)
+			out[i] = runInstrumented(f, it)
 		}
 		return out, nil
 	}
@@ -43,7 +66,7 @@ func ParallelMapCtx[T, R any](ctx context.Context, items []T, workers int, f fun
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = f(items[i])
+				out[i] = runInstrumented(f, items[i])
 			}
 		}()
 	}

@@ -2,15 +2,24 @@ package campaign
 
 import (
 	"context"
-	"time"
 
 	"gpufaultsim/internal/errclass"
 	"gpufaultsim/internal/gatesim"
 	"gpufaultsim/internal/perfi"
 	"gpufaultsim/internal/profiler"
 	"gpufaultsim/internal/report"
+	"gpufaultsim/internal/telemetry"
 	"gpufaultsim/internal/units"
 	"gpufaultsim/internal/workloads"
+)
+
+// Per-phase wall-clock distributions of two-level runs. The same
+// telemetry.Timer measurement feeds the Speedup breakdown, so the
+// registry and the paper's timing report can never disagree.
+var (
+	telPhaseProfile  = telemetry.Default().Histogram("campaign_phase_seconds", "two-level phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "profile"))
+	telPhaseGate     = telemetry.Default().Histogram("campaign_phase_seconds", "two-level phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "gate"))
+	telPhaseSoftware = telemetry.Default().Histogram("campaign_phase_seconds", "two-level phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "software"))
 )
 
 // TwoLevelConfig parameterizes the full methodology run.
@@ -133,28 +142,36 @@ func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 		return nil, err
 	}
 	res := &Results{}
+	root := telemetry.StartSpan("twolevel")
+	defer root.End()
 
 	// Step 1: hardware unit profiling.
-	t0 := time.Now()
+	profSpan := root.Child("profile")
+	tm := telemetry.StartTimer(telPhaseProfile)
 	prof, err := ProfileStep(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Profile = prof
-	res.Timing.ProfilingSec = time.Since(t0).Seconds()
+	res.Timing.ProfilingSec = tm.Stop()
+	profSpan.End()
 
 	// Steps 2-3: gate-level campaigns with inline classification, one
 	// worker per unit.
 	patterns := prof.TopPatterns(cfg.MaxPatterns)
-	t1 := time.Now()
+	gateSpan := root.Child("gate")
+	tm = telemetry.StartTimer(telPhaseGate)
 	outcomes, err := ParallelMapCtx(ctx, units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
+		sp := gateSpan.Child("gate:" + u.Name)
+		defer sp.End()
 		return GateStep(u, patterns, cfg.Collapse, eng)
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Units = outcomes
-	res.Timing.GateSec = time.Since(t1).Seconds()
+	res.Timing.GateSec = tm.Stop()
+	gateSpan.End()
 	res.Timing.GatePatterns = len(patterns)
 	for _, u := range outcomes {
 		res.Timing.GateFaults += u.Unit.NL.NumFaults()
@@ -162,7 +179,8 @@ func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 	res.Timing.AnalysisSec = 0 // classification runs inline with step 2
 
 	// Steps 4-5: software-level error propagation.
-	t2 := time.Now()
+	swSpan := root.Child("software")
+	tm = telemetry.StartTimer(telPhaseSoftware)
 	apps, err := RunSuiteParallelCtx(ctx, cfg.EvalApps, perfi.Config{
 		Injections: cfg.Injections, Seed: cfg.Seed,
 	}, cfg.Workers)
@@ -170,7 +188,8 @@ func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 		return nil, err
 	}
 	res.Apps = apps
-	res.Timing.SoftwareSec = time.Since(t2).Seconds()
+	res.Timing.SoftwareSec = tm.Stop()
+	swSpan.End()
 	res.Timing.AppDynInstrs = prof.DynInstrs
 	for _, a := range apps {
 		for _, t := range a.ByModel {

@@ -17,7 +17,31 @@ import (
 	"gpufaultsim/internal/gatesim/engine"
 	"gpufaultsim/internal/netlist"
 	"gpufaultsim/internal/stats"
+	"gpufaultsim/internal/telemetry"
 	"gpufaultsim/internal/units"
+)
+
+// Campaign metrics. Everything is accumulated in plain locals inside
+// campaignRun and flushed with a handful of atomic adds when the
+// campaign ends, so the simulation inner loops carry zero telemetry
+// cost and BENCH_gatesim.json numbers hold with the registry enabled.
+var (
+	telCampaignsEvent = telemetry.Default().Counter("gatesim_campaigns_total", "gate-level campaigns run", telemetry.L("engine", "event"))
+	telCampaignsFull  = telemetry.Default().Counter("gatesim_campaigns_total", "gate-level campaigns run", telemetry.L("engine", "full"))
+	telPatterns       = telemetry.Default().Counter("gatesim_patterns_simulated_total", "exciting patterns driven through faulty machines")
+	telCampaignSec    = telemetry.Default().Histogram("gatesim_campaign_seconds", "wall-clock per gate-level campaign", telemetry.SecondsBuckets())
+	telClassified     = [4]*telemetry.Counter{
+		Uncontrollable: telemetry.Default().Counter("gatesim_faults_classified_total", "faults by campaign outcome", telemetry.L("class", "uncontrollable")),
+		HWMasked:       telemetry.Default().Counter("gatesim_faults_classified_total", "faults by campaign outcome", telemetry.L("class", "hw-masked")),
+		Hang:           telemetry.Default().Counter("gatesim_faults_classified_total", "faults by campaign outcome", telemetry.L("class", "hw-hang")),
+		SWError:        telemetry.Default().Counter("gatesim_faults_classified_total", "faults by campaign outcome", telemetry.L("class", "sw-error")),
+	}
+	// Event-engine delta-propagation sparsity: cycles simulated, cycles
+	// where any node deviated from golden, and nodes re-evaluated. The
+	// active/total ratio is the engine's whole speed-up story.
+	telEventCycles  = telemetry.Default().Counter("gatesim_event_cycles_total", "faulty-batch cycles simulated on the event engine")
+	telEventActive  = telemetry.Default().Counter("gatesim_event_active_cycles_total", "event-engine cycles with a non-empty active set")
+	telEventTouched = telemetry.Default().Counter("gatesim_event_nodes_touched_total", "nodes re-evaluated by delta propagation")
 )
 
 // Engine selects the faulty-machine evaluation strategy of a campaign.
@@ -311,6 +335,8 @@ func groupHasDelay(group []netlist.Fault) bool {
 func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink, eng Engine) *Summary {
 	nl := u.NL
 	patterns = u.ReducePatterns(patterns)
+	tmCampaign := telemetry.StartTimer(telCampaignSec)
+	var evCycles, evActive, evTouched int64
 
 	// Group outputs by field once.
 	var fields []fieldSpan
@@ -427,9 +453,12 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 				// flip-flops, propagate deltas through the fanout, skip
 				// output grading entirely on quiet cycles.
 				esim.SetFaults(group)
+				evCycles += int64(u.Cycles)
 				for c := 0; c < u.Cycles; c++ {
 					esim.BeginCycle(c)
 					if esim.Active() {
+						evActive++
+						evTouched += int64(len(esim.Touched()))
 						var mask uint64
 						for _, n := range esim.OutTouched() {
 							mask |= fieldMaskOf[n]
@@ -475,6 +504,22 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 			s.NumUncontrollable++
 		}
 	}
+
+	// Flush the campaign's telemetry in one batch of atomic adds.
+	tmCampaign.Stop()
+	if eng == EngineEvent {
+		telCampaignsEvent.Inc()
+	} else {
+		telCampaignsFull.Inc()
+	}
+	telPatterns.Add(int64(len(patterns)))
+	telClassified[Uncontrollable].Add(int64(s.NumUncontrollable))
+	telClassified[HWMasked].Add(int64(s.NumMasked))
+	telClassified[Hang].Add(int64(s.NumHang))
+	telClassified[SWError].Add(int64(s.NumSWError))
+	telEventCycles.Add(evCycles)
+	telEventActive.Add(evActive)
+	telEventTouched.Add(evTouched)
 	return s
 }
 

@@ -61,6 +61,7 @@ func saveCheckpoint(dir string, j *Job) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: checkpoint %s: %w", j.ID, err)
 	}
+	telCheckpoints.Inc()
 	return nil
 }
 

@@ -12,7 +12,31 @@ import (
 	"gpufaultsim/internal/campaign"
 	"gpufaultsim/internal/report"
 	"gpufaultsim/internal/store"
+	"gpufaultsim/internal/telemetry"
 	"gpufaultsim/internal/units"
+)
+
+// Scheduler metrics. The queue-depth and pending gauges are refreshed
+// by MetricsSnapshot (every /metrics scrape), not on every state
+// transition — depth is a derived property of the job table, and the
+// scrape path is where a stale gauge would be observed.
+var (
+	telSubmitted   = telemetry.Default().Counter("jobs_submitted_total", "campaign jobs accepted by Submit")
+	telDone        = telemetry.Default().Counter("jobs_completed_total", "jobs reaching a terminal or resumable state", telemetry.L("state", "done"))
+	telFailed      = telemetry.Default().Counter("jobs_completed_total", "jobs reaching a terminal or resumable state", telemetry.L("state", "failed"))
+	telInterrupted = telemetry.Default().Counter("jobs_completed_total", "jobs reaching a terminal or resumable state", telemetry.L("state", "interrupted"))
+	telRecovered   = telemetry.Default().Counter("jobs_recovered_total", "interrupted jobs re-enqueued by Recover")
+	telCheckpoints = telemetry.Default().Counter("jobs_checkpoints_total", "job checkpoints written")
+	telQueueDepth  = telemetry.Default().Gauge("jobs_queue_depth", "jobs waiting for a worker")
+	telPending     = telemetry.Default().Gauge("jobs_pending", "jobs queued or running")
+	telChunkSec    = telemetry.Default().Histogram("jobs_chunk_seconds", "per-chunk compute latency (cache misses only)", telemetry.SecondsBuckets())
+	telChunksCache = telemetry.Default().Counter("jobs_chunks_total", "chunks completed", telemetry.L("source", "cache"))
+	telChunksComp  = telemetry.Default().Counter("jobs_chunks_total", "chunks completed", telemetry.L("source", "computed"))
+	telPhaseSec    = map[Phase]*telemetry.Histogram{
+		PhaseProfile:  telemetry.Default().Histogram("jobs_phase_seconds", "per-job phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "profile")),
+		PhaseGate:     telemetry.Default().Histogram("jobs_phase_seconds", "per-job phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "gate")),
+		PhaseSoftware: telemetry.Default().Histogram("jobs_phase_seconds", "per-job phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "software")),
+	}
 )
 
 // Options configures a Scheduler.
@@ -149,6 +173,45 @@ func (s *Scheduler) QueueDepth() int {
 // CacheStats snapshots the result cache counters.
 func (s *Scheduler) CacheStats() store.Stats { return s.store.Stats() }
 
+// MetricsView is everything the daemon's /metrics endpoint reports
+// about the scheduler and its cache.
+type MetricsView struct {
+	Jobs       int
+	QueueDepth int
+	Pending    int
+	PhaseSec   map[Phase]float64
+	Cache      store.Stats
+}
+
+// MetricsSnapshot gathers the whole metrics view in one pass: a single
+// lock acquisition over the job table plus one cache Stats() call, so
+// the numbers a scrape reports are internally consistent mid-campaign
+// (the field-by-field Jobs/QueueDepth/Pending/PhaseTimings calls each
+// reacquire the mutex and interleave with job transitions). It also
+// refreshes the queue-depth and pending gauges in the registry.
+func (s *Scheduler) MetricsSnapshot() MetricsView {
+	v := MetricsView{PhaseSec: map[Phase]float64{PhaseProfile: 0, PhaseGate: 0, PhaseSoftware: 0}}
+	s.mu.Lock()
+	v.Jobs = len(s.jobs)
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			v.QueueDepth++
+			v.Pending++
+		case StateRunning:
+			v.Pending++
+		}
+		v.PhaseSec[PhaseProfile] += j.timing.ProfilingSec
+		v.PhaseSec[PhaseGate] += j.timing.GateSec
+		v.PhaseSec[PhaseSoftware] += j.timing.SoftwareSec
+	}
+	s.mu.Unlock()
+	v.Cache = s.store.Stats()
+	telQueueDepth.Set(int64(v.QueueDepth))
+	telPending.Set(int64(v.Pending))
+	return v
+}
+
 // PhaseTimings sums per-phase wall-clock seconds across all jobs.
 func (s *Scheduler) PhaseTimings() map[Phase]float64 {
 	s.mu.Lock()
@@ -196,6 +259,7 @@ func (s *Scheduler) Submit(spec Spec) (Status, error) {
 	s.order = append(s.order, j.ID)
 	st := j.statusLocked()
 	s.mu.Unlock()
+	telSubmitted.Inc()
 
 	if err := s.checkpoint(j); err != nil {
 		return st, err
@@ -257,6 +321,7 @@ func (s *Scheduler) Recover() (int, []error) {
 			select {
 			case s.queue <- j.ID:
 				requeued++
+				telRecovered.Inc()
 			default:
 				errs = append(errs, fmt.Errorf("jobs: queue full recovering %s", j.ID))
 			}
@@ -378,13 +443,16 @@ func (s *Scheduler) runJob(ctx context.Context, id string) {
 	case err == nil:
 		j.state = StateDone
 		j.err = ""
+		telDone.Inc()
 	case ctx.Err() != nil:
 		// Shutdown, not failure: leave the job resumable. The checkpoint
 		// keeps every chunk completed so far.
 		j.state = StateQueued
+		telInterrupted.Inc()
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+		telFailed.Inc()
 	}
 	j.finished = time.Now()
 	saveCheckpoint(s.opts.Dir, j)
@@ -400,9 +468,12 @@ func (s *Scheduler) runJob(ctx context.Context, id string) {
 // checkpointed, so progress survives a kill at any point.
 func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	spec := j.Spec
+	root := telemetry.StartSpan("job:" + j.ID)
+	defer root.End()
 
 	// Phase 1: profiling.
-	t0 := time.Now()
+	profSpan := root.Child("profile")
+	tm := telemetry.StartTimer(telPhaseSec[PhaseProfile])
 	key, err := profileKey(spec)
 	if err != nil {
 		return err
@@ -417,8 +488,10 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	if err := json.Unmarshal(profBytes, &prof); err != nil {
 		return fmt.Errorf("jobs: profile payload: %w", err)
 	}
+	sec := tm.Stop()
+	profSpan.End()
 	s.mu.Lock()
-	j.timing.ProfilingSec += time.Since(t0).Seconds()
+	j.timing.ProfilingSec += sec
 	j.timing.AppDynInstrs = prof.DynInstrs
 	s.mu.Unlock()
 
@@ -426,7 +499,7 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	var payloadMu sync.Mutex
 
 	// Phases 2-3: gate-level campaigns, one chunk per unit.
-	t1 := time.Now()
+	tm = telemetry.StartTimer(telPhaseSec[PhaseGate])
 	patternsDigest := artifact.PatternsDigest(prof.Patterns)
 	type chunkOut struct {
 		id  string
@@ -436,6 +509,8 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	gateOuts, err := campaign.ParallelMapCtx(ctx, units.All(), s.opts.ChunkWorkers,
 		func(u *units.Unit) chunkOut {
 			id := "gate:" + u.Name
+			sp := root.Child(id)
+			defer sp.End()
 			key, err := gateKey(spec, u, patternsDigest)
 			if err != nil {
 				return chunkOut{id: id, err: err}
@@ -462,17 +537,20 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 		}
 		gateFaults += gr.TotalFaults
 	}
+	sec = tm.Stop()
 	s.mu.Lock()
-	j.timing.GateSec += time.Since(t1).Seconds()
+	j.timing.GateSec += sec
 	j.timing.GatePatterns = len(prof.Patterns)
 	j.timing.GateFaults = gateFaults
 	s.mu.Unlock()
 
 	// Phases 4-5: software campaigns, one chunk per application.
-	t2 := time.Now()
+	tm = telemetry.StartTimer(telPhaseSec[PhaseSoftware])
 	swOuts, err := campaign.ParallelMapCtx(ctx, spec.Apps, s.opts.ChunkWorkers,
 		func(app string) chunkOut {
 			id := "sw:" + app
+			sp := root.Child(id)
+			defer sp.End()
 			key, err := softwareKey(spec, app)
 			if err != nil {
 				return chunkOut{id: id, err: err}
@@ -501,8 +579,9 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 			injections += m.Masked + m.SDC + m.DUE
 		}
 	}
+	sec = tm.Stop()
 	s.mu.Lock()
-	j.timing.SoftwareSec += time.Since(t2).Seconds()
+	j.timing.SoftwareSec += sec
 	j.timing.SWInjections = injections
 	s.mu.Unlock()
 
@@ -523,6 +602,7 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, com
 		return nil, err
 	}
 	if b, ok := s.store.Get(key); ok {
+		telChunksCache.Inc()
 		s.markChunkDone(j, id, key, true)
 		return b, nil
 	}
@@ -535,10 +615,13 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, com
 	}
 	s.mu.Unlock()
 
+	tm := telemetry.StartTimer(telChunkSec)
 	b, err := compute()
 	if err != nil {
 		return nil, err
 	}
+	tm.Stop()
+	telChunksComp.Inc()
 	if err := s.store.Put(key, b); err != nil {
 		return nil, err
 	}

@@ -17,6 +17,22 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"gpufaultsim/internal/telemetry"
+)
+
+// Process-wide cache metrics. A process can open several stores (tests,
+// embedded daemons); counters aggregate across all of them and the
+// gauges track running totals via deltas, Prometheus-style. Per-store
+// exact numbers remain available through Stats().
+var (
+	telHits      = telemetry.Default().Counter("store_hits_total", "content-addressed cache hits")
+	telMisses    = telemetry.Default().Counter("store_misses_total", "content-addressed cache misses")
+	telPuts      = telemetry.Default().Counter("store_puts_total", "payloads inserted into the cache")
+	telEvictions = telemetry.Default().Counter("store_evictions_total", "entries evicted by the LRU byte budget")
+	telBytes     = telemetry.Default().Gauge("store_bytes", "payload bytes resident across open stores")
+	telEntries   = telemetry.Default().Gauge("store_entries", "entries resident across open stores")
+	telPutSize   = telemetry.Default().Histogram("store_put_size_bytes", "inserted payload sizes", telemetry.BytesBuckets())
 )
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -103,6 +119,8 @@ func Open(dir string, budget int64) (*Store, error) {
 		s.entries[f.key] = &entry{size: f.size, lastUse: s.clock}
 		s.bytes += f.size
 	}
+	telEntries.Add(int64(len(s.entries)))
+	telBytes.Add(s.bytes)
 	return s, nil
 }
 
@@ -133,6 +151,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if !ok {
 		s.stats.Misses++
 		s.mu.Unlock()
+		telMisses.Inc()
 		return nil, false
 	}
 	s.clock++
@@ -146,14 +165,18 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		if cur, still := s.entries[key]; still {
 			s.bytes -= cur.size
 			delete(s.entries, key)
+			telEntries.Add(-1)
+			telBytes.Add(-cur.size)
 		}
 		s.stats.Misses++
 		s.mu.Unlock()
+		telMisses.Inc()
 		return nil, false
 	}
 	s.mu.Lock()
 	s.stats.Hits++
 	s.mu.Unlock()
+	telHits.Inc()
 	return b, true
 }
 
@@ -215,6 +238,10 @@ func (s *Store) Put(key string, data []byte) error {
 	s.entries[key] = &entry{size: int64(len(data)), lastUse: s.clock}
 	s.bytes += int64(len(data))
 	s.stats.Puts++
+	telPuts.Inc()
+	telPutSize.Observe(float64(len(data)))
+	telEntries.Add(1)
+	telBytes.Add(int64(len(data)))
 	s.evictLocked(key)
 	return nil
 }
@@ -240,9 +267,12 @@ func (s *Store) evictLocked(keep string) {
 			return
 		}
 		s.bytes -= s.entries[victim].size
+		telBytes.Add(-s.entries[victim].size)
+		telEntries.Add(-1)
 		delete(s.entries, victim)
 		os.Remove(s.path(victim))
 		s.stats.Evictions++
+		telEvictions.Inc()
 	}
 }
 

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds the deterministic registry behind the
+// exposition golden file.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_chunks_total", "chunks completed", L("source", "cache")).Add(3)
+	r.Counter("jobs_chunks_total", "chunks completed", L("source", "computed")).Add(5)
+	r.Gauge("jobs_queue_depth", "jobs waiting").Set(2)
+	h := r.Histogram("jobs_chunk_seconds", "chunk latency", []float64{0.5, 1, 2}, L("phase", "gate"))
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+	hb := r.Histogram("store_put_size_bytes", "inserted payload sizes", []float64{256, 1024})
+	hb.Observe(100)
+	hb.Observe(512)
+	hb.Observe(4096)
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/exposition.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// promLine is the shape serve_smoke.sh asserts too: comment, or
+// name{labels} value.
+var promLine = regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.eE+-]+(Inf)?)$`)
+
+func TestPrometheusLinesWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_concurrent_total", "concurrency smoke")
+	const workers, per = 64, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_concurrent_seconds", "", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(w % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != 16*500 {
+		t.Fatalf("count = %d, want %d", s.Count, 16*500)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_bounds", "", []float64{1, 2, 5})
+	// le semantics: v <= bound lands in the first bucket whose bound
+	// admits it; values above the last bound land in the +Inf overflow.
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.9, 5.0, 5.1, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 2, 2, 2} // (..1], (1..2], (2..5], (5..+Inf)
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum < 119.5 || s.Sum > 119.7 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "help", L("k", "v"))
+	b := r.Counter("test_total", "ignored on re-register", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct handles")
+	}
+	c := r.Counter("test_total", "", L("k", "other"))
+	if a == c {
+		t.Fatal("distinct labels shared a handle")
+	}
+	a.Add(3)
+	if b.Value() != 3 || c.Value() != 0 {
+		t.Fatalf("values %d %d", b.Value(), c.Value())
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_conflict", "")
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestSnapshotCoversEverything(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Gauge("g", "").Set(5)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 2 || s.Gauges["g"] != 5 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	hs, ok := s.Histograms["h_seconds"]
+	if !ok || hs.Count != 1 || hs.Counts[0] != 1 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+}
+
+func TestDisabledUpdatesAreNoOps(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("test_disabled_total", "")
+	g := r.Gauge("test_disabled_gauge", "")
+	h := r.Histogram("test_disabled_seconds", "", []float64{1})
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.snapshot().Count != 0 {
+		t.Fatalf("disabled metrics moved: %d %d %d", c.Value(), g.Value(), h.snapshot().Count)
+	}
+	if StartSpan("nope") != nil {
+		t.Fatal("disabled StartSpan returned a live span")
+	}
+}
+
+func TestTimerObservesAndReturnsSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_timer_seconds", "", SecondsBuckets())
+	tm := StartTimer(h)
+	time.Sleep(2 * time.Millisecond)
+	sec := tm.Stop()
+	if sec <= 0 {
+		t.Fatalf("elapsed = %v", sec)
+	}
+	if s := h.snapshot(); s.Count != 1 || s.Sum <= 0 {
+		t.Fatalf("histogram after timer: %+v", s)
+	}
+	// Disabled: the measurement survives, the observation is dropped.
+	SetEnabled(false)
+	defer SetEnabled(true)
+	tm = StartTimer(h)
+	time.Sleep(time.Millisecond)
+	if sec := tm.Stop(); sec <= 0 {
+		t.Fatalf("disabled timer returned %v, want measured seconds", sec)
+	}
+	if s := h.snapshot(); s.Count != 1 {
+		t.Fatalf("disabled timer observed into histogram: %+v", s)
+	}
+}

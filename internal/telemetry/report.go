@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the end-of-run telemetry artifact the batch CLIs write with
+// -telemetry <file>: a consistent metric snapshot plus the recorded
+// span tree (phase timings). Dropped counts how many spans the flight
+// recorder overwrote before the dump.
+type Report struct {
+	Metrics Snapshot     `json:"metrics"`
+	Spans   []SpanRecord `json:"spans"`
+	Dropped uint64       `json:"spans_dropped,omitempty"`
+}
+
+// BuildReport snapshots the default registry and recorder.
+func BuildReport() Report {
+	spans, dropped := defaultRecorder.Snapshot()
+	return Report{
+		Metrics: defaultRegistry.Snapshot(),
+		Spans:   spans,
+		Dropped: dropped,
+	}
+}
+
+// WriteReportFile writes BuildReport() to path as indented JSON.
+func WriteReportFile(path string) error {
+	b, err := json.MarshalIndent(BuildReport(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

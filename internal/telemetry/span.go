@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRecorderCap bounds the default flight recorder: old spans are
+// overwritten once this many completed spans are resident.
+const DefaultRecorderCap = 4096
+
+// SpanRecord is one completed span as stored in the flight recorder.
+type SpanRecord struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"` // 0 = root
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"` // unix microseconds
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight phase of a campaign run. Spans form trees via
+// Child; End records the completed span into the flight recorder. A nil
+// *Span (telemetry disabled) is a valid no-op receiver for every
+// method, so instrumentation sites never branch on Enabled themselves.
+type Span struct {
+	rec    *FlightRecorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Child opens a sub-span. Children may End after their parent; the
+// parent link is by ID, not lifetime.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.startSpan(name, s.id)
+}
+
+// SetAttr attaches a key/value to the span's record.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End completes the span and records it. Idempotent: only the first End
+// records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.rec.record(SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   time.Since(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// FlightRecorder is a bounded in-memory ring of completed spans: cheap
+// enough to leave on in production, deep enough to reconstruct the
+// phase tree of recent campaign runs after the fact.
+type FlightRecorder struct {
+	seq atomic.Uint64 // span IDs
+
+	mu      sync.Mutex
+	buf     []SpanRecord // ring storage, len == cap once full
+	next    int          // next write position
+	wrapped bool
+	total   uint64 // spans ever recorded
+}
+
+// NewFlightRecorder builds a recorder holding up to capacity completed
+// spans (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// StartSpan opens a root span. Returns nil (a no-op span) when
+// telemetry is disabled.
+func (r *FlightRecorder) StartSpan(name string) *Span {
+	return r.startSpan(name, 0)
+}
+
+func (r *FlightRecorder) startSpan(name string, parent uint64) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{rec: r, id: r.seq.Add(1), parent: parent, name: name, start: time.Now()}
+}
+
+func (r *FlightRecorder) record(rec SpanRecord) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.wrapped = true
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the resident spans in record order (oldest first)
+// plus the number of spans that have been overwritten by wraparound.
+func (r *FlightRecorder) Snapshot() (spans []SpanRecord, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		spans = make([]SpanRecord, 0, len(r.buf))
+		spans = append(spans, r.buf[r.next:]...)
+		spans = append(spans, r.buf[:r.next]...)
+		return spans, r.total - uint64(len(r.buf))
+	}
+	return append([]SpanRecord(nil), r.buf...), 0
+}
+
+// Reset discards every recorded span (tests and CLI runs that want a
+// clean trace).
+func (r *FlightRecorder) Reset() {
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.wrapped = false
+	r.total = 0
+	r.mu.Unlock()
+}
+
+// WriteNDJSON dumps the recorder as one SpanRecord JSON object per
+// line, oldest first.
+func (r *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	spans, _ := r.Snapshot()
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeTrace is the envelope chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteTrace dumps the recorder as Chrome trace_event JSON ("X"
+// complete events). Each span lands on the track (tid) of its root
+// ancestor, so concurrent jobs render as separate lanes in
+// chrome://tracing / Perfetto.
+func (r *FlightRecorder) WriteTrace(w io.Writer) error {
+	spans, _ := r.Snapshot()
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	root := func(id uint64) uint64 {
+		for {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for _, s := range spans {
+		args := map[string]string{"id": fmt.Sprint(s.ID)}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprint(s.Parent)
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			TS: s.StartUS, Dur: s.DurUS, PID: 1, TID: root(s.ID),
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(tr)
+}

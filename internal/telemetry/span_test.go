@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestFlightRecorderRingWraparound(t *testing.T) {
+	r := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		sp := r.StartSpan(fmt.Sprintf("s%02d", i))
+		sp.End()
+	}
+	spans, dropped := r.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("resident spans = %d, want 8", len(spans))
+	}
+	if dropped != 12 {
+		t.Fatalf("dropped = %d, want 12", dropped)
+	}
+	// The survivors are the 8 most recent, oldest first.
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%02d", 12+i); s.Name != want {
+			t.Fatalf("span %d = %q, want %q", i, s.Name, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.StartSpan("only").End()
+	spans, dropped := r.Snapshot()
+	if len(spans) != 1 || dropped != 0 || spans[0].Name != "only" {
+		t.Fatalf("spans %v dropped %d", spans, dropped)
+	}
+	r.Reset()
+	if spans, _ := r.Snapshot(); len(spans) != 0 {
+		t.Fatalf("reset left %d spans", len(spans))
+	}
+}
+
+func TestSpanTreeParentLinks(t *testing.T) {
+	r := NewFlightRecorder(16)
+	root := r.StartSpan("job")
+	child := root.Child("gate:wsc")
+	grand := child.Child("batch")
+	grand.SetAttr("faults", "64")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans, _ := r.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].Parent != 0 {
+		t.Fatalf("root has parent %d", byName["job"].Parent)
+	}
+	if byName["gate:wsc"].Parent != byName["job"].ID {
+		t.Fatal("child not linked to root")
+	}
+	if byName["batch"].Parent != byName["gate:wsc"].ID {
+		t.Fatal("grandchild not linked to child")
+	}
+	if byName["batch"].Attrs["faults"] != "64" {
+		t.Fatalf("attrs = %v", byName["batch"].Attrs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewFlightRecorder(8)
+	sp := r.StartSpan("once")
+	sp.End()
+	sp.End()
+	if spans, _ := r.Snapshot(); len(spans) != 1 {
+		t.Fatalf("double End recorded %d spans", len(spans))
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span produced a live child")
+	}
+	sp.End() // must not panic
+}
+
+func TestWriteTraceChromeFormat(t *testing.T) {
+	r := NewFlightRecorder(16)
+	root := r.StartSpan("job")
+	root.Child("profile").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(tr.TraceEvents))
+	}
+	var rootTID uint64
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("phase %q, want X", ev.Ph)
+		}
+		if ev.Name == "job" {
+			rootTID = ev.TID
+		}
+	}
+	// Children render on their root ancestor's track.
+	for _, ev := range tr.TraceEvents {
+		if ev.TID != rootTID {
+			t.Fatalf("event %q on tid %d, want root tid %d", ev.Name, ev.TID, rootTID)
+		}
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.StartSpan("a").End()
+	r.StartSpan("b").End()
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}

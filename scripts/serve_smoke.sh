@@ -61,6 +61,34 @@ METRICS=$(fetch "$BASE/metrics")
 printf '%s' "$METRICS" | grep -q '"cache_puts": 5' || {
 	echo "unexpected metrics: $METRICS" >&2; exit 1
 }
+printf '%s' "$METRICS" | grep -q '"registry"' || {
+	echo "metrics JSON is missing the registry snapshot" >&2; exit 1
+}
+
+echo "==> prometheus exposition"
+PROM=$(fetch "$BASE/metrics?format=prometheus")
+printf '%s\n' "$PROM" | grep -q '^store_puts_total ' || {
+	echo "prometheus exposition missing store_puts_total:" >&2
+	printf '%s\n' "$PROM" | head -20 >&2; exit 1
+}
+# Every line must be a comment or a well-formed sample line.
+BAD=$(printf '%s\n' "$PROM" |
+	grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|-Inf|NaN|[0-9.eE+-]+))$' || true)
+[ -z "$BAD" ] || { echo "malformed exposition lines:" >&2; printf '%s\n' "$BAD" >&2; exit 1; }
+
+echo "==> flight-recorder trace"
+TRACE=$(fetch "$BASE/debug/trace")
+printf '%s' "$TRACE" | grep -q '"traceEvents"' || {
+	echo "trace export missing traceEvents: $TRACE" >&2; exit 1
+}
+printf '%s' "$TRACE" | grep -q "\"job:$ID\"" || {
+	echo "trace has no span for job $ID" >&2; exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+	printf '%s' "$TRACE" | python3 -m json.tool >/dev/null || {
+		echo "trace export is not valid JSON" >&2; exit 1
+	}
+fi
 
 echo "==> graceful shutdown (SIGTERM)"
 kill -TERM "$PID"

@@ -11,6 +11,24 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+# Telemetry lint: instrumented code paths must time phases through
+# telemetry.Timer, not hand-rolled time.Since deltas — a raw time.Since
+# in these files means a phase measurement bypassing the registry.
+echo "==> telemetry timing lint"
+if grep -n 'time\.Since(' \
+	internal/jobs/scheduler.go \
+	internal/campaign/twolevel.go \
+	internal/campaign/pool.go \
+	internal/store/store.go \
+	internal/gatesim/gatesim.go \
+	cmd/faultsimd/server.go \
+	cmd/faultsimd/main.go \
+	cmd/gatefi/main.go \
+	cmd/repro/main.go; then
+	echo "telemetry lint: use telemetry.StartTimer/Stop for phase timing in instrumented files" >&2
+	exit 1
+fi
+
 echo "==> gofmt -l"
 unformatted=$(gofmt -l ./cmd ./internal ./examples ./*.go)
 if [ -n "$unformatted" ]; then
@@ -39,5 +57,24 @@ go test ./internal/gatesim -run '^$' -fuzz '^FuzzNetlistEval$' -fuzztime 5s
 # under the race detector.
 echo "==> golden end-to-end (cmd/repro)"
 go test ./cmd/repro -run '^TestReproGoldenDefault$' -count=1
+
+# Telemetry overhead smoke: the instrumented event-engine campaign must
+# stay within 5% of its cost with telemetry disabled. Three short runs
+# per mode, best-of (min ns/op) to shed scheduler noise.
+echo "==> telemetry overhead smoke (BenchmarkEventCampaign on vs off)"
+bench_ns() {
+	GPUFAULTSIM_TELEMETRY="$1" go test . \
+		-run '^$' -bench '^BenchmarkEventCampaign$' -benchtime 2x -count 3 |
+		awk '/^BenchmarkEventCampaign/ { if (best == 0 || $3 < best) best = $3 } END { print best }'
+}
+ON=$(bench_ns on)
+OFF=$(bench_ns off)
+[ -n "$ON" ] && [ -n "$OFF" ] || { echo "overhead smoke: benchmark produced no numbers" >&2; exit 1; }
+echo "    enabled: ${ON} ns/op   disabled: ${OFF} ns/op"
+awk -v on="$ON" -v off="$OFF" 'BEGIN {
+	ratio = on / off
+	printf "    ratio: %.4f (budget 1.05)\n", ratio
+	exit (ratio > 1.05) ? 1 : 0
+}' || { echo "telemetry overhead exceeds 5% budget" >&2; exit 1; }
 
 echo "verify: OK"
