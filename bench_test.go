@@ -355,25 +355,52 @@ func BenchmarkAblationWorkers(b *testing.B) {
 // Campaign defaults to the event engine — so the pair
 // BenchmarkFullCampaign/BenchmarkEventCampaign stays a true engine A/B on
 // the same decoder campaign (scripts/bench_compare.sh gates on the ratio).
+// Both pin Workers to 1: the A/B isolates the engines, and the parallel
+// scaling has its own benchmark (BenchmarkParallelCampaignWSC).
 func BenchmarkFullCampaign(b *testing.B) {
 	u := units.Decoder()
 	patterns := campaignPatterns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum := gatesim.CampaignWith(u, patterns, nil, gatesim.EngineFull)
+		sum := gatesim.CampaignCfg(u, patterns, nil, gatesim.Config{Engine: gatesim.EngineFull, Workers: 1})
 		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
 	}
 }
 
 // BenchmarkEventCampaign is the same decoder campaign on the levelized
-// event-driven engine (the default).
+// event-driven engine (the default). ReportAllocs feeds the allocation
+// regression gate in scripts/verify.sh: the campaign's allocations are
+// per-campaign setup only, so allocs/op must stay flat as the hot loop
+// evolves.
 func BenchmarkEventCampaign(b *testing.B) {
 	u := units.Decoder()
 	patterns := campaignPatterns(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum := gatesim.CampaignWith(u, patterns, nil, gatesim.EngineEvent)
+		sum := gatesim.CampaignCfg(u, patterns, nil, gatesim.Config{Engine: gatesim.EngineEvent, Workers: 1})
 		b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
+	}
+}
+
+// BenchmarkParallelCampaignWSC measures intra-campaign fault-batch
+// sharding on the WSC — the largest netlist, the paper's dominant
+// campaign cost. Sub-benchmarks sweep the worker width over the same
+// campaign (byte-identical results); scripts/bench_compare.sh turns the
+// 1/2/4-worker rows into BENCH_parallel.json and gates the 4-worker
+// speedup on multi-core hosts. Width 1 uses the serial reference path —
+// the honest baseline, with zero sharding overhead.
+func BenchmarkParallelCampaignWSC(b *testing.B) {
+	u := units.WSC()
+	patterns := campaignPatterns(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sum := gatesim.CampaignCfg(u, patterns, nil, gatesim.Config{Engine: gatesim.EngineEvent, Workers: workers})
+				b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
+			}
+		})
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 	cacheBudget := flag.Int64("cache-budget", 256<<20, "result cache budget in bytes")
 	jobWorkers := flag.Int("job-workers", 2, "concurrently executing jobs")
 	chunkWorkers := flag.Int("chunk-workers", 0, "per-job chunk parallelism (0 = GOMAXPROCS)")
+	batchWorkers := flag.Int("batch-workers", 0, "intra-campaign fault-batch workers per gate chunk (0 = GOMAXPROCS, 1 = serial); never enters cache keys — results are byte-identical at any width")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		Store:        st,
 		JobWorkers:   *jobWorkers,
 		ChunkWorkers: *chunkWorkers,
+		BatchWorkers: *batchWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -29,7 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	maxPatterns := flag.Int("patterns", 512, "exciting patterns per unit campaign")
 	unitName := flag.String("unit", "all", "unit to inject: wsc, fetch, decoder, all")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "intra-campaign fault-batch workers per unit campaign (0 = GOMAXPROCS, 1 = serial); selected units additionally run concurrently, so this knob scales a single campaign instead of capping out at the 3 runnable units")
 	collapse := flag.Bool("collapse", false, "statically collapse the fault list before simulation (identical results, fewer simulated faults)")
 	engineName := flag.String("engine", "event", "simulation engine: event (levelized event-driven) or full (dense re-evaluation); results are byte-identical")
 	jsonPath := flag.String("json", "", "also write a JSON artifact per unit to <path>_<unit>.json")
@@ -70,16 +70,19 @@ func main() {
 		sum *gatesim.Summary
 		col *errclass.Collector
 	}
-	outs := campaign.ParallelMap(targets, *workers, func(u *units.Unit) outcome {
+	// -workers feeds the intra-campaign fault-batch pool; the unit fan-out
+	// always runs every selected unit concurrently (at most 3).
+	cfg := gatesim.Config{Engine: eng, Workers: *workers}
+	outs := campaign.ParallelMap(targets, 0, func(u *units.Unit) outcome {
 		sp := runSpan.Child("gate:" + u.Name)
 		defer sp.End()
 		col := errclass.NewCollector(u.Name)
 		var sum *gatesim.Summary
 		if *collapse {
 			cm := analyze.Collapse(u.NL)
-			sum = gatesim.CampaignCollapsedWith(u, patterns, cm, col, eng)
+			sum = gatesim.CampaignCollapsedCfg(u, patterns, cm, col, cfg)
 		} else {
-			sum = gatesim.CampaignWith(u, patterns, col, eng)
+			sum = gatesim.CampaignCfg(u, patterns, col, cfg)
 		}
 		return outcome{sum, col}
 	})

@@ -59,7 +59,8 @@ func run(args []string, w io.Writer) error {
 	exhibit := fs.String("exhibit", "all",
 		"table1|table2|table3|table4|table5|fig2|fig45|fig6|fig7|fig8|fig9|fig10|fig11|speedup|discussion|mitigation|all")
 	scaleName := fs.String("scale", "default", "quick|default|paper")
-	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel workers across units and apps (0 = GOMAXPROCS)")
+	batchWorkers := fs.Int("batch-workers", 0, "intra-campaign fault-batch workers per gate-level campaign (0 = GOMAXPROCS, 1 = serial); results are byte-identical at any width")
 	engineName := fs.String("engine", "event", "gate-level simulation engine: event or full (byte-identical results)")
 	telemetryPath := fs.String("telemetry", "", "write an end-of-run telemetry report (metrics + spans) to this JSON file")
 	if err := fs.Parse(args); err != nil {
@@ -167,12 +168,13 @@ func run(args []string, w io.Writer) error {
 		sp := runSpan.Child("exhibits:twolevel")
 		section("")
 		res, err := campaign.RunTwoLevel(campaign.TwoLevelConfig{
-			Seed:        *seed,
-			MaxPatterns: sc.patterns,
-			Injections:  sc.injections,
-			EvalApps:    cnn.Evaluation15(),
-			Workers:     *workers,
-			Engine:      *engineName,
+			Seed:         *seed,
+			MaxPatterns:  sc.patterns,
+			Injections:   sc.injections,
+			EvalApps:     cnn.Evaluation15(),
+			Workers:      *workers,
+			BatchWorkers: *batchWorkers,
+			Engine:       *engineName,
 		})
 		sp.End()
 		if err != nil {

@@ -34,15 +34,18 @@ func ProfileStep(cfg TwoLevelConfig) (*profiler.Profile, error) {
 // GateStep runs steps 2-3 for one unit: the stuck-at campaign over the
 // exciting patterns with inline error classification. collapse prunes the
 // fault list through the static analyzer first (results are identical,
-// just cheaper); eng selects the simulation engine (both engines are
-// byte-identical, the event engine is just faster).
-func GateStep(u *units.Unit, patterns []units.Pattern, collapse bool, eng gatesim.Engine) *UnitOutcome {
+// just cheaper); eng selects the simulation engine and batchWorkers the
+// intra-campaign fault-batch parallelism (0 = GOMAXPROCS, 1 = serial).
+// Engines and worker counts are all byte-identical in their outputs —
+// these knobs only change how fast the same artifact is produced.
+func GateStep(u *units.Unit, patterns []units.Pattern, collapse bool, eng gatesim.Engine, batchWorkers int) *UnitOutcome {
+	cfg := gatesim.Config{Engine: eng, Workers: batchWorkers}
 	col := errclass.NewCollector(u.Name)
 	var sum *gatesim.Summary
 	if collapse {
-		sum = gatesim.CampaignCollapsedWith(u, patterns, analyze.Collapse(u.NL), col, eng)
+		sum = gatesim.CampaignCollapsedCfg(u, patterns, analyze.Collapse(u.NL), col, cfg)
 	} else {
-		sum = gatesim.CampaignWith(u, patterns, col, eng)
+		sum = gatesim.CampaignCfg(u, patterns, col, cfg)
 	}
 	return &UnitOutcome{Unit: u, Summary: sum, Collector: col,
 		Report: errclass.Report(sum, col)}

@@ -36,8 +36,15 @@ type TwoLevelConfig struct {
 	EvalApps []workloads.Workload
 	// Injections per app per model for the software level.
 	Injections int
-	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	// Workers bounds campaign parallelism across units and evaluation
+	// apps (0 = GOMAXPROCS).
 	Workers int
+	// BatchWorkers is the intra-campaign parallelism of each unit's
+	// gate-level campaign: a pattern's 64-lane fault batches shard across
+	// this many workers, each owning its own simulator and event engine
+	// (0 = GOMAXPROCS, 1 = the serial reference path). Worker counts
+	// never change results — summaries stay byte-identical at any width.
+	BatchWorkers int
 	// Collapse runs the static fault-collapsing analysis (package analyze)
 	// before each gate-level campaign and simulates only one representative
 	// fault per equivalence class. Summaries and classifications still
@@ -164,7 +171,7 @@ func RunTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig) (*Results, error) {
 	outcomes, err := ParallelMapCtx(ctx, units.All(), cfg.Workers, func(u *units.Unit) *UnitOutcome {
 		sp := gateSpan.Child("gate:" + u.Name)
 		defer sp.End()
-		return GateStep(u, patterns, cfg.Collapse, eng)
+		return GateStep(u, patterns, cfg.Collapse, eng, cfg.BatchWorkers)
 	})
 	if err != nil {
 		return nil, err

@@ -42,6 +42,12 @@ var (
 	telEventCycles  = telemetry.Default().Counter("gatesim_event_cycles_total", "faulty-batch cycles simulated on the event engine")
 	telEventActive  = telemetry.Default().Counter("gatesim_event_active_cycles_total", "event-engine cycles with a non-empty active set")
 	telEventTouched = telemetry.Default().Counter("gatesim_event_nodes_touched_total", "nodes re-evaluated by delta propagation")
+	// Intra-campaign sharding saturation: workers currently simulating a
+	// fault batch, and the wall-clock distribution per 64-lane batch. Both
+	// are observed at batch granularity — outside the delta-propagation
+	// inner loops — so the engine hot path stays telemetry-free.
+	telBatchBusy = telemetry.Default().Gauge("gatesim_batch_workers_busy", "intra-campaign fault-batch workers currently simulating")
+	telBatchSec  = telemetry.Default().Histogram("gatesim_batch_seconds", "wall-clock per 64-lane fault batch (sharded campaigns)", telemetry.ExponentialBuckets(1e-6, 4, 10))
 )
 
 // Engine selects the faulty-machine evaluation strategy of a campaign.
@@ -158,6 +164,26 @@ type fieldSpan struct {
 	hang bool
 }
 
+// Config bundles a campaign's execution knobs. The zero value selects the
+// event engine sharded across GOMAXPROCS workers.
+type Config struct {
+	// Engine selects the faulty-machine evaluation strategy.
+	Engine Engine
+	// Workers is the intra-campaign parallelism: each pattern's 64-lane
+	// fault batches are sharded across this many workers, every worker
+	// owning its own simulator, event engine and grading scratch. Workers
+	// record corruption events per batch and the campaign replays them to
+	// the sink in batch order — the serial traversal order — so
+	// summaries, classifications and sink event streams are byte-identical
+	// at every width. 0 selects GOMAXPROCS; 1 pins the single-threaded
+	// reference path.
+	Workers int
+
+	// forceShard routes width-1 runs through the sharded path; tests use
+	// it to hold the sharding machinery itself to the serial reference.
+	forceShard bool
+}
+
 // Campaign runs the exhaustive stuck-at campaign for one unit over the
 // pattern list. Each pattern is applied from reset for unit.Cycles clock
 // cycles; outputs are compared after every evaluation.
@@ -167,7 +193,12 @@ func Campaign(u *units.Unit, patterns []units.Pattern, sink EventSink) *Summary 
 
 // CampaignWith is Campaign with an explicit engine selection.
 func CampaignWith(u *units.Unit, patterns []units.Pattern, sink EventSink, eng Engine) *Summary {
-	return CampaignFaultsWith(u, patterns, netlist.FaultList(u.NL), sink, eng)
+	return CampaignCfg(u, patterns, sink, Config{Engine: eng})
+}
+
+// CampaignCfg is Campaign with explicit execution knobs.
+func CampaignCfg(u *units.Unit, patterns []units.Pattern, sink EventSink, cfg Config) *Summary {
+	return CampaignFaultsCfg(u, patterns, netlist.FaultList(u.NL), sink, cfg)
 }
 
 // CampaignFaults runs a campaign over an explicit fault list — e.g. the
@@ -182,7 +213,12 @@ func CampaignFaults(u *units.Unit, patterns []units.Pattern, faults []netlist.Fa
 // event engine's delta representation has no previous-evaluation values
 // for clean nodes).
 func CampaignFaultsWith(u *units.Unit, patterns []units.Pattern, faults []netlist.Fault, sink EventSink, eng Engine) *Summary {
-	return campaignRun(u, patterns, faults, faults, nil, sink, eng)
+	return CampaignFaultsCfg(u, patterns, faults, sink, Config{Engine: eng})
+}
+
+// CampaignFaultsCfg is CampaignFaults with explicit execution knobs.
+func CampaignFaultsCfg(u *units.Unit, patterns []units.Pattern, faults []netlist.Fault, sink EventSink, cfg Config) *Summary {
+	return campaignRun(u, patterns, faults, faults, nil, sink, cfg)
 }
 
 // Collapse is a pruned view of a fault universe, produced by the static
@@ -212,6 +248,11 @@ func CampaignCollapsed(u *units.Unit, patterns []units.Pattern, cm Collapse, sin
 // CampaignCollapsedWith is CampaignCollapsed with an explicit engine
 // selection.
 func CampaignCollapsedWith(u *units.Unit, patterns []units.Pattern, cm Collapse, sink EventSink, eng Engine) *Summary {
+	return CampaignCollapsedCfg(u, patterns, cm, sink, Config{Engine: eng})
+}
+
+// CampaignCollapsedCfg is CampaignCollapsed with explicit execution knobs.
+func CampaignCollapsedCfg(u *units.Unit, patterns []units.Pattern, cm Collapse, sink EventSink, cfg Config) *Summary {
 	full := netlist.FaultList(u.NL)
 	sim := cm.SimFaults()
 	members := make([][]int32, len(sim))
@@ -220,7 +261,7 @@ func CampaignCollapsedWith(u *units.Unit, patterns []units.Pattern, cm Collapse,
 			members[si] = append(members[si], int32(idx))
 		}
 	}
-	return campaignRun(u, patterns, full, sim, members, sink, eng)
+	return campaignRun(u, patterns, full, sim, members, sink, cfg)
 }
 
 // laneReader is the view of one faulty batch the classification loop
@@ -328,142 +369,140 @@ func groupHasDelay(group []netlist.Fault) bool {
 	return false
 }
 
-// campaignRun is the engine shared by the full and collapsed campaigns.
-// Activation is graded over the full list; faulty machines are simulated
-// for the sim list only. members[si] lists the full-list indices that
-// share sim fault si's faulty circuit (nil means sim IS the full list).
-func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink, eng Engine) *Summary {
-	nl := u.NL
-	patterns = u.ReducePatterns(patterns)
-	tmCampaign := telemetry.StartTimer(telCampaignSec)
-	var evCycles, evActive, evTouched int64
+// evStats accumulates the event-engine sparsity counters of one campaign
+// (or one shard worker) in plain locals; the campaign merges and flushes
+// them with a handful of atomic adds at the end.
+type evStats struct {
+	cycles, active, touched int64
+}
 
-	// Group outputs by field once.
-	var fields []fieldSpan
-	byName := map[string]int{}
-	for _, o := range nl.Outputs {
-		i, ok := byName[o.Field]
-		if !ok {
-			i = len(fields)
-			byName[o.Field] = i
-			fields = append(fields, fieldSpan{name: o.Field, hang: u.HangFields[o.Field]})
+func (e *evStats) add(o evStats) {
+	e.cycles += o.cycles
+	e.active += o.active
+	e.touched += o.touched
+}
+
+// campaignCtx is the shared state of one campaignRun: the stimulus, the
+// fault universe, the field grouping, the per-pattern golden traces and
+// the per-fault verdict accumulators. The serial reference path
+// (runSerial) and the sharded path (runSharded, shard.go) both execute
+// over it; only the batch-execution strategy differs. During a sharded
+// pattern the golden traces and fieldMaskOf are read-only to workers,
+// while the grader, activated and sink stay owned by the main goroutine.
+type campaignCtx struct {
+	u        *units.Unit
+	patterns []units.Pattern
+	full     []netlist.Fault
+	sim      []netlist.Fault
+	members  [][]int32
+	sink     EventSink
+	eng      Engine
+
+	g         *grader
+	activated []bool
+	maxOuts   int
+
+	gsim        *netlist.Simulator
+	goldenNode  [][]uint64 // per cycle: golden node bits, packed 64 per word
+	goldenField [][]uint64 // aliases g.goldenField
+	fieldMaskOf []uint64   // event engine: per node, bit fi set when it feeds field fi (<64)
+
+	ev evStats
+}
+
+// goldenPass runs the fault-free simulation of one pattern, packing every
+// node's value per cycle into goldenNode and assembling the per-field
+// golden words every grader compares against.
+func (cc *campaignCtx) goldenPass(p units.Pattern) {
+	u, nl, gsim := cc.u, cc.u.NL, cc.gsim
+	gsim.Reset()
+	gsim.SetFaults(nil)
+	for c := 0; c < u.Cycles; c++ {
+		u.Drive(gsim, p, c)
+		gsim.Eval()
+		gw := cc.goldenNode[c]
+		for i := range gw {
+			gw[i] = 0
 		}
-		fields[i].outs = append(fields[i].outs, o)
-	}
-
-	activated := make([]bool, len(full))
-	maxOuts := 0
-	for i := range fields {
-		if n := len(fields[i].outs); n > maxOuts {
-			maxOuts = n
+		for n := 0; n < len(nl.Cells); n++ {
+			if gsim.Node(netlist.Node(n))&1 != 0 {
+				gw[n/64] |= 1 << (n % 64)
+			}
 		}
+		if cc.goldenField[c] == nil {
+			cc.goldenField[c] = make([]uint64, len(cc.g.fields))
+		}
+		for fi := range cc.g.fields {
+			cc.goldenField[c][fi] = gsim.OutputSlice(cc.g.fields[fi].outs, 0)
+		}
+		gsim.Clock()
 	}
-	g := &grader{
-		fields:      fields,
-		goldenField: make([][]uint64, u.Cycles),
-		members:     members,
-		ws:          make([]uint64, maxOuts),
-		hang:        make([]bool, len(full)),
-		swerr:       make([]bool, len(full)),
-		sink:        sink,
-	}
+}
 
-	gsim := netlist.NewSimulator(nl)
-	fsim := netlist.NewSimulator(nl)
-	var esim *engine.Sim
-	var fieldMaskOf []uint64 // per node, bit fi set when the node feeds field fi (<64)
-	if eng == EngineEvent {
-		esim = engine.New(nl, nil)
-		fieldMaskOf = make([]uint64, len(nl.Cells))
-		for fi, fs := range fields {
-			if fi >= 64 {
+// markActivated grades activation over the full fault list from the
+// current pattern's golden trace: a stuck-at (n, v) is activated when the
+// golden value at n differs from v in any cycle; a delay fault when the
+// node toggles between consecutive cycles.
+func (cc *campaignCtx) markActivated() {
+	u := cc.u
+	for fi, f := range cc.full {
+		if cc.activated[fi] {
+			continue
+		}
+		for c := 0; c < u.Cycles; c++ {
+			bit := cc.goldenNode[c][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
+			if f.Kind == netlist.Delay {
+				if c > 0 {
+					prev := cc.goldenNode[c-1][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
+					if prev != bit {
+						cc.activated[fi] = true
+						break
+					}
+				}
+			} else if bit != f.Stuck {
+				cc.activated[fi] = true
 				break
 			}
-			for _, o := range fs.outs {
-				fieldMaskOf[o.Node] |= 1 << uint(fi)
-			}
 		}
 	}
+}
 
-	// goldenNode[c][n] is node n's golden value in cycle c (packed bits).
-	nWords := (len(nl.Cells) + 63) / 64
-	goldenNode := make([][]uint64, u.Cycles)
-	for c := range goldenNode {
-		goldenNode[c] = make([]uint64, nWords)
+// runSerial is the single-threaded reference batch loop — the code path
+// every sharded width is held byte-identical to (parallel_test.go).
+func (cc *campaignCtx) runSerial() {
+	u, nl, g := cc.u, cc.u.NL, cc.g
+	fsim := netlist.NewSimulator(nl)
+	var esim *engine.Sim
+	if cc.eng == EngineEvent {
+		esim = engine.New(nl, nil)
 	}
-	goldenField := g.goldenField
 
-	for _, p := range patterns {
-		// Golden pass.
-		gsim.Reset()
-		gsim.SetFaults(nil)
-		for c := 0; c < u.Cycles; c++ {
-			u.Drive(gsim, p, c)
-			gsim.Eval()
-			gw := goldenNode[c]
-			for i := range gw {
-				gw[i] = 0
-			}
-			for n := 0; n < len(nl.Cells); n++ {
-				if gsim.Node(netlist.Node(n))&1 != 0 {
-					gw[n/64] |= 1 << (n % 64)
-				}
-			}
-			if goldenField[c] == nil {
-				goldenField[c] = make([]uint64, len(fields))
-			}
-			for fi := range fields {
-				goldenField[c][fi] = gsim.OutputSlice(fields[fi].outs, 0)
-			}
-			gsim.Clock()
-		}
-
-		// Activation: a stuck-at (n, v) is activated when the golden value
-		// at n differs from v in any cycle; a delay fault when the node
-		// toggles between consecutive cycles.
-		for fi, f := range full {
-			if activated[fi] {
-				continue
-			}
-			for c := 0; c < u.Cycles; c++ {
-				bit := goldenNode[c][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
-				if f.Kind == netlist.Delay {
-					if c > 0 {
-						prev := goldenNode[c-1][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
-						if prev != bit {
-							activated[fi] = true
-							break
-						}
-					}
-				} else if bit != f.Stuck {
-					activated[fi] = true
-					break
-				}
-			}
-		}
+	for _, p := range cc.patterns {
+		cc.goldenPass(p)
+		cc.markActivated()
 
 		// Faulty passes, 64 lanes at a time.
 		if esim != nil {
-			esim.BindGolden(goldenNode)
+			esim.BindGolden(cc.goldenNode)
 		}
-		for base := 0; base < len(sim); base += 64 {
-			group := sim[base:min(base+64, len(sim))]
+		for base := 0; base < len(cc.sim); base += 64 {
+			group := cc.sim[base:min(base+64, len(cc.sim))]
 			if esim != nil && !groupHasDelay(group) {
 				// Event-driven: seed only the faulty pins and diverged
 				// flip-flops, propagate deltas through the fanout, skip
 				// output grading entirely on quiet cycles.
 				esim.SetFaults(group)
-				evCycles += int64(u.Cycles)
+				cc.ev.cycles += int64(u.Cycles)
 				for c := 0; c < u.Cycles; c++ {
 					esim.BeginCycle(c)
 					if esim.Active() {
-						evActive++
-						evTouched += int64(len(esim.Touched()))
+						cc.ev.active++
+						cc.ev.touched += int64(len(esim.Touched()))
 						var mask uint64
 						for _, n := range esim.OutTouched() {
-							mask |= fieldMaskOf[n]
+							mask |= cc.fieldMaskOf[n]
 						}
-						if mask != 0 || len(fields) > 64 {
+						if mask != 0 || len(g.fields) > 64 {
 							gradeCycle(g, p, c, base, len(group), esim, mask)
 						}
 					}
@@ -481,6 +520,82 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 			}
 		}
 	}
+}
+
+// campaignRun is the engine shared by the full and collapsed campaigns.
+// Activation is graded over the full list; faulty machines are simulated
+// for the sim list only. members[si] lists the full-list indices that
+// share sim fault si's faulty circuit (nil means sim IS the full list).
+func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fault, members [][]int32, sink EventSink, cfg Config) *Summary {
+	nl := u.NL
+	patterns = u.ReducePatterns(patterns)
+	tmCampaign := telemetry.StartTimer(telCampaignSec)
+
+	// Group outputs by field once.
+	var fields []fieldSpan
+	byName := map[string]int{}
+	for _, o := range nl.Outputs {
+		i, ok := byName[o.Field]
+		if !ok {
+			i = len(fields)
+			byName[o.Field] = i
+			fields = append(fields, fieldSpan{name: o.Field, hang: u.HangFields[o.Field]})
+		}
+		fields[i].outs = append(fields[i].outs, o)
+	}
+
+	maxOuts := 0
+	for i := range fields {
+		if n := len(fields[i].outs); n > maxOuts {
+			maxOuts = n
+		}
+	}
+	g := &grader{
+		fields:      fields,
+		goldenField: make([][]uint64, u.Cycles),
+		members:     members,
+		ws:          make([]uint64, maxOuts),
+		hang:        make([]bool, len(full)),
+		swerr:       make([]bool, len(full)),
+		sink:        sink,
+	}
+
+	var fieldMaskOf []uint64 // per node, bit fi set when the node feeds field fi (<64)
+	if cfg.Engine == EngineEvent {
+		fieldMaskOf = make([]uint64, len(nl.Cells))
+		for fi, fs := range fields {
+			if fi >= 64 {
+				break
+			}
+			for _, o := range fs.outs {
+				fieldMaskOf[o.Node] |= 1 << uint(fi)
+			}
+		}
+	}
+
+	// goldenNode[c][n] is node n's golden value in cycle c (packed bits).
+	nWords := (len(nl.Cells) + 63) / 64
+	goldenNode := make([][]uint64, u.Cycles)
+	for c := range goldenNode {
+		goldenNode[c] = make([]uint64, nWords)
+	}
+
+	cc := &campaignCtx{
+		u: u, patterns: patterns, full: full, sim: sim, members: members,
+		sink: sink, eng: cfg.Engine,
+		g:          g,
+		activated:  make([]bool, len(full)),
+		maxOuts:    maxOuts,
+		gsim:       netlist.NewSimulator(nl),
+		goldenNode: goldenNode, goldenField: g.goldenField,
+		fieldMaskOf: fieldMaskOf,
+	}
+
+	if p := cfg.shardWidth(len(sim)); p > 1 || cfg.forceShard {
+		cc.runSharded(p)
+	} else {
+		cc.runSerial()
+	}
 
 	s := &Summary{
 		Unit: u.Name, Faults: full, Patterns: len(patterns),
@@ -496,7 +611,7 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 		case g.swerr[i]:
 			s.Class[i] = SWError
 			s.NumSWError++
-		case activated[i]:
+		case cc.activated[i]:
 			s.Class[i] = HWMasked
 			s.NumMasked++
 		default:
@@ -507,7 +622,7 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 
 	// Flush the campaign's telemetry in one batch of atomic adds.
 	tmCampaign.Stop()
-	if eng == EngineEvent {
+	if cfg.Engine == EngineEvent {
 		telCampaignsEvent.Inc()
 	} else {
 		telCampaignsFull.Inc()
@@ -517,9 +632,9 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 	telClassified[HWMasked].Add(int64(s.NumMasked))
 	telClassified[Hang].Add(int64(s.NumHang))
 	telClassified[SWError].Add(int64(s.NumSWError))
-	telEventCycles.Add(evCycles)
-	telEventActive.Add(evActive)
-	telEventTouched.Add(evTouched)
+	telEventCycles.Add(cc.ev.cycles)
+	telEventActive.Add(cc.ev.active)
+	telEventTouched.Add(cc.ev.touched)
 	return s
 }
 

@@ -1,0 +1,152 @@
+package gatesim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"gpufaultsim/internal/analyze"
+	"gpufaultsim/internal/netlist"
+	"gpufaultsim/internal/units"
+)
+
+// runCfg executes one campaign under an explicit Config, returning the
+// canonical Summary JSON and the exact sink event stream.
+func runCfg(t *testing.T, u *units.Unit, patterns []units.Pattern, cm Collapse, cfg Config) ([]byte, []recordedEvent) {
+	t.Helper()
+	sink := &recordingSink{}
+	var sum *Summary
+	if cm != nil {
+		sum = CampaignCollapsedCfg(u, patterns, cm, sink, cfg)
+	} else {
+		sum = CampaignCfg(u, patterns, sink, cfg)
+	}
+	js, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js, sink.events
+}
+
+// compareRuns holds a sharded run to the serial reference: byte-identical
+// Summary JSON and an identical event sequence. Sequence equality is
+// stronger than the multiset equality the merge argument needs — sharded
+// campaigns replay events in the serial traversal order, so even the
+// ordering must match exactly.
+func compareRuns(t *testing.T, label string, wantJS []byte, wantEv []recordedEvent, gotJS []byte, gotEv []recordedEvent) {
+	t.Helper()
+	if !bytes.Equal(wantJS, gotJS) {
+		t.Fatalf("%s: Summary JSON diverged from serial\nserial:  %s\nsharded: %s", label, wantJS, gotJS)
+	}
+	if len(wantEv) != len(gotEv) {
+		t.Fatalf("%s: event count diverged: serial %d, sharded %d", label, len(wantEv), len(gotEv))
+	}
+	for i := range wantEv {
+		if wantEv[i] != gotEv[i] {
+			t.Fatalf("%s: event %d diverged\nserial:  %+v\nsharded: %+v", label, i, wantEv[i], gotEv[i])
+		}
+	}
+}
+
+// TestShardedCampaignMatchesSerial is the determinism gate for the
+// intra-campaign sharding: for every unit, both engines, with and without
+// fault collapsing, campaigns at widths 1 (forced through the sharded
+// machinery), 2 and 8 must reproduce the serial reference byte for byte —
+// Summary JSON and sink event stream alike. Run under -race by
+// scripts/verify.sh, this also proves the fan-out itself race-clean.
+func TestShardedCampaignMatchesSerial(t *testing.T) {
+	for _, u := range units.All() {
+		t.Run(u.Name, func(t *testing.T) {
+			for _, eng := range []Engine{EngineEvent, EngineFull} {
+				// Pattern counts are budgeted for the -race run in
+				// scripts/verify.sh: WSC on the full engine is ~50x the
+				// cost of the small units, and each (engine, collapse)
+				// cell repeats the campaign at four widths.
+				n := 12
+				if u.Name == "wsc" {
+					n = 8
+					if eng == EngineFull {
+						n = 3
+					}
+				}
+				patterns := diffPatterns(31, n)
+				for _, collapse := range []bool{false, true} {
+					var cm Collapse
+					if collapse {
+						cm = analyze.Collapse(u.NL)
+					}
+					label := fmt.Sprintf("eng=%v collapse=%v", eng, collapse)
+					wantJS, wantEv := runCfg(t, u, patterns, cm, Config{Engine: eng, Workers: 1})
+					for _, p := range []int{1, 2, 8} {
+						cfg := Config{Engine: eng, Workers: p, forceShard: true}
+						gotJS, gotEv := runCfg(t, u, patterns, cm, cfg)
+						compareRuns(t, fmt.Sprintf("%s workers=%d", label, p), wantJS, wantEv, gotJS, gotEv)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMixedFaultListMatchesSerial covers the sharded full-simulator
+// fallback: a fault list mixing stuck-at and delay faults makes some
+// batches run on each worker's event engine and others on its full
+// simulator, within the same campaign. Both routes must still reproduce
+// the serial reference exactly.
+func TestShardedMixedFaultListMatchesSerial(t *testing.T) {
+	u := units.Decoder()
+	patterns := diffPatterns(13, 8)
+	stuck := netlist.FaultList(u.NL)
+	delay := netlist.DelayFaultList(u.NL)
+	faults := make([]netlist.Fault, 0, 160+96)
+	faults = append(faults, stuck[:min(160, len(stuck))]...)
+	faults = append(faults, delay[:min(96, len(delay))]...)
+
+	run := func(cfg Config) ([]byte, []recordedEvent) {
+		sink := &recordingSink{}
+		sum := CampaignFaultsCfg(u, patterns, faults, sink, cfg)
+		js, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, sink.events
+	}
+	for _, eng := range []Engine{EngineEvent, EngineFull} {
+		wantJS, wantEv := run(Config{Engine: eng, Workers: 1})
+		for _, p := range []int{2, 8} {
+			gotJS, gotEv := run(Config{Engine: eng, Workers: p})
+			compareRuns(t, fmt.Sprintf("mixed eng=%v workers=%d", eng, p), wantJS, wantEv, gotJS, gotEv)
+		}
+	}
+}
+
+// TestShardedCampaignSteadyStateAllocs pins the pooling work: after the
+// per-campaign setup, running more patterns must not allocate more —
+// worker simulators, engines, grading scratch and event buffers are all
+// created once and reused across patterns. The decoder runs dozens of
+// batches per pattern, so even one allocation per batch would blow the
+// slack by orders of magnitude.
+func TestShardedCampaignSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow")
+	}
+	u := units.Decoder()
+	short := diffPatterns(5, 4)
+	long := diffPatterns(5, 24)
+	run := func(pats []units.Pattern) func() {
+		return func() {
+			CampaignCfg(u, pats, nil, Config{Engine: EngineEvent, Workers: 2})
+		}
+	}
+	base := testing.AllocsPerRun(2, run(short))
+	grown := testing.AllocsPerRun(2, run(long))
+	// Both runs pay the same per-campaign setup; 6x the patterns may only
+	// add a small constant (event buffers growing once to their
+	// high-water mark), never a per-pattern or per-batch term.
+	slack := base*0.25 + 128
+	if grown > base+slack {
+		t.Fatalf("allocations grew with pattern count: %d patterns -> %.0f allocs, %d patterns -> %.0f allocs (slack %.0f)",
+			len(short), base, len(long), grown, slack)
+	}
+}

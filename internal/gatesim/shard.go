@@ -1,0 +1,274 @@
+// Intra-campaign fault-batch sharding.
+//
+// A campaign's hot loop is pattern × 64-lane fault batch, and every batch
+// is independent given the pattern's golden trace: the golden node/field
+// arrays are fault-free state, computed once per pattern and read-only
+// thereafter. runSharded exploits that structure. The main goroutine runs
+// the golden pass, then fans the pattern's batches out to P persistent
+// workers over a dynamic (work-stealing) batch counter; each worker owns a
+// private full simulator, event engine and grading scratch, so the
+// simulation inner loops take no locks and share no mutable state.
+//
+// Determinism: workers do not touch the grader. Instead each batch records
+// its corruption occurrences — (field, sim-index, golden, faulty) tuples,
+// appended in the (cycle, field, lane) order gradeCycle visits them — into
+// a per-batch buffer. After the per-pattern join, the main goroutine
+// replays the buffers in ascending batch order, performing member
+// expansion, hang dedup and sink callbacks exactly as the serial loop
+// would. The replayed sequence IS the serial sequence, so summaries,
+// classifications and sink event streams are byte-identical at every
+// worker count (enforced by parallel_test.go under -race).
+//
+// Steady state allocates nothing: simulators, engines, scratch words and
+// event buffers are created once per campaign and reused across patterns
+// (buffers are truncated, not freed), and telemetry accumulates in
+// per-worker locals merged once at the end.
+package gatesim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpufaultsim/internal/analyze"
+	"gpufaultsim/internal/gatesim/engine"
+	"gpufaultsim/internal/netlist"
+	"gpufaultsim/internal/telemetry"
+	"gpufaultsim/internal/units"
+)
+
+// shardWidth resolves the intra-campaign worker count against the fault
+// list: Workers 1 pins the serial reference path, 0 takes GOMAXPROCS, and
+// the width never exceeds the number of 64-lane batches (extra workers
+// would only idle).
+func (c Config) shardWidth(nSim int) int {
+	if c.Workers == 1 {
+		return 1
+	}
+	p := c.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if nb := (nSim + 63) / 64; p > nb {
+		p = nb
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// shardEvent is one corruption occurrence recorded by a worker: sim fault
+// si corrupted field (making it faulty where golden was expected). The
+// pattern and cycle are implicit in the buffer position — merging happens
+// per pattern, and buffers are appended in cycle order.
+type shardEvent struct {
+	field  int32
+	si     int32
+	golden uint64
+	faulty uint64
+}
+
+// shardWorker is the per-worker mutable state: private simulators and
+// grading scratch, plus event-engine counters merged once per campaign.
+type shardWorker struct {
+	fsim *netlist.Simulator
+	esim *engine.Sim // nil for EngineFull
+	ws   []uint64    // lane words of the field under grade
+	ev   evStats
+}
+
+// recordCycle is gradeCycle's recording twin: identical field/lane
+// traversal and identical skip conditions, but instead of expanding
+// members and calling the sink it appends the occurrence to buf. Kept
+// textually parallel to gradeCycle — any change there must land here.
+func recordCycle[S laneReader](g *grader, c, base, groupLen int, ls S, fieldMask uint64, ws []uint64, buf []shardEvent) []shardEvent {
+	for fi := range g.fields {
+		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {
+			continue
+		}
+		fs := &g.fields[fi]
+		golden := g.goldenField[c][fi]
+		lw := ws[:len(fs.outs)]
+		var anyDiff uint64
+		for i, o := range fs.outs {
+			w := ls.Node(o.Node)
+			lw[i] = w
+			gbit := uint64(0)
+			if golden>>o.Bit&1 == 1 {
+				gbit = ^uint64(0)
+			}
+			anyDiff |= w ^ gbit
+		}
+		if anyDiff == 0 {
+			continue
+		}
+		for lane := 0; lane < groupLen; lane++ {
+			if anyDiff>>lane&1 == 0 {
+				continue
+			}
+			var faulty uint64
+			for i, o := range fs.outs {
+				faulty |= (lw[i] >> uint(lane) & 1) << o.Bit
+			}
+			if faulty == golden {
+				continue
+			}
+			buf = append(buf, shardEvent{field: int32(fi), si: int32(base + lane), golden: golden, faulty: faulty})
+		}
+	}
+	return buf
+}
+
+// runBatch simulates one 64-lane fault batch of pattern p on this
+// worker's private machines, recording corruption occurrences into buf.
+// It mirrors runSerial's batch body exactly, with recordCycle standing in
+// for gradeCycle.
+func (w *shardWorker) runBatch(cc *campaignCtx, p units.Pattern, b int, buf []shardEvent) []shardEvent {
+	u := cc.u
+	base := b * 64
+	group := cc.sim[base:min(base+64, len(cc.sim))]
+	if w.esim != nil && !groupHasDelay(group) {
+		w.esim.SetFaults(group)
+		w.ev.cycles += int64(u.Cycles)
+		for c := 0; c < u.Cycles; c++ {
+			w.esim.BeginCycle(c)
+			if w.esim.Active() {
+				w.ev.active++
+				w.ev.touched += int64(len(w.esim.Touched()))
+				var mask uint64
+				for _, n := range w.esim.OutTouched() {
+					mask |= cc.fieldMaskOf[n]
+				}
+				if mask != 0 || len(cc.g.fields) > 64 {
+					buf = recordCycle(cc.g, c, base, len(group), w.esim, mask, w.ws, buf)
+				}
+			}
+			w.esim.Clock(c)
+		}
+		return buf
+	}
+	// Full-simulator fallback: delay faults in the batch, or EngineFull.
+	w.fsim.Reset()
+	w.fsim.SetFaults(group)
+	for c := 0; c < u.Cycles; c++ {
+		u.Drive(w.fsim, p, c)
+		w.fsim.Eval()
+		buf = recordCycle(cc.g, c, base, len(group), w.fsim, ^uint64(0), w.ws, buf)
+		w.fsim.Clock()
+	}
+	return buf
+}
+
+// mergeEvents replays one batch's recorded events into the grader on the
+// main goroutine. Buffers replay in ascending batch order and each was
+// appended in (cycle, field, lane) order — the serial traversal — so
+// member expansion, hang dedup and sink callbacks fire in exactly the
+// sequence runSerial produces.
+func (cc *campaignCtx) mergeEvents(p units.Pattern, events []shardEvent) {
+	g := cc.g
+	for i := range events {
+		e := &events[i]
+		fs := &g.fields[e.field]
+		var mem []int32
+		if g.members == nil {
+			g.single[0] = e.si
+			mem = g.single[:]
+		} else {
+			mem = g.members[e.si]
+		}
+		for _, m := range mem {
+			idx := int(m)
+			if fs.hang {
+				if !g.hang[idx] && g.sink != nil {
+					g.sink.Hang(idx, p, fs.name)
+				}
+				g.hang[idx] = true
+			} else {
+				g.swerr[idx] = true
+				if g.sink != nil {
+					g.sink.Corruption(idx, p, fs.name, e.golden, e.faulty)
+				}
+			}
+		}
+	}
+}
+
+// runSharded executes the campaign's batch loop across p persistent
+// worker goroutines. Per pattern: the main goroutine runs the golden
+// pass, releases the workers (one token each), overlaps activation
+// grading with their batch fan-out, joins, and replays the recorded
+// events. Shared per-pattern state (golden traces, the current pattern)
+// is written only before the token sends and read only after the
+// receives; per-batch buffers pass back through the WaitGroup join — all
+// accesses are ordered by channel/WaitGroup happens-before edges, so the
+// hot loop itself is lock-free and the whole campaign is race-clean.
+func (cc *campaignCtx) runSharded(p int) {
+	nl := cc.u.NL
+	nBatches := (len(cc.sim) + 63) / 64
+
+	// One levelization shared by every worker's engine: it is read-only
+	// after construction and by far the largest per-engine allocation.
+	var lv *analyze.Levelization
+	if cc.eng == EngineEvent {
+		lv = analyze.Levelize(nl)
+	}
+	workers := make([]*shardWorker, p)
+	for i := range workers {
+		w := &shardWorker{fsim: netlist.NewSimulator(nl), ws: make([]uint64, cc.maxOuts)}
+		if cc.eng == EngineEvent {
+			w.esim = engine.New(nl, lv)
+		}
+		workers[i] = w
+	}
+	evBuf := make([][]shardEvent, nBatches)
+
+	var (
+		cur    units.Pattern // pattern under simulation; written pre-token
+		next   atomic.Int64  // dynamic batch counter (work stealing)
+		start  = make(chan struct{})
+		doneWg sync.WaitGroup
+	)
+	for _, w := range workers {
+		go func(w *shardWorker) {
+			for range start {
+				telBatchBusy.Add(1)
+				if w.esim != nil {
+					w.esim.BindGolden(cc.goldenNode)
+				}
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= nBatches {
+						break
+					}
+					tm := telemetry.StartTimer(telBatchSec)
+					evBuf[b] = w.runBatch(cc, cur, b, evBuf[b][:0])
+					tm.Stop()
+				}
+				telBatchBusy.Add(-1)
+				doneWg.Done()
+			}
+		}(w)
+	}
+
+	for _, pat := range cc.patterns {
+		cc.goldenPass(pat)
+		cur = pat
+		next.Store(0)
+		doneWg.Add(p)
+		for range workers {
+			start <- struct{}{}
+		}
+		// Activation reads only the golden trace, which workers never
+		// write — overlap it with the batch fan-out.
+		cc.markActivated()
+		doneWg.Wait()
+		for b := 0; b < nBatches; b++ {
+			cc.mergeEvents(pat, evBuf[b])
+		}
+	}
+	close(start)
+	for _, w := range workers {
+		cc.ev.add(w.ev)
+	}
+}

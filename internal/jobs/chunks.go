@@ -157,13 +157,15 @@ func computeProfile(spec Spec) ([]byte, error) {
 }
 
 // computeGate runs one unit's gate-level campaign chunk. The payload is
-// the unit's final gate artifact, byte-for-byte.
-func computeGate(spec Spec, u *units.Unit, patterns []units.Pattern) ([]byte, error) {
+// the unit's final gate artifact, byte-for-byte. batchWorkers is the
+// intra-campaign fault-batch parallelism — an execution knob that stays
+// out of gateKey because summaries are byte-identical at every width.
+func computeGate(spec Spec, u *units.Unit, patterns []units.Pattern, batchWorkers int) ([]byte, error) {
 	eng, err := gatesim.ParseEngine(spec.Engine)
 	if err != nil {
 		return nil, err
 	}
-	out := campaign.GateStep(u, patterns, spec.Collapse, eng)
+	out := campaign.GateStep(u, patterns, spec.Collapse, eng, batchWorkers)
 	return artifact.Canonical(artifact.NewGateReport(spec.Seed, out.Summary, out.Collector))
 }
 

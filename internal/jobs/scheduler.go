@@ -50,6 +50,12 @@ type Options struct {
 	// ChunkWorkers bounds per-job chunk parallelism (<=0 selects
 	// GOMAXPROCS). Worker counts never influence results.
 	ChunkWorkers int
+	// BatchWorkers bounds intra-campaign fault-batch parallelism inside
+	// each gate chunk (0 selects GOMAXPROCS, 1 pins the serial reference
+	// path). Like ChunkWorkers it never influences results — gate
+	// summaries are byte-identical at every width — so it stays out of
+	// the chunk cache keys.
+	BatchWorkers int
 	// QueueCap bounds the submission queue (<=0 selects 1024).
 	QueueCap int
 }
@@ -516,7 +522,7 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 				return chunkOut{id: id, err: err}
 			}
 			b, err := s.ensureChunk(ctx, j, id, key, func() ([]byte, error) {
-				return computeGate(spec, u, prof.Patterns)
+				return computeGate(spec, u, prof.Patterns, s.opts.BatchWorkers)
 			})
 			return chunkOut{id: id, b: b, err: err}
 		})

@@ -1,24 +1,36 @@
 #!/bin/sh
-# bench_compare.sh — engine A/B on the decoder campaign.
+# bench_compare.sh — engine A/B on the decoder campaign, plus the
+# intra-campaign parallel scaling sweep on the WSC.
 #
-# Runs BenchmarkFullCampaign (dense reference engine) and
+# Part 1 runs BenchmarkFullCampaign (dense reference engine) and
 # BenchmarkEventCampaign (levelized event-driven engine) on identical
 # stimuli, computes the speed-up, writes BENCH_gatesim.json, and fails if
 # the event engine is slower than MIN_SPEEDUP times the full engine
 # (default 1.0; CI gates at 2.0).
 #
-#   MIN_SPEEDUP=2 sh scripts/bench_compare.sh
+# Part 2 runs BenchmarkParallelCampaignWSC at 1/2/4 fault-batch workers,
+# writes BENCH_parallel.json, and fails if the 4-worker speedup over the
+# serial baseline falls below MIN_PARALLEL_SPEEDUP (default 1.5). The
+# parallel gate only arms on hosts with >= 4 CPUs — scaling is physically
+# unmeasurable below that — but the JSON is always written, with the
+# host's CPU count recorded so a 1-core row can't masquerade as a
+# multi-core result.
+#
+#   MIN_SPEEDUP=2 MIN_PARALLEL_SPEEDUP=1.5 sh scripts/bench_compare.sh
 #
 # Knobs: GPUFAULTSIM_PATTERNS (stimulus count, default 64 via bench_test),
 # BENCH_COUNT (benchmark repetitions, default 3; the best run of each
-# engine is compared so machine noise only ever understates the ratio).
+# engine/width is compared so machine noise only ever understates ratios).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.0}"
+MIN_PARALLEL_SPEEDUP="${MIN_PARALLEL_SPEEDUP:-1.5}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_gatesim.json}"
+POUT="${BENCH_PARALLEL_OUT:-BENCH_parallel.json}"
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 echo "==> benchmarking decoder campaign: full vs event engine (count=$BENCH_COUNT)"
 raw=$(go test -run '^$' -bench '^(BenchmarkFullCampaign|BenchmarkEventCampaign)$' \
@@ -49,3 +61,45 @@ echo "$raw" | awk -v min="$MIN_SPEEDUP" -v out="$OUT" '
 	}'
 
 echo "wrote $OUT"
+
+echo "==> benchmarking WSC campaign: 1/2/4 fault-batch workers (count=$BENCH_COUNT, cpus=$CPUS)"
+praw=$(go test -run '^$' -bench '^BenchmarkParallelCampaignWSC$' \
+	-benchtime 1x -count "$BENCH_COUNT" .)
+echo "$praw"
+
+# Gate only where 4 workers can actually run in parallel; otherwise the
+# numbers are recorded but advisory.
+gate=0
+[ "$CPUS" -ge 4 ] && gate=1
+
+echo "$praw" | awk -v min="$MIN_PARALLEL_SPEEDUP" -v out="$POUT" -v cpus="$CPUS" -v gate="$gate" '
+	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=1/ { if (w1 == 0 || $3 < w1) w1 = $3 }
+	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=2/ { if (w2 == 0 || $3 < w2) w2 = $3 }
+	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=4/ { if (w4 == 0 || $3 < w4) w4 = $3 }
+	END {
+		if (w1 == 0 || w2 == 0 || w4 == 0) {
+			print "bench_compare: missing parallel benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		s2 = w1 / w2
+		s4 = w1 / w4
+		printf "{\n"                                                  > out
+		printf "  \"benchmark\": \"wsc full-fault campaign, intra-campaign fault-batch sharding\",\n" > out
+		printf "  \"cpus\": %d,\n", cpus                              > out
+		printf "  \"workers_1_ns_per_op\": %.0f,\n", w1               > out
+		printf "  \"workers_2_ns_per_op\": %.0f,\n", w2               > out
+		printf "  \"workers_4_ns_per_op\": %.0f,\n", w4               > out
+		printf "  \"speedup_2w\": %.3f,\n", s2                        > out
+		printf "  \"speedup_4w\": %.3f,\n", s4                        > out
+		printf "  \"min_parallel_speedup\": %.3f,\n", min             > out
+		printf "  \"gate_armed\": %s\n", gate ? "true" : "false"      > out
+		printf "}\n"                                                  > out
+		printf "\nparallel speed-up: 2w %.2fx, 4w %.2fx (gate: >= %.2fx at 4w, %s)\n", \
+			s2, s4, min, gate ? "armed" : "disarmed: fewer than 4 CPUs"
+		if (gate && s4 < min) {
+			printf "bench_compare: PARALLEL REGRESSION: %.2fx < %.2fx\n", s4, min > "/dev/stderr"
+			exit 1
+		}
+	}'
+
+echo "wrote $POUT"

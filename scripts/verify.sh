@@ -21,6 +21,7 @@ if grep -n 'time\.Since(' \
 	internal/campaign/pool.go \
 	internal/store/store.go \
 	internal/gatesim/gatesim.go \
+	internal/gatesim/shard.go \
 	cmd/faultsimd/server.go \
 	cmd/faultsimd/main.go \
 	cmd/gatefi/main.go \
@@ -76,5 +77,18 @@ awk -v on="$ON" -v off="$OFF" 'BEGIN {
 	printf "    ratio: %.4f (budget 1.05)\n", ratio
 	exit (ratio > 1.05) ? 1 : 0
 }' || { echo "telemetry overhead exceeds 5% budget" >&2; exit 1; }
+
+# Allocation regression gate: the event-engine campaign allocates only
+# per-campaign setup (~1.4k allocs at the default 64 patterns). A single
+# allocation leaking into the per-batch hot loop adds thousands per op —
+# the budget below catches it while leaving headroom for setup drift.
+# (Steady-state reuse across patterns is asserted separately by
+# TestShardedCampaignSteadyStateAllocs.)
+echo "==> allocation regression gate (BenchmarkEventCampaign)"
+ALLOCS=$(go test . -run '^$' -bench '^BenchmarkEventCampaign$' -benchtime 2x -benchmem |
+	awk '/^BenchmarkEventCampaign/ { for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+[ -n "$ALLOCS" ] || { echo "allocation gate: benchmark produced no allocs/op" >&2; exit 1; }
+echo "    ${ALLOCS} allocs/op (budget 1800)"
+[ "$ALLOCS" -le 1800 ] || { echo "allocation gate: ${ALLOCS} allocs/op exceeds budget of 1800" >&2; exit 1; }
 
 echo "verify: OK"
