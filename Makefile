@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-compare fmt serve-smoke
+.PHONY: build test verify lint bench bench-compare fmt serve-smoke
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: vet + gofmt cleanliness + build + race-enabled tests.
+# Full gate: vet + vetsim + gofmt cleanliness + build + race-enabled tests.
 verify:
 	sh scripts/verify.sh
+
+# Invariant analyzers only: determinism, cachekey, telemetry, hotpath
+# (see internal/lintrules and DESIGN.md "Static analysis & invariants").
+lint:
+	$(GO) run ./cmd/vetsim ./...
 
 # End-to-end daemon smoke: boot faultsimd, submit a tiny campaign over
 # HTTP, check artifacts and metrics, shut down gracefully.

@@ -7,6 +7,8 @@
 // each interrupted job and reproduces byte-identical artifacts.
 package main
 
+//vetsim:instrumented
+
 import (
 	"context"
 	"errors"

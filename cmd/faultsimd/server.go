@@ -1,5 +1,7 @@
 package main
 
+//vetsim:instrumented
+
 import (
 	"encoding/json"
 	"net/http"

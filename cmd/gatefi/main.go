@@ -4,6 +4,8 @@
 // level error models (paper Tables 4 and 5, Figure 9).
 package main
 
+//vetsim:instrumented
+
 import (
 	"flag"
 	"fmt"

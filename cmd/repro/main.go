@@ -6,6 +6,8 @@
 //	repro -scale paper    # paper-scale campaign sizes (slow)
 package main
 
+//vetsim:instrumented
+
 import (
 	"flag"
 	"fmt"

@@ -5,6 +5,8 @@
 // same (seed, config) produce byte-identical files.
 package artifact
 
+//vetsim:deterministic
+
 import (
 	"encoding/json"
 	"fmt"

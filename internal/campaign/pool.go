@@ -5,6 +5,8 @@
 // speed-up discussion.
 package campaign
 
+//vetsim:instrumented
+
 import (
 	"context"
 	"runtime"

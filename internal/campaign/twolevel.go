@@ -1,5 +1,9 @@
 package campaign
 
+//vetsim:instrumented
+
+//vetsim:deterministic
+
 import (
 	"context"
 

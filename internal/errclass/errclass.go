@@ -9,6 +9,8 @@
 // budget is IRA, beyond it IVRA).
 package errclass
 
+//vetsim:deterministic
+
 import (
 	"fmt"
 

@@ -23,6 +23,8 @@
 // byte-identical campaign results across both engines.
 package engine
 
+//vetsim:deterministic
+
 import (
 	"gpufaultsim/internal/analyze"
 	"gpufaultsim/internal/netlist"
@@ -129,6 +131,8 @@ func (s *Sim) BindGolden(golden [][]uint64) {
 
 // SetFaults installs a group of up to 64 stuck-at faults, fault i on lane
 // i, replacing the previous group. Divergence state is reset.
+//
+//vetsim:hotpath
 func (s *Sim) SetFaults(group []netlist.Fault) {
 	if len(group) > 64 {
 		panic("engine: fault group exceeds 64 lanes")
@@ -171,6 +175,8 @@ func (s *Sim) val(n netlist.Node) uint64 {
 // markDirty records a node that deviates from golden and schedules its
 // combinational readers. BeginCycle's sweep inlines the same logic; this
 // method serves the seeding phase.
+//
+//vetsim:hotpath
 func (s *Sim) markDirty(n netlist.Node) {
 	if st := &s.state[n]; st.dirty != s.epoch {
 		st.dirty = s.epoch
@@ -192,6 +198,8 @@ func (s *Sim) markDirty(n netlist.Node) {
 // seed installs a known faulty base word at node n (golden for plain fault
 // sites, the latched state for diverged DFFs), applies the node's own
 // stuck-at override, and schedules propagation if the result deviates.
+//
+//vetsim:hotpath
 func (s *Sim) seed(n netlist.Node, base uint64) {
 	o := s.ovr[n]
 	v := (base | o.set) &^ o.clr
@@ -208,6 +216,8 @@ func (s *Sim) seed(n netlist.Node, base uint64) {
 // propagate level-by-level through the fanout. On return, Node and
 // OutputWord serve exactly the values the full simulator would hold after
 // its Eval of cycle c.
+//
+//vetsim:hotpath
 func (s *Sim) BeginCycle(c int) {
 	s.gcur = s.golden[c]
 	s.epoch++
@@ -319,6 +329,8 @@ func (s *Sim) OutTouched() []netlist.Node { return s.outTouched }
 // flip-flops whose faulty state will deviate from golden in cycle c+1.
 // Flip-flops fed by clean nets converge back to the golden trace and cost
 // nothing.
+//
+//vetsim:hotpath
 func (s *Sim) Clock(c int) {
 	s.divNode = s.divNode[:0]
 	s.divWord = s.divWord[:0]

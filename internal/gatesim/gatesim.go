@@ -9,6 +9,10 @@
 // taxonomy of the paper's Table 4.
 package gatesim
 
+//vetsim:instrumented
+
+//vetsim:deterministic
+
 import (
 	"fmt"
 	"math/rand"
@@ -295,6 +299,8 @@ type grader struct {
 // output nodes its delta propagation actually touched (a clean field's
 // anyDiff is identically zero, so skipping it emits exactly nothing —
 // byte-identity is preserved). Fields at index ≥64 are always graded.
+//
+//vetsim:hotpath
 func gradeCycle[S laneReader](g *grader, p units.Pattern, c, base, groupLen int, ls S, fieldMask uint64) {
 	for fi := range g.fields {
 		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {

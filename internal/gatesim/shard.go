@@ -25,6 +25,8 @@
 // per-worker locals merged once at the end.
 package gatesim
 
+//vetsim:instrumented
+
 import (
 	"runtime"
 	"sync"
@@ -82,6 +84,8 @@ type shardWorker struct {
 // traversal and identical skip conditions, but instead of expanding
 // members and calling the sink it appends the occurrence to buf. Kept
 // textually parallel to gradeCycle — any change there must land here.
+//
+//vetsim:hotpath
 func recordCycle[S laneReader](g *grader, c, base, groupLen int, ls S, fieldMask uint64, ws []uint64, buf []shardEvent) []shardEvent {
 	for fi := range g.fields {
 		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {
@@ -124,6 +128,8 @@ func recordCycle[S laneReader](g *grader, c, base, groupLen int, ls S, fieldMask
 // worker's private machines, recording corruption occurrences into buf.
 // It mirrors runSerial's batch body exactly, with recordCycle standing in
 // for gradeCycle.
+//
+//vetsim:hotpath
 func (w *shardWorker) runBatch(cc *campaignCtx, p units.Pattern, b int, buf []shardEvent) []shardEvent {
 	u := cc.u
 	base := b * 64
@@ -165,6 +171,8 @@ func (w *shardWorker) runBatch(cc *campaignCtx, p units.Pattern, b int, buf []sh
 // appended in (cycle, field, lane) order — the serial traversal — so
 // member expansion, hang dedup and sink callbacks fire in exactly the
 // sequence runSerial produces.
+//
+//vetsim:hotpath
 func (cc *campaignCtx) mergeEvents(p units.Pattern, events []shardEvent) {
 	g := cc.g
 	for i := range events {

@@ -1,5 +1,7 @@
 package jobs
 
+//vetsim:instrumented
+
 import (
 	"context"
 	"encoding/json"
@@ -137,9 +139,9 @@ func (s *Scheduler) Drain(grace time.Duration) bool {
 	s.closed = true
 	s.mu.Unlock()
 
-	deadline := time.Now().Add(grace)
+	deadline := time.Now().Add(grace) //vetsim:ignore determinism shutdown grace-period deadline; never enters artifacts or cache keys
 	drained := false
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) { //vetsim:ignore determinism shutdown grace-period poll; never enters artifacts or cache keys
 		if s.Pending() == 0 {
 			drained = true
 			break
@@ -256,7 +258,7 @@ func (s *Scheduler) Submit(spec Spec) (Status, error) {
 		Spec:    spec,
 		Digest:  digest,
 		state:   StateQueued,
-		created: time.Now().UTC(),
+		created: time.Now().UTC(), //vetsim:ignore determinism status-only submission timestamp; never enters artifacts or cache keys
 	}
 	for _, c := range Chunks(spec) {
 		j.chunks = append(j.chunks, ChunkState{Chunk: c})
@@ -436,7 +438,7 @@ func (s *Scheduler) runJob(ctx context.Context, id string) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = time.Now() //vetsim:ignore determinism status-only start timestamp; never enters artifacts or cache keys
 	saveCheckpoint(s.opts.Dir, j)
 	j.emitLocked(j.snapshotLocked("", ""))
 	s.mu.Unlock()
@@ -460,7 +462,7 @@ func (s *Scheduler) runJob(ctx context.Context, id string) {
 		j.err = err.Error()
 		telFailed.Inc()
 	}
-	j.finished = time.Now()
+	j.finished = time.Now() //vetsim:ignore determinism status-only finish timestamp; never enters artifacts or cache keys
 	saveCheckpoint(s.opts.Dir, j)
 	snap := j.snapshotLocked("", "")
 	j.emitLocked(snap)

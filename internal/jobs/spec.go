@@ -9,6 +9,8 @@
 // skipping every chunk whose result is already in the cache.
 package jobs
 
+//vetsim:deterministic
+
 import (
 	"fmt"
 

@@ -1,0 +1,223 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CacheKey proves cache-key completeness structurally: every exported
+// field of a spec struct must be read somewhere on the package's
+// key-derivation surface, so adding a behavior-affecting field without
+// extending a digest is a build failure, not a stale-cache heisenbug.
+//
+// The surface is discovered, not configured:
+//
+//   - any function that calls a Digest-named function with a key-material
+//     composite literal (the `artifact.Digest(gateKeyMaterial{...})`
+//     idiom) is a key function;
+//   - functions annotated //vetsim:cachekey-surface also count — chunk
+//     enumeration (jobs.Chunks) belongs there, because a field that
+//     selects *which* chunks exist (Spec.Apps) is covered by the
+//     per-chunk key argument rather than by a material field.
+//
+// Spec structs are the same-package struct types appearing as parameters
+// of surface functions. A field is covered when any surface function
+// reads it via a selector. Key-material literals must additionally carry
+// and set a Schema field, so every cached payload stays versioned by
+// chunkSchema.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "every behavior-affecting spec field must reach a cache-key digest; key materials must set Schema",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	surface := collectSurface(pass)
+	if len(surface) == 0 {
+		return nil
+	}
+	specs := collectSpecStructs(pass, surface)
+	if len(specs) == 0 {
+		return nil
+	}
+	covered := collectCoverage(pass, surface, specs)
+	checkSchemaLiterals(pass, surface)
+
+	// Stable report order: spec types by name, fields in declaration
+	// order.
+	names := make([]*types.Named, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Obj().Name() < names[j].Obj().Name() })
+	for _, named := range names {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || covered[f] {
+				continue
+			}
+			pass.Reportf(f.Pos(), "field %s.%s never reaches a cache key: extend a key-material struct (and bump the schema const) or cover it via a //vetsim:cachekey-surface function", named.Obj().Name(), f.Name())
+		}
+	}
+	return nil
+}
+
+// digestCallWithLiteral reports whether call invokes a Digest-named
+// function with at least one composite-literal argument, returning the
+// literal.
+func digestCallWithLiteral(pass *Pass, call *ast.CallExpr) (*ast.CompositeLit, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Digest" {
+		return nil, false
+	}
+	for _, arg := range call.Args {
+		e := ast.Unparen(arg)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		if lit, ok := e.(*ast.CompositeLit); ok {
+			return lit, true
+		}
+	}
+	return nil, false
+}
+
+// collectSurface gathers the package's key-derivation functions.
+func collectSurface(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.FuncHasDirective(fn, "cachekey-surface") {
+				out = append(out, fn)
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, hit := digestCallWithLiteral(pass, call); hit {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// collectSpecStructs finds the same-package named struct types that
+// surface functions take as parameters.
+func collectSpecStructs(pass *Pass, surface []*ast.FuncDecl) map[*types.Named]bool {
+	specs := make(map[*types.Named]bool)
+	for _, fn := range surface {
+		obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			named := namedOrPointee(params.At(i).Type())
+			if named == nil || named.Obj().Pkg() != pass.Pkg {
+				continue
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				specs[named] = true
+			}
+		}
+	}
+	return specs
+}
+
+// collectCoverage marks every spec field read by a selector expression
+// inside any surface function.
+func collectCoverage(pass *Pass, surface []*ast.FuncDecl, specs map[*types.Named]bool) map[*types.Var]bool {
+	covered := make(map[*types.Var]bool)
+	for _, fn := range surface {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			recv := namedOrPointee(s.Recv())
+			if recv == nil || !specs[recv] {
+				return true
+			}
+			if v, ok := s.Obj().(*types.Var); ok {
+				covered[v] = true
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// checkSchemaLiterals enforces schema versioning on every key-material
+// literal digested by a surface function.
+func checkSchemaLiterals(pass *Pass, surface []*ast.FuncDecl) {
+	for _, fn := range surface {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit, hit := digestCallWithLiteral(pass, call)
+			if !hit {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			named := namedOrPointee(tv.Type)
+			if named == nil {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			hasSchema := false
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == "Schema" {
+					hasSchema = true
+				}
+			}
+			if !hasSchema {
+				pass.Reportf(lit.Pos(), "key material %s has no Schema field: cached payloads must be versioned by the package schema const", named.Obj().Name())
+				return true
+			}
+			set := false
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Schema" {
+						set = true
+					}
+				} else {
+					// Positional literal sets every field, Schema included.
+					set = true
+				}
+			}
+			if !set {
+				pass.Reportf(lit.Pos(), "key material %s does not set Schema: stale payloads would alias across schema changes", named.Obj().Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,230 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the repository's core guarantee: in packages marked
+// //vetsim:deterministic (the artifact-producing ones — gatesim, netlist,
+// jobs, artifact, report, syndrome, errclass, campaign), a given seed
+// must yield byte-identical artifacts. It flags the classic erosion
+// vectors:
+//
+//   - time.Now: wall-clock reaching computation. Phase timing belongs in
+//     telemetry.Timer; status-only timestamps take a //vetsim:ignore.
+//   - package-level math/rand: unseeded global state. All randomness
+//     must flow through a rand.New(rand.NewSource(seed)) handed down
+//     from the campaign seed.
+//   - map iteration that feeds output: a range over a map whose body
+//     appends to an outer slice (without a later sort of that slice in
+//     the same function), writes to an io.Writer/hash, or sends on a
+//     channel — Go randomizes map order, so these paths change bytes
+//     run to run. The blessed pattern is collect-keys-then-sort.
+//   - goroutine writes to captured variables: a `go func` literal
+//     assigning a plain captured identifier races and lands in
+//     scheduler order. The blessed shard/replay pattern writes only to
+//     distinct index expressions (results[i] = ...) or through worker
+//     parameters, and merges deterministically afterwards.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "seed-addressed packages must not read wall-clock, global rand, or unsorted map order into outputs",
+	Run:  runDeterminism,
+}
+
+// globalRandAllowed are the math/rand package-level names that do not
+// touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// sinkMethods are method names that emit bytes: reaching one from inside
+// a map range means map order reaches an output or a hash.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Sum": true, "Encode": true, "Fprintf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.HasPackageDirective("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkForbiddenCall(pass, call)
+			}
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoroutineCaptures(pass, g)
+			}
+			return true
+		})
+		walkFuncs(f, func(stack []funcCtx) {
+			checkMapRanges(pass, stack[len(stack)-1])
+		})
+	}
+	return nil
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if funcIs(fn, "time", "Now") {
+		pass.Reportf(call.Pos(), "time.Now in deterministic package %s: wall-clock must not influence artifacts (use telemetry.Timer for phase timing)", pass.Pkg.Name())
+		return
+	}
+	path := fn.Pkg().Path()
+	if (path == "math/rand" || path == "math/rand/v2") &&
+		fn.Type().(*types.Signature).Recv() == nil && !globalRandAllowed[fn.Name()] {
+		pass.Reportf(call.Pos(), "global math/rand.%s in deterministic package %s: draw from a seeded *rand.Rand instead", fn.Name(), pass.Pkg.Name())
+	}
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: their statements run on their own schedule and are analyzed
+// under their own function context.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// checkMapRanges inspects the map-range statements directly inside one
+// function body.
+func checkMapRanges(pass *Pass, fc funcCtx) {
+	if fc.body == nil {
+		return
+	}
+	inspectShallow(fc.body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkOneMapRange(pass, fc, rs)
+		return true
+	})
+}
+
+func checkOneMapRange(pass *Pass, fc funcCtx, rs *ast.RangeStmt) {
+	var appended []types.Object
+	flagged := false
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			if !flagged {
+				pass.Reportf(rs.Pos(), "channel send inside map iteration: map order is randomized; iterate a sorted key slice")
+				flagged = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppendCall(pass.Info, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objectOf(pass.Info, id)
+				if obj != nil && !declaredWithin(obj, rs) {
+					appended = append(appended, obj)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, stmt); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					if !flagged {
+						pass.Reportf(rs.Pos(), "fmt.%s inside map iteration: map order is randomized; iterate a sorted key slice", fn.Name())
+						flagged = true
+					}
+				} else if sinkMethods[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil {
+					if !flagged {
+						pass.Reportf(rs.Pos(), "%s call inside map iteration feeds an output or hash: map order is randomized; iterate a sorted key slice", fn.Name())
+						flagged = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if flagged {
+		return
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pass, fc, rs, obj) {
+			pass.Reportf(rs.Pos(), "map iteration appends to %q without a deterministic sort before use: map order is randomized; sort %s after the loop", obj.Name(), obj.Name())
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call positioned after the range statement in the same function — the
+// collect-then-sort blessing.
+func sortedAfter(pass *Pass, fc funcCtx, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	inspectShallow(fc.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && objectOf(pass.Info, root) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkGoroutineCaptures flags `go func() { ... x = v ... }()` where x
+// is captured from the enclosing function: the write lands in scheduler
+// order. Index-expression stores (shard[i] = v) and writes through the
+// literal's own parameters are the blessed sharded patterns and pass.
+func checkGoroutineCaptures(pass *Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	report := func(id *ast.Ident) {
+		obj := objectOf(pass.Info, id)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && !declaredWithin(obj, lit) {
+			pass.Reportf(id.Pos(), "goroutine assigns captured variable %q: racy and scheduler-ordered; write to a distinct index per worker and merge deterministically", id.Name)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(stmt.X).(*ast.Ident); ok {
+				report(id)
+			}
+		}
+		return true
+	})
+}

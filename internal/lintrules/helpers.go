@@ -1,0 +1,136 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression's callee to its function object,
+// for both plain calls (pkg.F, F) and method calls (x.M). Returns nil
+// for indirect calls through function values and for conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified: the selection map has no entry, the Sel
+		// ident resolves directly.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// funcIs reports whether fn is the named package-level function of the
+// given import path (e.g. funcIs(fn, "time", "Now")).
+func funcIs(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// rootIdent walks a selector/index/slice chain to its leftmost
+// identifier: rootIdent(s.bucket[i]) == s, rootIdent(buf) == buf.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its variable object via Uses or
+// Defs, or nil.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration position falls inside
+// the node's source range — "is this variable local to that closure".
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+// isAppendCall reports whether call is the built-in append.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// namedOrPointee unwraps a pointer type and returns the named type, if
+// any.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// enclosingFuncs pairs each function declaration or literal with its
+// body, innermost last, for a walk that needs the function context.
+type funcCtx struct {
+	node ast.Node       // *ast.FuncDecl or *ast.FuncLit
+	typ  *ast.FuncType  // signature
+	body *ast.BlockStmt // nil for external decls
+}
+
+// walkFuncs invokes visit for every function declaration and literal in
+// the file, passing the stack of enclosing functions (outermost first).
+func walkFuncs(f *ast.File, visit func(stack []funcCtx)) {
+	var stack []funcCtx
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return false
+			}
+			stack = append(stack, funcCtx{node: fn, typ: fn.Type, body: fn.Body})
+			visit(stack)
+			ast.Inspect(fn.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.FuncLit:
+			stack = append(stack, funcCtx{node: fn, typ: fn.Type, body: fn.Body})
+			visit(stack)
+			ast.Inspect(fn.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}

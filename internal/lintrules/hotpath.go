@@ -1,0 +1,102 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath polices functions annotated //vetsim:hotpath — the fault-batch
+// and event-propagation inner loops whose per-call cost is covered by
+// the allocs/op gate in scripts/verify.sh. In a hot-path function:
+//
+//   - no fmt.* calls (interface boxing allocates on every call);
+//   - no append into function-local slices ("unbounded append"): a local
+//     grows or escapes per call, defeating the steady-state-zero-alloc
+//     design. Appending into caller-owned buffers (slice parameters) or
+//     receiver-owned buffers (s.buf, s.bucket[i]) is the blessed
+//     amortized-reuse idiom and passes;
+//   - no sync lock operations: the sharded campaign is lock-free by
+//     construction — workers own private state and merge by replay.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//vetsim:hotpath functions may not call fmt, append to locals, or take locks",
+	Run:  runHotPath,
+}
+
+var lockMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncHasDirective(fn, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// ownedRoots collects the objects a hot-path append may legitimately
+// target: the function's parameters and receiver.
+func ownedRoots(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	return owned
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	owned := ownedRoots(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAppendCall(pass.Info, call) {
+			if len(call.Args) == 0 {
+				return true
+			}
+			root := rootIdent(call.Args[0])
+			if root == nil || !owned[objectOf(pass.Info, root)] {
+				dest := "expression"
+				if root != nil {
+					dest = root.Name
+				}
+				pass.Reportf(call.Pos(), "append to %s allocates in hot path %s: grow a caller-owned (parameter) or receiver-owned buffer instead", dest, fn.Name.Name)
+			}
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in hot path %s: formatting boxes arguments and allocates per call", callee.Name(), fn.Name.Name)
+			return true
+		}
+		if callee.Pkg().Path() == "sync" && lockMethods[callee.Name()] &&
+			callee.Type().(*types.Signature).Recv() != nil {
+			pass.Reportf(call.Pos(), "%s.%s in hot path %s: the sharded campaign is lock-free — own the state per worker and merge by replay", callee.Type().(*types.Signature).Recv().Type().String(), callee.Name(), fn.Name.Name)
+			return true
+		}
+		return true
+	})
+	return
+}

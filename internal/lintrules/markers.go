@@ -1,0 +1,127 @@
+package lintrules
+
+import (
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The analyzers activate on in-source markers so the rules live next to
+// the code they govern. These canonical lists pin the floor: the
+// packages and files below carried the invariants when the suite landed,
+// and deleting a marker from one of them is itself a diagnostic — the
+// governed set can grow organically but never silently shrink.
+
+// DeterministicPkgs are the artifact-producing packages the paper's
+// methodology requires to be byte-identical per seed. Paths are relative
+// to the module root.
+var DeterministicPkgs = []string{
+	"internal/artifact",
+	"internal/campaign",
+	"internal/errclass",
+	"internal/gatesim",
+	"internal/gatesim/engine",
+	"internal/jobs",
+	"internal/netlist",
+	"internal/report",
+	"internal/syndrome",
+}
+
+// InstrumentedFiles are the telemetry-instrumented files formerly
+// covered by the grep lint in scripts/verify.sh, now held to the
+// AST-accurate telemetry analyzer.
+var InstrumentedFiles = []string{
+	"cmd/faultsimd/main.go",
+	"cmd/faultsimd/server.go",
+	"cmd/gatefi/main.go",
+	"cmd/repro/main.go",
+	"internal/campaign/pool.go",
+	"internal/campaign/twolevel.go",
+	"internal/gatesim/gatesim.go",
+	"internal/gatesim/shard.go",
+	"internal/jobs/scheduler.go",
+	"internal/store/store.go",
+}
+
+// CheckMarkers verifies the canonical lists against the loaded packages:
+// every DeterministicPkgs package must carry //vetsim:deterministic and
+// every InstrumentedFiles file must carry //vetsim:instrumented. It only
+// judges packages present in the load, so partial loads (single-package
+// runs) stay quiet about the rest of the tree.
+func CheckMarkers(moduleRoot string, pkgs []*Package) []Diagnostic {
+	wantPkg := make(map[string]bool, len(DeterministicPkgs))
+	for _, p := range DeterministicPkgs {
+		wantPkg[p] = true
+	}
+	wantFile := make(map[string]bool, len(InstrumentedFiles))
+	for _, f := range InstrumentedFiles {
+		wantFile[f] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(moduleRoot, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		dirs := scanDirectives(pkg.Fset, pkg.Files)
+		if wantPkg[rel] && !hasDirectiveKind(dirs, "deterministic") {
+			diags = append(diags, Diagnostic{
+				Pos:     token.Position{Filename: rel},
+				Rule:    "markers",
+				Message: "package " + rel + " produces seed-addressed artifacts but no file carries //vetsim:deterministic",
+			})
+		}
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			relFile, err := filepath.Rel(moduleRoot, filename)
+			if err != nil {
+				continue
+			}
+			relFile = filepath.ToSlash(relFile)
+			if wantFile[relFile] && !fileHasDirectiveKind(dirs, filename, "instrumented") {
+				diags = append(diags, Diagnostic{
+					Pos:     token.Position{Filename: relFile, Line: 1, Column: 1},
+					Rule:    "markers",
+					Message: "file " + relFile + " is telemetry-instrumented but carries no //vetsim:instrumented marker",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func hasDirectiveKind(dirs map[string]map[int][]Directive, kind string) bool {
+	for _, lines := range dirs {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if d.Kind == kind {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func fileHasDirectiveKind(dirs map[string]map[int][]Directive, filename, kind string) bool {
+	for _, ds := range dirs[filename] {
+		for _, d := range ds {
+			if d.Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ModuleRoot returns the directory containing go.mod for the current
+// working tree, via `go list -m`.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}

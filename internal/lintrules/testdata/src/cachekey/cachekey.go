@@ -1,0 +1,72 @@
+// Package cachekey is the analyzer fixture: a Spec-like struct whose
+// fields must all reach a cache key, with one field (Burst) deliberately
+// left out of every key material — the negative case proving the
+// analyzer turns a stale-cache heisenbug into a diagnostic.
+package cachekey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Digest mirrors artifact.Digest: hex SHA-256 of canonical JSON.
+func Digest(v any) string {
+	b, _ := json.Marshal(v)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+const schema = 1
+
+// Spec is the fixture's job description.
+type Spec struct {
+	Seed  int64
+	Depth int
+	Burst int // want "field Spec.Burst never reaches a cache key"
+	Apps  []string
+	Note  string //vetsim:ignore cachekey display-only label, never affects results
+
+	workers int // unexported execution knob: exempt
+}
+
+type keyMaterial struct {
+	Schema int
+	Seed   int64
+	Depth  int
+}
+
+func specKey(s Spec) string {
+	return Digest(keyMaterial{Schema: schema, Seed: s.Seed, Depth: s.Depth})
+}
+
+// enumerate is the chunk-enumeration analog: Apps selects which chunks
+// exist, so its read here counts toward coverage.
+//
+//vetsim:cachekey-surface
+func enumerate(s Spec) []string {
+	out := make([]string, 0, len(s.Apps))
+	for _, a := range s.Apps {
+		out = append(out, "chunk:"+a)
+	}
+	return out
+}
+
+type unversionedMaterial struct {
+	Seed int64
+}
+
+func badKey(s Spec) string {
+	return Digest(unversionedMaterial{Seed: s.Seed}) // want "key material unversionedMaterial has no Schema field"
+}
+
+type lazyMaterial struct {
+	Schema int
+	Seed   int64
+}
+
+func lazyKey(s Spec) string {
+	return Digest(lazyMaterial{Seed: s.Seed}) // want "key material lazyMaterial does not set Schema"
+}
+
+var _ = []any{specKey, enumerate, badKey, lazyKey, Spec{}.workers}

@@ -1,0 +1,113 @@
+// Package determinism is the analyzer fixture: every construct the
+// determinism rule must flag, next to its blessed counterpart that must
+// stay silent.
+package determinism
+
+//vetsim:deterministic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock -----------------------------------------------------------
+
+func wallClock() float64 {
+	start := time.Now() // want "time.Now in deterministic package"
+	return float64(start.Unix())
+}
+
+func wallClockSuppressed() int64 {
+	t := time.Now().Unix() //vetsim:ignore determinism status-only timestamp for the fixture
+	return t
+}
+
+// --- global math/rand -----------------------------------------------------
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn in deterministic package"
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are fine
+	return rng.Intn(10)
+}
+
+// --- map iteration feeding output -----------------------------------------
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration appends to \"keys\" without a deterministic sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort is the blessed pattern
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printDuringRange(m map[string]int) {
+	for k, v := range m { // want "fmt.Println inside map iteration"
+		fmt.Println(k, v)
+	}
+}
+
+func sendDuringRange(m map[string]int, ch chan<- string) {
+	for k := range m { // want "channel send inside map iteration"
+		ch <- k
+	}
+}
+
+func commutativeFold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-independent reduction: silent
+		total += v
+	}
+	return total
+}
+
+func localAppend(m map[string]int) int {
+	n := 0
+	for k := range m {
+		parts := []string{}
+		parts = append(parts, k) // appends to a loop-local: silent
+		n += len(parts)
+	}
+	return n
+}
+
+// --- goroutine captured writes --------------------------------------------
+
+func capturedWrite() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 42 // want "goroutine assigns captured variable \"x\""
+		close(done)
+	}()
+	<-done
+	return x
+}
+
+func shardedWrites(n int) []int {
+	out := make([]int, n)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = i * i // distinct index per worker: silent
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package hotpath is the analyzer fixture: each forbidden construct in
+// an annotated hot-path function, next to the blessed buffer-reuse forms
+// and an unannotated twin that stays silent.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+type ring struct {
+	buf []int
+	mu  sync.Mutex
+}
+
+//vetsim:hotpath
+func hotAppendLocal(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append to out allocates in hot path"
+	}
+	return out
+}
+
+//vetsim:hotpath
+func hotAppendParam(buf []int, v int) []int {
+	return append(buf, v) // caller-owned buffer: amortized reuse
+}
+
+//vetsim:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // receiver-owned buffer: amortized reuse
+}
+
+//vetsim:hotpath
+func hotPrint(v int) {
+	fmt.Println(v) // want "fmt.Println in hot path"
+}
+
+//vetsim:hotpath
+func (r *ring) locked(v int) {
+	r.mu.Lock() // want "Lock in hot path"
+	r.buf[0] = v
+	r.mu.Unlock() // want "Unlock in hot path"
+}
+
+// coldPath is unannotated: the same constructs pass.
+func coldPath(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+		fmt.Println(i)
+	}
+	return out
+}
+
+var _ = []any{hotAppendLocal, hotAppendParam, (&ring{}).push, hotPrint, (&ring{}).locked, coldPath}

@@ -10,6 +10,8 @@
 // netlists.
 package netlist
 
+//vetsim:deterministic
+
 import "fmt"
 
 // Node identifies a net (a cell output) within a netlist.

@@ -7,6 +7,8 @@
 // 11 (average EPR), plus the Section 6.3 speed-up accounting.
 package report
 
+//vetsim:deterministic
+
 import (
 	"fmt"
 	"sort"

@@ -10,6 +10,8 @@
 // entries on insert, bounding the cache's disk footprint.
 package store
 
+//vetsim:instrumented
+
 import (
 	"fmt"
 	"os"

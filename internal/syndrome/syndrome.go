@@ -5,6 +5,8 @@
 // normality test confirming the distributions are not Gaussian.
 package syndrome
 
+//vetsim:deterministic
+
 import (
 	"fmt"
 	"math"
