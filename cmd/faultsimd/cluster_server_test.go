@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gpufaultsim/internal/cluster"
+	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/store"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	_, srv, _ := newTestDaemon(t, t.TempDir())
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReadyzReflectsSchedulerStart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir+"/cache", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := jobs.New(jobs.Options{Dir: dir + "/jobs", Store: st, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(serverDeps{sched: sched, store: st}))
+	defer srv.Close()
+
+	// Not started yet: not ready, with a reason naming the scheduler.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Status  string            `json:"status"`
+		Reasons map[string]string `json:"reasons"`
+	}
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Start = %d, want 503", resp.StatusCode)
+	}
+	if _, ok := body.Reasons["scheduler"]; !ok {
+		t.Fatalf("readyz reasons = %v, want scheduler entry", body.Reasons)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched.Start(ctx)
+	defer sched.Stop()
+
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after Start = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCoordinatorRoleMountsClusterRoutes drives the daemon handler the
+// way -role coordinator wires it: the job API and the cluster lease
+// protocol share one mux, and a worker pointed at it completes a
+// campaign end to end.
+func TestCoordinatorRoleMountsClusterRoutes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir+"/cache", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := jobs.NewLedger(jobs.LedgerOptions{TTL: 5 * time.Second})
+	sched, err := jobs.New(jobs.Options{
+		Dir: dir + "/jobs", Store: st, JobWorkers: 1, ChunkWorkers: 2, Ledger: ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{Ledger: ledger, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched.Start(ctx)
+	defer sched.Stop()
+	coord.Start(ctx)
+	defer coord.Stop()
+
+	srv := httptest.NewServer(newServer(serverDeps{sched: sched, store: st, coord: coord}))
+	defer srv.Close()
+
+	// The cluster view is mounted alongside the job API.
+	resp, err := http.Get(srv.URL + "/cluster/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cluster/workers = %d, want 200", resp.StatusCode)
+	}
+
+	wst, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, err := cluster.NewWorker(cluster.WorkerOptions{
+		Name: "w1", Coordinator: srv.URL, Store: wst,
+		BatchWorkers: 1, MaxLeases: 4, Poll: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); wk.Run(ctx) }()
+	defer func() { wk.Stop(); <-done }()
+
+	status := submitJob(t, srv.URL, tinySpecJSON)
+	waitJobState(t, srv.URL, status.ID, "done", 120*time.Second)
+}
+
+func TestWorkerServerReadiness(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, err := cluster.NewWorker(cluster.WorkerOptions{
+		Name: "w1", Coordinator: "http://127.0.0.1:0", Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newWorkerServer(wk, st))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker healthz = %d, want 200", resp.StatusCode)
+	}
+	// Never exchanged a lease with the coordinator: not ready.
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("worker readyz unjoined = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker metrics = %d, want 200", resp.StatusCode)
+	}
+}
+
+// waitJobState polls the HTTP job API until the job reaches want.
+func waitJobState(t *testing.T, base, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobs.Status
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if string(st.State) == want {
+			return
+		}
+		if st.State == jobs.StateFailed && want != "failed" {
+			t.Fatalf("job %s failed: %s", id, st.Err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

@@ -5,6 +5,12 @@
 // every chunk completion is checkpointed, so killing the daemon
 // mid-campaign loses at most the chunks in flight — a restart resumes
 // each interrupted job and reproduces byte-identical artifacts.
+//
+// The daemon scales out with -role: a coordinator keeps the job API and
+// additionally serves the cluster lease protocol, routing every chunk to
+// workers that joined with -role worker -join <url>. Artifacts stay
+// byte-identical to a single-node run at any worker count, and killing a
+// worker mid-campaign costs only its in-flight leases.
 package main
 
 //vetsim:instrumented
@@ -13,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -20,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpufaultsim/internal/cluster"
 	"gpufaultsim/internal/jobs"
 	"gpufaultsim/internal/store"
 )
@@ -35,18 +43,47 @@ func main() {
 	batchWorkers := flag.Int("batch-workers", 0, "intra-campaign fault-batch workers per gate chunk (0 = GOMAXPROCS, 1 = serial); never enters cache keys — results are byte-identical at any width")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	role := flag.String("role", "single", "single | coordinator | worker")
+	join := flag.String("join", "", "coordinator base URL (worker role), e.g. http://host:8091")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "chunk lease TTL before the coordinator reassigns (coordinator role)")
+	workerName := flag.String("worker-name", "", "worker identity in the cluster (worker role; default host-pid)")
+	maxLeases := flag.Int("max-leases", 2, "chunks a worker requests per poll (worker role)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	st, err := store.Open(*dataDir+"/cache", *cacheBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *role == "worker" {
+		if *join == "" {
+			log.Fatal("-role worker requires -join <coordinator-url>")
+		}
+		runWorker(ctx, st, *addr, *join, *workerName, *batchWorkers, *maxLeases)
+		return
+	}
+
+	// Roles single and coordinator both run the scheduler and the job
+	// API; the coordinator additionally routes chunks through the lease
+	// ledger and serves the cluster protocol.
+	var ledger *jobs.Ledger
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		ledger = jobs.NewLedger(jobs.LedgerOptions{TTL: *leaseTTL})
+	} else if *role != "single" {
+		log.Fatalf("unknown -role %q (want single, coordinator or worker)", *role)
+	}
+
 	sched, err := jobs.New(jobs.Options{
 		Dir:          *dataDir + "/jobs",
 		Store:        st,
 		JobWorkers:   *jobWorkers,
 		ChunkWorkers: *chunkWorkers,
 		BatchWorkers: *batchWorkers,
+		Ledger:       ledger,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,14 +97,22 @@ func main() {
 		log.Printf("recover: resuming %d interrupted job(s)", requeued)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	sched.Start(context.Background())
+	if ledger != nil {
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorOptions{Ledger: ledger, Store: st})
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord.Start(context.Background())
+		log.Printf("coordinator: lease TTL %s", *leaseTTL)
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(sched, *enablePprof)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(serverDeps{
+		sched: sched, store: st, coord: coord, enablePprof: *enablePprof,
+	})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (data in %s)", *addr, *dataDir)
+	log.Printf("listening on %s as %s (data in %s)", *addr, *role, *dataDir)
 
 	select {
 	case err := <-errc:
@@ -84,6 +129,51 @@ func main() {
 	} else {
 		log.Printf("grace expired; interrupted jobs will resume on restart")
 	}
+	if coord != nil {
+		coord.Stop()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// runWorker joins a coordinator and computes leased chunks until
+// SIGTERM. The local store deduplicates repeat chunks and caches
+// dependency payloads pulled from the coordinator.
+func runWorker(ctx context.Context, st *store.Store, addr, join, name string, batchWorkers, maxLeases int) {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	wk, err := cluster.NewWorker(cluster.WorkerOptions{
+		Name: name, Coordinator: join, Store: st,
+		BatchWorkers: batchWorkers, MaxLeases: maxLeases,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: newWorkerServer(wk, st)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("worker %s joining %s (status on %s)", name, join, addr)
+
+	runc := make(chan error, 1)
+	go func() { runc <- wk.Run(ctx) }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("worker shutting down; abandoning unfinished leases to TTL reassignment")
+	wk.Stop()
+	<-runc
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

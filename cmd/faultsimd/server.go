@@ -8,7 +8,9 @@ import (
 	"net/http/pprof"
 	"strings"
 
+	"gpufaultsim/internal/cluster"
 	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/store"
 	"gpufaultsim/internal/telemetry"
 )
 
@@ -32,15 +34,51 @@ type metrics struct {
 	Registry     telemetry.Snapshot `json:"registry"`
 }
 
+// serverDeps are the components newServer wires together. store backs
+// the /readyz writability probe; coord, when non-nil (coordinator role),
+// mounts the cluster lease protocol on the same surface.
+type serverDeps struct {
+	sched       *jobs.Scheduler
+	store       *store.Store
+	coord       *cluster.Coordinator
+	enablePprof bool
+}
+
 // newServer wires the scheduler into an http.Handler. Split from main so
 // tests can drive the full API through httptest without a listener.
-// enablePprof additionally mounts net/http/pprof under /debug/pprof/.
-func newServer(s *jobs.Scheduler, enablePprof bool) http.Handler {
+func newServer(deps serverDeps) http.Handler {
+	s := deps.sched
 	mux := http.NewServeMux()
 
+	// Liveness: the process is up and serving. Always 200.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+
+	// Readiness: the daemon can actually take work — the scheduler's
+	// worker pool is running (a job accepted before Start would queue
+	// indefinitely) and the result store accepts writes (a read-only or
+	// full volume would fail every campaign mid-chunk).
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		reasons := make(map[string]string)
+		if !s.Started() {
+			reasons["scheduler"] = "worker pool not started"
+		}
+		if deps.store != nil {
+			if err := deps.store.Writable(); err != nil {
+				reasons["store"] = err.Error()
+			}
+		}
+		if len(reasons) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable", "reasons": reasons})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
+	if deps.coord != nil {
+		deps.coord.Register(mux)
+	}
 
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec jobs.Spec
@@ -172,7 +210,7 @@ func newServer(s *jobs.Scheduler, enablePprof bool) http.Handler {
 		}
 	})
 
-	if enablePprof {
+	if deps.enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -180,6 +218,43 @@ func newServer(s *jobs.Scheduler, enablePprof bool) http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 
+	return mux
+}
+
+// newWorkerServer is the worker role's minimal surface: liveness,
+// readiness (joined to the coordinator + local store writable) and the
+// process telemetry registry. Workers take no job submissions — chunks
+// arrive by leasing from the coordinator.
+func newWorkerServer(wk *cluster.Worker, st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		reasons := make(map[string]string)
+		if !wk.Connected() {
+			reasons["coordinator"] = "no successful lease exchange yet"
+		}
+		if err := st.Writable(); err != nil {
+			reasons["store"] = err.Error()
+		}
+		if len(reasons) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable", "reasons": reasons})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			writeJSON(w, http.StatusOK, map[string]any{"registry": telemetry.Default().Snapshot()})
+		case "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			telemetry.Default().WritePrometheus(w)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format (want json or prometheus)")
+		}
+	})
 	return mux
 }
 

@@ -33,7 +33,7 @@ func newTestDaemon(t *testing.T, dir string) (*jobs.Scheduler, *httptest.Server,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sched.Start(ctx)
-	srv := httptest.NewServer(newServer(sched, false))
+	srv := httptest.NewServer(newServer(serverDeps{sched: sched, store: st}))
 	t.Cleanup(srv.Close)
 	t.Cleanup(cancel)
 	return sched, srv, cancel

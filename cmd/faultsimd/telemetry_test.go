@@ -180,7 +180,7 @@ func TestPprofGatedByFlag(t *testing.T) {
 		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(newServer(sched, true))
+	on := httptest.NewServer(newServer(serverDeps{sched: sched, enablePprof: true}))
 	defer on.Close()
 	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
 	if err != nil {

@@ -1,0 +1,297 @@
+package cluster
+
+//vetsim:instrumented
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/store"
+	"gpufaultsim/internal/telemetry"
+)
+
+// Coordinator-side metrics. The per-worker gauge/counter handles are
+// label-baked per worker name and created once at registration (never in
+// a loop), so the hot lease path only touches atomics.
+var (
+	telWorkersLive  = telemetry.Default().Gauge("cluster_workers", "workers seen within the liveness window")
+	telChunksServed = telemetry.Default().Counter("cluster_chunk_fetches_total", "dependency payloads served to workers via GET /cluster/chunks")
+)
+
+// workerState tracks one worker's registration and its metric handles.
+type workerState struct {
+	name      string
+	lastSeen  time.Time
+	granted   int64
+	completed int64
+	failed    int64
+
+	gLeases    *telemetry.Gauge
+	cGranted   *telemetry.Counter
+	cCompleted *telemetry.Counter
+}
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Ledger is the chunk lease state machine (shared with the
+	// scheduler's Options.Ledger).
+	Ledger *jobs.Ledger
+	// Store is the coordinator's content-addressed result store: workers
+	// push completions into it and pull dependency chunks out of it.
+	Store *store.Store
+	// SweepEvery is the lease-expiry sweep interval (<=0 selects TTL/4).
+	SweepEvery time.Duration
+	// Now overrides the clock (tests). Worker liveness is status-only and
+	// never enters artifacts or cache keys.
+	Now func() time.Time
+}
+
+// Coordinator owns cluster membership and serves the lease protocol on
+// top of a jobs.Ledger and the shared result store.
+type Coordinator struct {
+	ledger *jobs.Ledger
+	store  *store.Store
+	sweep  time.Duration
+	now    func() time.Time
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+
+	wg   sync.WaitGroup
+	stop context.CancelFunc
+}
+
+// NewCoordinator builds a coordinator over a ledger and a store.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Ledger == nil || opts.Store == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a ledger and a store")
+	}
+	if opts.SweepEvery <= 0 {
+		opts.SweepEvery = opts.Ledger.TTL() / 4
+		if opts.SweepEvery <= 0 {
+			opts.SweepEvery = time.Second
+		}
+	}
+	if opts.Now == nil {
+		opts.Now = func() time.Time { return time.Now() } //vetsim:ignore determinism worker liveness is status-only bookkeeping; never enters artifacts or cache keys
+	}
+	return &Coordinator{
+		ledger:  opts.Ledger,
+		store:   opts.Store,
+		sweep:   opts.SweepEvery,
+		now:     opts.Now,
+		workers: make(map[string]*workerState),
+	}, nil
+}
+
+// Start launches the lease-expiry sweeper. It runs until ctx is done or
+// Stop is called.
+func (c *Coordinator) Start(ctx context.Context) {
+	ctx, c.stop = context.WithCancel(ctx)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.ledger.Expire()
+				c.refreshGauges()
+			}
+		}
+	}()
+}
+
+// Stop halts the sweeper and waits for it to exit.
+func (c *Coordinator) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+	c.wg.Wait()
+}
+
+// liveWindow is how long after its last contact a worker still counts as
+// live: two TTLs, so one missed heartbeat round does not flap the gauge.
+func (c *Coordinator) liveWindow() time.Duration { return 2 * c.ledger.TTL() }
+
+// touch registers or refreshes a worker, creating its metric handles on
+// first contact.
+func (c *Coordinator) touch(name string) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[name]
+	if !ok {
+		w = &workerState{
+			name:       name,
+			gLeases:    telemetry.Default().Gauge("cluster_worker_active_leases", "leases currently held, by worker", telemetry.L("worker", name)),
+			cGranted:   telemetry.Default().Counter("cluster_worker_leases_total", "lease grants, by worker", telemetry.L("worker", name)),
+			cCompleted: telemetry.Default().Counter("cluster_worker_completed_total", "chunk completions, by worker", telemetry.L("worker", name)),
+		}
+		c.workers[name] = w
+	}
+	w.lastSeen = c.now()
+	return w
+}
+
+// refreshGauges recomputes the live-worker count and per-worker lease
+// gauges; called from the sweeper and after membership-changing requests.
+func (c *Coordinator) refreshGauges() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	live := int64(0)
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.liveWindow() {
+			live++
+		}
+		w.gLeases.Set(int64(len(c.ledger.ActiveLeases(w.name))))
+	}
+	telWorkersLive.Set(live)
+}
+
+// Register mounts the cluster protocol on mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /cluster/complete", c.handleComplete)
+	mux.HandleFunc("POST /cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /cluster/workers", c.handleWorkers)
+	mux.HandleFunc("GET /cluster/chunks/{key}", c.handleChunk)
+}
+
+// Handler returns a standalone handler serving only the cluster routes
+// (tests; the daemon mounts Register on its own mux).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Register(mux)
+	return mux
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		clusterError(w, http.StatusBadRequest, "bad lease request")
+		return
+	}
+	ws := c.touch(req.Worker)
+	grants := c.ledger.Lease(req.Worker, req.Max)
+	ttl := c.ledger.TTL().Seconds()
+	resp := LeaseResponse{}
+	for _, g := range grants {
+		signed, err := SignGrant(LeaseGrant{
+			Lease: g.Lease, Worker: req.Worker, TTLSec: ttl, Work: g.Req,
+		})
+		if err != nil {
+			clusterError(w, http.StatusInternalServerError, "sign grant: "+err.Error())
+			return
+		}
+		resp.Grants = append(resp.Grants, signed)
+	}
+	c.mu.Lock()
+	ws.granted += int64(len(grants))
+	c.mu.Unlock()
+	for range grants {
+		ws.cGranted.Inc()
+	}
+	c.refreshGauges()
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" || req.Key == "" {
+		clusterError(w, http.StatusBadRequest, "bad complete request")
+		return
+	}
+	ws := c.touch(req.Worker)
+	if req.Error == "" {
+		// Store first, then flip the ledger: a waiter woken by Complete
+		// must find the payload. Duplicate keys are dedup hits by
+		// construction (content-addressed), never conflicting writes.
+		if err := c.store.Put(req.Key, req.Payload); err != nil {
+			clusterError(w, http.StatusInternalServerError, "store: "+err.Error())
+			return
+		}
+	}
+	outcome := c.ledger.Complete(req.Lease, req.Worker, req.Key, req.Error)
+	c.mu.Lock()
+	switch {
+	case req.Error != "":
+		ws.failed++
+	case outcome == jobs.CompleteOK:
+		ws.completed++
+	}
+	c.mu.Unlock()
+	if req.Error == "" && outcome == jobs.CompleteOK {
+		ws.cCompleted.Inc()
+	}
+	c.refreshGauges()
+	clusterJSON(w, http.StatusOK, CompleteResponse{Status: string(outcome)})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		clusterError(w, http.StatusBadRequest, "bad heartbeat request")
+		return
+	}
+	c.touch(req.Worker)
+	renewed, lost := c.ledger.Renew(req.Worker, req.Leases)
+	clusterJSON(w, http.StatusOK, HeartbeatResponse{Renewed: renewed, Lost: lost})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	now := c.now()
+	resp := WorkersResponse{Ledger: c.ledger.Stats()}
+	for _, name := range names {
+		ws := c.workers[name]
+		age := now.Sub(ws.lastSeen)
+		resp.Workers = append(resp.Workers, WorkerInfo{
+			Name:         name,
+			LastSeenSec:  age.Seconds(),
+			Live:         age <= c.liveWindow(),
+			ActiveLeases: c.ledger.ActiveLeases(name),
+			Granted:      ws.granted,
+			Completed:    ws.completed,
+			Failed:       ws.failed,
+		})
+	}
+	c.mu.Unlock()
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := c.store.Get(key)
+	if !ok {
+		clusterError(w, http.StatusNotFound, "no such chunk")
+		return
+	}
+	telChunksServed.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func clusterJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, code int, msg string) {
+	clusterJSON(w, code, map[string]string{"error": msg})
+}

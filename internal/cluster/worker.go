@@ -1,0 +1,290 @@
+package cluster
+
+//vetsim:instrumented
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/store"
+	"gpufaultsim/internal/telemetry"
+)
+
+// Worker-side metrics. A process can host several in-process workers
+// (tests); counters aggregate across them.
+var (
+	telWorkerComputed  = telemetry.Default().Counter("cluster_chunks_computed_total", "chunks computed by workers in this process")
+	telWorkerErrors    = telemetry.Default().Counter("cluster_worker_errors_total", "worker protocol or compute errors")
+	telWorkerDedup     = telemetry.Default().Counter("cluster_chunks_local_dedup_total", "leased chunks already present in the worker's local store")
+	telWorkerComputeHg = telemetry.Default().Histogram("cluster_worker_compute_seconds", "chunk computation latency on workers", telemetry.SecondsBuckets())
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (lease ownership,
+	// /cluster/workers rows, per-worker metrics). Must be unique per
+	// cluster.
+	Name string
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Store is the worker's local content-addressed cache: computed
+	// payloads land here before being pushed, and dependency chunks are
+	// resolved here with remote read-through to the coordinator.
+	Store *store.Store
+	// BatchWorkers bounds intra-campaign fault-batch parallelism per
+	// chunk (<=0 selects 1). Never influences payload bytes.
+	BatchWorkers int
+	// MaxLeases is how many chunks to request per poll (<=0 selects 1).
+	MaxLeases int
+	// Poll is the idle/backoff poll interval (<=0 selects 250ms).
+	Poll time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// BeforeCompute, when set, runs before each chunk computation (test
+	// hook for wedging a worker mid-lease). If it returns after ctx is
+	// canceled the chunk is abandoned without a completion, exactly like
+	// a worker death.
+	BeforeCompute func(ctx context.Context, req jobs.ChunkRequest)
+}
+
+// Worker pulls chunk leases from a coordinator, computes them with the
+// shared executor, and pushes payloads back under their content-addressed
+// keys. Run loops until its context is canceled; heartbeats renew the
+// active lease while a chunk computes, so a wedged or dead worker loses
+// its leases to TTL expiry and nothing else.
+type Worker struct {
+	opts      WorkerOptions
+	client    *http.Client
+	connected atomic.Bool
+	stop      context.CancelFunc
+}
+
+// NewWorker validates options and builds a worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Name == "" || opts.Coordinator == "" || opts.Store == nil {
+		return nil, fmt.Errorf("cluster: worker needs a name, a coordinator URL and a store")
+	}
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = 1
+	}
+	if opts.MaxLeases <= 0 {
+		opts.MaxLeases = 1
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 250 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{opts: opts, client: client}, nil
+}
+
+// Connected reports whether the last coordinator exchange succeeded
+// (worker readiness).
+func (w *Worker) Connected() bool { return w.connected.Load() }
+
+// Stop cancels a running Run loop.
+func (w *Worker) Stop() {
+	if w.stop != nil {
+		w.stop()
+	}
+}
+
+// Run is the worker main loop: lease, compute, complete, repeat. It
+// returns the context's error once canceled (via ctx or Stop).
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, w.stop = context.WithCancel(ctx)
+	defer w.stop()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.lease(ctx)
+		if err != nil {
+			w.connected.Store(false)
+			if ctx.Err() == nil {
+				telWorkerErrors.Inc()
+			}
+			sleepCtx(ctx, w.opts.Poll)
+			continue
+		}
+		w.connected.Store(true)
+		if len(resp.Grants) == 0 {
+			sleepCtx(ctx, w.opts.Poll)
+			continue
+		}
+		for _, g := range resp.Grants {
+			w.process(ctx, g)
+		}
+	}
+}
+
+// process executes one granted chunk end to end.
+func (w *Worker) process(ctx context.Context, g LeaseGrant) {
+	if err := VerifyGrant(g); err != nil {
+		// Protocol skew: report it so the chunk fails loudly instead of
+		// the grant being silently dropped and endlessly reassigned.
+		telWorkerErrors.Inc()
+		w.complete(ctx, g, nil, err)
+		return
+	}
+
+	// Local dedup: a previous campaign on this worker may already hold
+	// the payload.
+	if payload, ok := w.opts.Store.Get(g.Work.Key); ok {
+		telWorkerDedup.Inc()
+		w.complete(ctx, g, payload, nil)
+		return
+	}
+
+	// Renew the lease while the chunk computes. The loop runs as a
+	// method goroutine (no captured writes) and stops with this scope.
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	go w.heartbeatLoop(hbCtx, g)
+
+	if w.opts.BeforeCompute != nil {
+		w.opts.BeforeCompute(ctx, g.Work)
+	}
+	if ctx.Err() != nil {
+		// Worker stopped mid-lease: abandon without completing, exactly
+		// like a crash. The coordinator expires the lease and reassigns.
+		return
+	}
+
+	t := telemetry.StartTimer(telWorkerComputeHg)
+	payload, err := jobs.ComputeChunk(g.Work, w.depFetcher(ctx), w.opts.BatchWorkers)
+	t.Stop()
+	if err != nil {
+		telWorkerErrors.Inc()
+		w.complete(ctx, g, nil, err)
+		return
+	}
+	telWorkerComputed.Inc()
+	// Cache locally first so future leases and dependency lookups hit.
+	if err := w.opts.Store.Put(g.Work.Key, payload); err != nil {
+		telWorkerErrors.Inc()
+	}
+	w.complete(ctx, g, payload, nil)
+}
+
+// depFetcher resolves dependency chunks (the profiling payload for gate
+// chunks): local store first, then the coordinator's chunk endpoint.
+func (w *Worker) depFetcher(ctx context.Context) func(key string) ([]byte, error) {
+	return func(key string) ([]byte, error) {
+		return w.opts.Store.GetOrFetch(key, func(k string) ([]byte, error) {
+			return w.fetchChunk(ctx, k)
+		})
+	}
+}
+
+// heartbeatLoop renews one lease at a third of its TTL until the scope
+// ends or the coordinator reports the lease lost (expired and
+// reassigned — the in-flight computation then completes late, which the
+// content-addressed store makes harmless).
+func (w *Worker) heartbeatLoop(ctx context.Context, g LeaseGrant) {
+	interval := time.Duration(g.TTLSec / 3 * float64(time.Second))
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp HeartbeatResponse
+			err := w.post(ctx, "/cluster/heartbeat",
+				HeartbeatRequest{Worker: w.opts.Name, Leases: []string{g.Lease}}, &resp)
+			if err != nil {
+				continue // transient; the TTL gives us slack to retry
+			}
+			for _, lost := range resp.Lost {
+				if lost == g.Lease {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := w.post(ctx, "/cluster/lease",
+		LeaseRequest{Worker: w.opts.Name, Max: w.opts.MaxLeases}, &resp)
+	return resp, err
+}
+
+// complete pushes a payload (or the compute error) back to the
+// coordinator. Uses a background-derived context so a worker stopping
+// right after finishing a chunk still delivers the result.
+func (w *Worker) complete(ctx context.Context, g LeaseGrant, payload []byte, compErr error) {
+	req := CompleteRequest{Worker: w.opts.Name, Lease: g.Lease, Key: g.Work.Key, Payload: payload}
+	if compErr != nil {
+		req.Error = compErr.Error()
+	}
+	var resp CompleteResponse
+	if err := w.post(context.WithoutCancel(ctx), "/cluster/complete", req, &resp); err != nil {
+		telWorkerErrors.Inc()
+	}
+}
+
+// fetchChunk pulls one dependency payload from the coordinator.
+func (w *Worker) fetchChunk(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.opts.Coordinator+"/cluster/chunks/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: GET /cluster/chunks/%s: %s", key, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// post sends one JSON request to the coordinator and decodes the reply.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: POST %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

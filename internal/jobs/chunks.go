@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"gpufaultsim/internal/artifact"
@@ -147,6 +148,49 @@ func softwareKey(spec Spec, app string) (string, error) {
 }
 
 // --- chunk computation ----------------------------------------------------
+
+// ComputeChunk executes one chunk request on behalf of a cluster worker
+// and returns the payload to store under req.Key. Gate chunks depend on
+// the profiling payload: dep resolves req.ProfileKey, typically via the
+// worker's local store with remote read-through to the coordinator.
+// batchWorkers bounds intra-campaign fault-batch parallelism and, like
+// every worker count, never influences the payload bytes.
+func ComputeChunk(req ChunkRequest, dep func(key string) ([]byte, error), batchWorkers int) ([]byte, error) {
+	spec := req.Spec.WithDefaults()
+	switch req.Chunk.Phase {
+	case PhaseProfile:
+		return computeProfile(spec)
+	case PhaseGate:
+		var unit *units.Unit
+		for _, u := range units.All() {
+			if u.Name == req.Chunk.Arg {
+				unit = u
+			}
+		}
+		if unit == nil {
+			return nil, fmt.Errorf("jobs: chunk %s: unknown unit %q", req.Chunk.ID, req.Chunk.Arg)
+		}
+		if req.ProfileKey == "" {
+			return nil, fmt.Errorf("jobs: chunk %s: gate chunk without a profile dependency key", req.Chunk.ID)
+		}
+		if dep == nil {
+			return nil, fmt.Errorf("jobs: chunk %s: no dependency fetcher", req.Chunk.ID)
+		}
+		pb, err := dep(req.ProfileKey)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: chunk %s: profile dependency %s: %w", req.Chunk.ID, req.ProfileKey, err)
+		}
+		var prof profilePayload
+		if err := json.Unmarshal(pb, &prof); err != nil {
+			return nil, fmt.Errorf("jobs: chunk %s: profile payload: %w", req.Chunk.ID, err)
+		}
+		return computeGate(spec, unit, prof.Patterns, batchWorkers)
+	case PhaseSoftware:
+		return computeSoftware(spec, req.Chunk.Arg)
+	default:
+		return nil, fmt.Errorf("jobs: chunk %s: unknown phase %q", req.Chunk.ID, req.Chunk.Phase)
+	}
+}
 
 // computeProfile runs the profiling chunk and serializes its payload.
 func computeProfile(spec Spec) ([]byte, error) {

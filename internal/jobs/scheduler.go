@@ -60,6 +60,12 @@ type Options struct {
 	BatchWorkers int
 	// QueueCap bounds the submission queue (<=0 selects 1024).
 	QueueCap int
+	// Ledger, when non-nil, routes chunk computation through the cluster
+	// lease ledger instead of computing in-process (coordinator mode):
+	// cache misses are offered to the ledger, leased to remote workers,
+	// and awaited; results land in Store under the same content-addressed
+	// keys, so artifacts stay byte-identical to a single-node run.
+	Ledger *Ledger
 }
 
 // Scheduler runs campaign jobs: deterministic chunking, bounded
@@ -68,11 +74,12 @@ type Scheduler struct {
 	opts  Options
 	store *store.Store
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	seq    int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	seq     int
+	closed  bool
+	started bool
 
 	queue  chan string
 	cancel context.CancelFunc
@@ -105,6 +112,9 @@ func New(opts Options) (*Scheduler, error) {
 // queue.
 func (s *Scheduler) Start(ctx context.Context) {
 	ctx, s.cancel = context.WithCancel(ctx)
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
 	for w := 0; w < s.opts.JobWorkers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -150,6 +160,15 @@ func (s *Scheduler) Drain(grace time.Duration) bool {
 	}
 	s.Stop()
 	return drained
+}
+
+// Started reports whether the worker pool has been launched. Readiness
+// probes (GET /readyz) use it: a daemon that accepted a job before Start
+// would queue it indefinitely.
+func (s *Scheduler) Started() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started
 }
 
 // Pending counts jobs that are queued or running.
@@ -482,11 +501,14 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	// Phase 1: profiling.
 	profSpan := root.Child("profile")
 	tm := telemetry.StartTimer(telPhaseSec[PhaseProfile])
-	key, err := profileKey(spec)
+	profKey, err := profileKey(spec)
 	if err != nil {
 		return err
 	}
-	profBytes, err := s.ensureChunk(ctx, j, "profile", key, func() ([]byte, error) {
+	profBytes, err := s.ensureChunk(ctx, j, ChunkRequest{
+		Job: j.ID, Chunk: Chunk{ID: "profile", Phase: PhaseProfile},
+		Spec: spec, Key: profKey,
+	}, func() ([]byte, error) {
 		return computeProfile(spec)
 	})
 	if err != nil {
@@ -523,7 +545,10 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 			if err != nil {
 				return chunkOut{id: id, err: err}
 			}
-			b, err := s.ensureChunk(ctx, j, id, key, func() ([]byte, error) {
+			b, err := s.ensureChunk(ctx, j, ChunkRequest{
+				Job: j.ID, Chunk: Chunk{ID: id, Phase: PhaseGate, Arg: u.Name},
+				Spec: spec, Key: key, ProfileKey: profKey,
+			}, func() ([]byte, error) {
 				return computeGate(spec, u, prof.Patterns, s.opts.BatchWorkers)
 			})
 			return chunkOut{id: id, b: b, err: err}
@@ -563,7 +588,10 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 			if err != nil {
 				return chunkOut{id: id, err: err}
 			}
-			b, err := s.ensureChunk(ctx, j, id, key, func() ([]byte, error) {
+			b, err := s.ensureChunk(ctx, j, ChunkRequest{
+				Job: j.ID, Chunk: Chunk{ID: id, Phase: PhaseSoftware, Arg: app},
+				Spec: spec, Key: key,
+			}, func() ([]byte, error) {
 				return computeSoftware(spec, app)
 			})
 			return chunkOut{id: id, b: b, err: err}
@@ -603,18 +631,21 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	return nil
 }
 
-// ensureChunk returns the chunk's payload, from the cache when possible,
-// computing, storing and checkpointing it otherwise.
-func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, compute func() ([]byte, error)) ([]byte, error) {
+// ensureChunk returns the chunk's payload, from the cache when possible.
+// On a miss it either computes in-process or, when a ledger is
+// configured, offers the chunk for remote execution and waits for a
+// worker to deliver the payload into the store.
+func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, req ChunkRequest, compute func() ([]byte, error)) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	id, key := req.Chunk.ID, req.Key
 	if b, ok := s.store.Get(key); ok {
 		telChunksCache.Inc()
 		s.markChunkDone(j, id, key, true)
 		return b, nil
 	}
-	// Miss: either first execution or the entry was evicted; compute.
+	// Miss: either first execution or the entry was evicted.
 	s.mu.Lock()
 	c := j.chunk(id)
 	if c != nil {
@@ -622,6 +653,10 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, com
 		j.emitLocked(j.snapshotLocked(id, c.Phase))
 	}
 	s.mu.Unlock()
+
+	if s.opts.Ledger != nil {
+		return s.ensureRemote(ctx, j, req)
+	}
 
 	tm := telemetry.StartTimer(telChunkSec)
 	b, err := compute()
@@ -634,6 +669,24 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, id, key string, com
 		return nil, err
 	}
 	s.markChunkDone(j, id, key, false)
+	return b, nil
+}
+
+// ensureRemote offers the chunk to the lease ledger and waits until a
+// worker completes it, then reads the payload back out of the store.
+// Cancellation (shutdown/drain past grace) surfaces as ctx.Err, leaving
+// the job resumable exactly like an interrupted local chunk.
+func (s *Scheduler) ensureRemote(ctx context.Context, j *Job, req ChunkRequest) ([]byte, error) {
+	s.opts.Ledger.Offer(req)
+	if err := s.opts.Ledger.Wait(ctx, req.Key); err != nil {
+		return nil, err
+	}
+	b, ok := s.store.Get(req.Key)
+	if !ok {
+		return nil, fmt.Errorf("jobs: chunk %s completed remotely but key %s is missing from the store", req.Chunk.ID, req.Key)
+	}
+	telChunksRemote.Inc()
+	s.markChunkDone(j, req.Chunk.ID, req.Key, false)
 	return b, nil
 }
 

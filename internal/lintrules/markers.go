@@ -19,6 +19,7 @@ import (
 var DeterministicPkgs = []string{
 	"internal/artifact",
 	"internal/campaign",
+	"internal/cluster",
 	"internal/errclass",
 	"internal/gatesim",
 	"internal/gatesim/engine",
@@ -38,8 +39,11 @@ var InstrumentedFiles = []string{
 	"cmd/repro/main.go",
 	"internal/campaign/pool.go",
 	"internal/campaign/twolevel.go",
+	"internal/cluster/coordinator.go",
+	"internal/cluster/worker.go",
 	"internal/gatesim/gatesim.go",
 	"internal/gatesim/shard.go",
+	"internal/jobs/ledger.go",
 	"internal/jobs/scheduler.go",
 	"internal/store/store.go",
 }

@@ -32,6 +32,7 @@ var (
 	telMisses    = telemetry.Default().Counter("store_misses_total", "content-addressed cache misses")
 	telPuts      = telemetry.Default().Counter("store_puts_total", "payloads inserted into the cache")
 	telEvictions = telemetry.Default().Counter("store_evictions_total", "entries evicted by the LRU byte budget")
+	telFetches   = telemetry.Default().Counter("store_remote_fetches_total", "payloads pulled from a remote store on local miss")
 	telBytes     = telemetry.Default().Gauge("store_bytes", "payload bytes resident across open stores")
 	telEntries   = telemetry.Default().Gauge("store_entries", "entries resident across open stores")
 	telPutSize   = telemetry.Default().Histogram("store_put_size_bytes", "inserted payload sizes", telemetry.BytesBuckets())
@@ -193,16 +194,22 @@ func (s *Store) Contains(key string) bool {
 
 // Put stores data under key atomically: the payload is written to a temp
 // file and renamed into place, so concurrent readers and daemon crashes
-// never observe partial content. Storing an existing key is a no-op
-// (content-addressed entries are immutable). When a byte budget is set,
-// least-recently-used entries are evicted until the new total fits.
+// never observe partial content. Storing an existing key is a dedup hit,
+// not a put (content-addressed entries are immutable, so the incoming
+// bytes are by construction identical) — cross-node dedup, where several
+// workers push the same chunk result, therefore shows up honestly in
+// store_hits_total instead of inflating store_puts_total. When a byte
+// budget is set, least-recently-used entries are evicted until the new
+// total fits.
 func (s *Store) Put(key string, data []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
 	s.mu.Lock()
 	if _, dup := s.entries[key]; dup {
+		s.stats.Hits++
 		s.mu.Unlock()
+		telHits.Inc()
 		return nil
 	}
 	s.mu.Unlock()
@@ -233,7 +240,9 @@ func (s *Store) Put(key string, data []byte) error {
 	defer s.mu.Unlock()
 	if _, dup := s.entries[key]; dup {
 		// Raced with another Put of the same content; identical bytes, so
-		// the rename above was harmless.
+		// the rename above was harmless. Count a dedup hit, not a put.
+		s.stats.Hits++
+		telHits.Inc()
 		return nil
 	}
 	s.clock++
@@ -276,6 +285,49 @@ func (s *Store) evictLocked(keep string) {
 		s.stats.Evictions++
 		telEvictions.Inc()
 	}
+}
+
+// GetOrFetch is Get with remote read-through: on a local miss, fetch
+// pulls the payload from elsewhere (typically the coordinator's
+// /cluster/chunks endpoint) and the result is cached locally so the next
+// lookup hits. fetch errors propagate; a nil fetch makes a miss final.
+func (s *Store) GetOrFetch(key string, fetch func(key string) ([]byte, error)) ([]byte, error) {
+	if b, ok := s.Get(key); ok {
+		return b, nil
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("store: %s not present and no remote fetcher", key)
+	}
+	b, err := fetch(key)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote fetch %s: %w", key, err)
+	}
+	telFetches.Inc()
+	if err := s.Put(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Writable probes that the store's directory accepts writes (readiness
+// checks): it creates, syncs and removes a scratch file. A read-only or
+// full volume surfaces here before a campaign fails mid-chunk.
+func (s *Store) Writable() error {
+	f, err := os.CreateTemp(s.dir, "probe-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("store: not writable: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: not writable: %w", cerr)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.

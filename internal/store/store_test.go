@@ -52,6 +52,57 @@ func TestPutIsImmutable(t *testing.T) {
 	}
 }
 
+func TestDuplicatePutCountsDedupHit(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	k := key("a")
+	s.Put(k, []byte("payload"))
+	s.Put(k, []byte("payload")) // cross-node dedup: same content-addressed key
+	st := s.Stats()
+	if st.Puts != 1 {
+		t.Fatalf("puts = %d, want 1 (duplicate must not count as a put)", st.Puts)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (duplicate put is a dedup hit)", st.Hits)
+	}
+}
+
+func TestGetOrFetchReadsThrough(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	k := key("remote")
+	fetched := 0
+	fetch := func(key string) ([]byte, error) {
+		fetched++
+		return []byte("remote-payload"), nil
+	}
+	b, err := s.GetOrFetch(k, fetch)
+	if err != nil || string(b) != "remote-payload" {
+		t.Fatalf("GetOrFetch = %q, %v", b, err)
+	}
+	if fetched != 1 {
+		t.Fatalf("fetch calls = %d, want 1", fetched)
+	}
+	// Second lookup is a local hit; the fetcher must not run again.
+	if _, err := s.GetOrFetch(k, fetch); err != nil {
+		t.Fatal(err)
+	}
+	if fetched != 1 {
+		t.Fatalf("fetch calls after local hit = %d, want 1", fetched)
+	}
+	if _, err := s.GetOrFetch(key("absent"), nil); err == nil {
+		t.Fatal("miss with nil fetcher must error")
+	}
+}
+
+func TestWritableProbe(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	if err := s.Writable(); err != nil {
+		t.Fatalf("fresh temp dir not writable: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("probe left entries behind: %+v", st)
+	}
+}
+
 func TestReopenRecoversEntries(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir, 0)

@@ -68,11 +68,22 @@ praw=$(go test -run '^$' -bench '^BenchmarkParallelCampaignWSC$' \
 echo "$praw"
 
 # Gate only where 4 workers can actually run in parallel; otherwise the
-# numbers are recorded but advisory.
+# numbers are recorded but advisory. The skip must be loud — a runner
+# with too few CPUs passing silently would look like a measured result.
 gate=0
 [ "$CPUS" -ge 4 ] && gate=1
+if [ "$gate" -eq 0 ]; then
+	echo "bench_compare: SKIPPING MIN_PARALLEL_SPEEDUP gate: host has $CPUS CPU(s), need >= 4 to measure 4-worker scaling; $POUT is advisory"
+fi
 
 echo "$praw" | awk -v min="$MIN_PARALLEL_SPEEDUP" -v out="$POUT" -v cpus="$CPUS" -v gate="$gate" '
+	# Go suffixes sub-benchmark names with the GOMAXPROCS the run used
+	# ("/workers=1-8"); record it so the JSON states the parallelism the
+	# process actually had, not just the hardware count.
+	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=/ {
+		n = split($1, parts, "-")
+		if (n > 1 && parts[n] + 0 > 0) gomax = parts[n] + 0
+	}
 	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=1/ { if (w1 == 0 || $3 < w1) w1 = $3 }
 	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=2/ { if (w2 == 0 || $3 < w2) w2 = $3 }
 	$1 ~ /^BenchmarkParallelCampaignWSC\/workers=4/ { if (w4 == 0 || $3 < w4) w4 = $3 }
@@ -81,11 +92,13 @@ echo "$praw" | awk -v min="$MIN_PARALLEL_SPEEDUP" -v out="$POUT" -v cpus="$CPUS"
 			print "bench_compare: missing parallel benchmark output" > "/dev/stderr"
 			exit 1
 		}
+		if (gomax == 0) gomax = 1
 		s2 = w1 / w2
 		s4 = w1 / w4
 		printf "{\n"                                                  > out
 		printf "  \"benchmark\": \"wsc full-fault campaign, intra-campaign fault-batch sharding\",\n" > out
 		printf "  \"cpus\": %d,\n", cpus                              > out
+		printf "  \"gomaxprocs\": %d,\n", gomax                       > out
 		printf "  \"workers_1_ns_per_op\": %.0f,\n", w1               > out
 		printf "  \"workers_2_ns_per_op\": %.0f,\n", w2               > out
 		printf "  \"workers_4_ns_per_op\": %.0f,\n", w4               > out
@@ -95,7 +108,7 @@ echo "$praw" | awk -v min="$MIN_PARALLEL_SPEEDUP" -v out="$POUT" -v cpus="$CPUS"
 		printf "  \"gate_armed\": %s\n", gate ? "true" : "false"      > out
 		printf "}\n"                                                  > out
 		printf "\nparallel speed-up: 2w %.2fx, 4w %.2fx (gate: >= %.2fx at 4w, %s)\n", \
-			s2, s4, min, gate ? "armed" : "disarmed: fewer than 4 CPUs"
+			s2, s4, min, gate ? "armed" : "SKIPPED: " cpus " CPU(s) < 4"
 		if (gate && s4 < min) {
 			printf "bench_compare: PARALLEL REGRESSION: %.2fx < %.2fx\n", s4, min > "/dev/stderr"
 			exit 1

@@ -1,10 +1,16 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of the faultsimd daemon.
 #
-# Boots the daemon on a scratch state directory, submits a tiny campaign
-# over HTTP, waits for it to finish, fetches an artifact and the metrics,
-# then shuts the daemon down. Exits non-zero if any step fails. Invoked
-# by `make serve-smoke`.
+# Part 1 boots a single-node daemon on a scratch state directory, submits
+# a tiny campaign over HTTP, waits for it to finish, fetches artifacts
+# and metrics, then shuts the daemon down.
+#
+# Part 2 boots a cluster — one coordinator, two workers — submits the
+# same campaign, kill -9s one worker mid-run, and asserts the campaign
+# still completes with artifacts byte-identical to part 1's single-node
+# goldens (lease expiry reassigns the dead worker's chunks).
+#
+# Exits non-zero if any step fails. Invoked by `make serve-smoke`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +18,8 @@ cd "$(dirname "$0")/.."
 ADDR="127.0.0.1:18091"
 BASE="http://$ADDR"
 DATA="$(mktemp -d)"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT INT TERM
+PID=""; CPID=""; W1PID=""; W2PID=""
+trap 'kill "$PID" "$CPID" "$W1PID" "$W2PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT INT TERM
 
 fetch() { # fetch URL [curl-extra-args...]
 	url="$1"; shift
@@ -55,8 +62,12 @@ for i in $(seq 1 300); do
 done
 
 echo "==> fetch artifacts + metrics"
-fetch "$BASE/jobs/$ID/artifacts/software.json" | head -c 200 >/dev/null
-fetch "$BASE/jobs/$ID/artifacts/gate_wsc.json" >/dev/null
+ARTS="software.json gate_wsc.json gate_fetch.json gate_decoder.json"
+mkdir -p "$DATA/golden"
+for a in $ARTS; do
+	fetch "$BASE/jobs/$ID/artifacts/$a" > "$DATA/golden/$a"
+	[ -s "$DATA/golden/$a" ] || { echo "artifact $a is empty" >&2; exit 1; }
+done
 METRICS=$(fetch "$BASE/metrics")
 printf '%s' "$METRICS" | grep -q '"cache_puts": 5' || {
 	echo "unexpected metrics: $METRICS" >&2; exit 1
@@ -97,5 +108,77 @@ for i in $(seq 1 100); do
 	[ "$i" -eq 100 ] && { echo "daemon ignored SIGTERM" >&2; exit 1; }
 	sleep 0.1
 done
+PID=""
 
-echo "serve-smoke: OK"
+# --- Part 2: cluster smoke -------------------------------------------------
+
+CADDR="127.0.0.1:18092"
+CBASE="http://$CADDR"
+W1ADDR="127.0.0.1:18093"
+W2ADDR="127.0.0.1:18094"
+
+echo "==> start coordinator on $CADDR + 2 workers (lease TTL 2s)"
+"$DATA/faultsimd" -role coordinator -addr "$CADDR" -data "$DATA/coord" \
+	-lease-ttl 2s -grace 5s &
+CPID=$!
+"$DATA/faultsimd" -role worker -join "$CBASE" -addr "$W1ADDR" \
+	-data "$DATA/w1" -worker-name smoke-w1 &
+W1PID=$!
+"$DATA/faultsimd" -role worker -join "$CBASE" -addr "$W2ADDR" \
+	-data "$DATA/w2" -worker-name smoke-w2 &
+W2PID=$!
+
+for i in $(seq 1 50); do
+	if fetch "$CBASE/readyz" >/dev/null 2>&1 &&
+		fetch "http://$W1ADDR/readyz" >/dev/null 2>&1 &&
+		fetch "http://$W2ADDR/readyz" >/dev/null 2>&1; then break; fi
+	[ "$i" -eq 50 ] && { echo "cluster never became ready" >&2; exit 1; }
+	sleep 0.2
+done
+
+echo "==> submit the same campaign to the coordinator"
+JOB=$(fetch "$CBASE/jobs" -X POST -d "$SPEC")
+CID=$(printf '%s' "$JOB" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$CID" ] || { echo "no job id in response: $JOB" >&2; exit 1; }
+echo "    job $CID"
+
+echo "==> kill -9 worker 1 mid-campaign"
+sleep 0.3
+kill -9 "$W1PID" 2>/dev/null || true
+W1PID=""
+
+echo "==> wait for completion on the surviving worker"
+for i in $(seq 1 300); do
+	STATE=$(fetch "$CBASE/jobs/$CID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
+	case "$STATE" in
+	done) break ;;
+	failed) echo "cluster job failed:" >&2; fetch "$CBASE/jobs/$CID" >&2; exit 1 ;;
+	esac
+	[ "$i" -eq 300 ] && { echo "cluster job never finished (state: $STATE)" >&2; exit 1; }
+	sleep 0.2
+done
+
+echo "==> artifacts must be byte-identical to the single-node goldens"
+for a in $ARTS; do
+	fetch "$CBASE/jobs/$CID/artifacts/$a" > "$DATA/cluster-$a"
+	cmp -s "$DATA/golden/$a" "$DATA/cluster-$a" || {
+		echo "artifact $a differs between single-node and cluster runs" >&2; exit 1
+	}
+done
+
+echo "==> cluster view lists the surviving worker"
+WORKERS=$(fetch "$CBASE/cluster/workers")
+printf '%s' "$WORKERS" | grep -q '"smoke-w2"' || {
+	echo "surviving worker missing from /cluster/workers: $WORKERS" >&2; exit 1
+}
+
+echo "==> shut the cluster down"
+kill -TERM "$W2PID" "$CPID" 2>/dev/null || true
+for i in $(seq 1 100); do
+	if ! kill -0 "$CPID" 2>/dev/null && ! kill -0 "$W2PID" 2>/dev/null; then break; fi
+	[ "$i" -eq 100 ] && { echo "cluster ignored SIGTERM" >&2; exit 1; }
+	sleep 0.1
+done
+CPID=""; W2PID=""
+
+echo "serve-smoke: OK (single-node + cluster)"
