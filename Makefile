@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint bench bench-compare fmt serve-smoke
+.PHONY: build test verify lint bench bench-compare fmt serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ lint:
 # HTTP, check artifacts and metrics, shut down gracefully.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Load generator + SLO gate: replay specs/loadtest.json at full pressure
+# against an admission-limited daemon; writes BENCH_loadgen.json and
+# fails if submission p99 exceeds SLO_P99 (default 2.5s; gate arms on
+# >= 2 CPUs).
+loadtest:
+	sh scripts/loadtest.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -41,6 +41,7 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrently executing jobs")
 	chunkWorkers := flag.Int("chunk-workers", 0, "per-job chunk parallelism (0 = GOMAXPROCS)")
 	batchWorkers := flag.Int("batch-workers", 0, "intra-campaign fault-batch workers per gate chunk (0 = GOMAXPROCS, 1 = serial); never enters cache keys — results are byte-identical at any width")
+	maxPending := flag.Int("max-pending", 0, "admission limit: queued+running jobs before POST /jobs answers 429 (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	role := flag.String("role", "single", "single | coordinator | worker")
@@ -83,6 +84,7 @@ func main() {
 		JobWorkers:   *jobWorkers,
 		ChunkWorkers: *chunkWorkers,
 		BatchWorkers: *batchWorkers,
+		MaxPending:   *maxPending,
 		Ledger:       ledger,
 	})
 	if err != nil {

@@ -4,15 +4,23 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 
 	"gpufaultsim/internal/cluster"
 	"gpufaultsim/internal/jobs"
 	"gpufaultsim/internal/store"
 	"gpufaultsim/internal/telemetry"
 )
+
+// telSubmitSeconds times the POST /jobs round trip server-side — decode,
+// admission, checkpoint — into the shared latency bucketing, so the
+// daemon's own view of submission latency is comparable with loadgen's
+// client-side histograms on /metrics.
+var telSubmitSeconds = telemetry.Default().Histogram(
+	"http_submit_seconds", "POST /jobs handling latency",
+	telemetry.LatencyBuckets())
 
 // metrics is the /metrics JSON payload: the scheduler-scoped view an
 // operator needs to judge cache effectiveness and daemon load at a
@@ -57,12 +65,17 @@ func newServer(deps serverDeps) http.Handler {
 
 	// Readiness: the daemon can actually take work — the scheduler's
 	// worker pool is running (a job accepted before Start would queue
-	// indefinitely) and the result store accepts writes (a read-only or
-	// full volume would fail every campaign mid-chunk).
+	// indefinitely), it is not draining (a drain rejects every submission
+	// while in-flight work finishes, so a balancer must stop routing
+	// here), and the result store accepts writes (a read-only or full
+	// volume would fail every campaign mid-chunk).
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		reasons := make(map[string]string)
 		if !s.Started() {
 			reasons["scheduler"] = "worker pool not started"
+		}
+		if s.Draining() {
+			reasons["scheduler"] = "draining: completing in-flight jobs, rejecting new ones"
 		}
 		if deps.store != nil {
 			if err := deps.store.Writable(); err != nil {
@@ -81,6 +94,8 @@ func newServer(deps serverDeps) http.Handler {
 	}
 
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		timer := telemetry.StartTimer(telSubmitSeconds)
+		defer timer.Stop()
 		var spec jobs.Spec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -88,13 +103,26 @@ func newServer(deps serverDeps) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad spec: "+err.Error())
 			return
 		}
-		st, err := s.Submit(spec)
+		// SLO class rides the query string, not the spec body: it steers
+		// scheduling priority only and must stay out of spec digests and
+		// cache keys, so equal specs submitted under different classes
+		// still share results.
+		class, err := jobs.ParseClass(r.URL.Query().Get("class"))
 		if err != nil {
-			code := http.StatusBadRequest
-			if strings.Contains(err.Error(), "draining") || strings.Contains(err.Error(), "queue full") {
-				code = http.StatusServiceUnavailable
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := s.SubmitWith(spec, jobs.SubmitOptions{Class: class})
+		if err != nil {
+			// Admission pushback is a retryable client condition, not a
+			// server fault: 429 with Retry-After tells a well-behaved
+			// load source to back off while in-flight work drains.
+			if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrDraining) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err.Error())
+				return
 			}
-			httpError(w, code, err.Error())
+			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)

@@ -1,0 +1,92 @@
+// Command loadgen replays a workload traffic spec against a running
+// faultsimd daemon and reports admission and tail-latency statistics.
+//
+//	loadgen -spec traffic.json -addr http://127.0.0.1:8080 -scale 0.1 -out report.json
+//
+// The spec expands to a deterministic schedule first (same seed → byte
+// identical; -schedule-out writes it for inspection or diffing), then
+// the schedule is fired open-loop: each submission goes out at its
+// scheduled offset regardless of earlier responses, so the daemon's
+// admission queue — not the generator — is the bottleneck under test.
+// With -addr "" the expansion is written and nothing is submitted,
+// which is how scripts check schedule reproducibility without a daemon.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpufaultsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "traffic spec JSON (required)")
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "daemon base URL; empty = expand only, submit nothing")
+		scale    = fs.Float64("scale", 1.0, "wall seconds per model second (0 = fire as fast as possible)")
+		out      = fs.String("out", "", "report JSON path (empty = stdout)")
+		schedOut = fs.String("schedule-out", "", "also write the expanded schedule JSON here")
+		wait     = fs.Bool("wait", false, "poll admitted jobs to a terminal state before reporting")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request (and with -wait, total polling) timeout")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.Parse(raw)
+	if err != nil {
+		return err
+	}
+	sched, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	if *schedOut != "" {
+		b, err := workload.EncodeSchedule(sched)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*schedOut, b, 0o644); err != nil {
+			return err
+		}
+	}
+	if *addr == "" {
+		fmt.Fprintf(os.Stderr, "loadgen: expanded %d events (no -addr, not submitting)\n", len(sched.Events))
+		return nil
+	}
+
+	rep, err := Replay(context.Background(), Config{
+		Addr: *addr, Scale: *scale, Wait: *wait, Timeout: *timeout,
+	}, sched)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*out, b, 0o644)
+}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpufaultsim/internal/telemetry"
+	"gpufaultsim/internal/workload"
+)
+
+// ReportSchema versions the loadgen report JSON.
+const ReportSchema = 1
+
+// Config drives one replay.
+type Config struct {
+	// Addr is the daemon base URL, e.g. http://127.0.0.1:8080.
+	Addr string
+	// Scale maps model time to wall time: wall = model * Scale. 0 fires
+	// the whole schedule as fast as possible (maximum admission
+	// pressure); 1 replays in real time.
+	Scale float64
+	// Wait polls every admitted job to a terminal state before the
+	// report is cut, so completed/failed counts are exact.
+	Wait bool
+	// Timeout bounds each HTTP request and, with Wait, each job poll.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject httptest here).
+	Client *http.Client
+}
+
+// ClassStats is the per-SLO-class slice of the report.
+type ClassStats struct {
+	Events   int     `json:"events"`
+	Admitted int     `json:"admitted"`
+	Rejected int     `json:"rejected"`
+	Errors   int     `json:"errors"`
+	P50S     float64 `json:"latency_p50_s"`
+	P99S     float64 `json:"latency_p99_s"`
+}
+
+// Report is the replay outcome: admission accounting plus fixed-bucket
+// tail-latency estimates over the submission round trips.
+type Report struct {
+	Schema        int     `json:"schema"`
+	Seed          int64   `json:"seed"`
+	Events        int     `json:"events"`
+	Admitted      int     `json:"admitted"`
+	Rejected      int     `json:"rejected"`
+	Errors        int     `json:"errors"`
+	RejectionRate float64 `json:"rejection_rate"`
+	WallS         float64 `json:"wall_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50S          float64 `json:"latency_p50_s"`
+	P99S          float64 `json:"latency_p99_s"`
+
+	// Completed/Failed are only populated with -wait: every admitted
+	// job polled to a terminal state.
+	Completed int `json:"completed,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+
+	ByClass map[string]*ClassStats `json:"by_class"`
+
+	// AdmittedIDs lets scripts cross-check the daemon's job table and
+	// fetch artifacts for byte-identity comparisons.
+	AdmittedIDs []string `json:"admitted_ids"`
+}
+
+// submitStatus is the slice of the daemon's job Status replay needs.
+type submitStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// Replay fires the schedule at the daemon open-loop: every event is
+// submitted at its scheduled offset whether or not earlier submissions
+// have returned, which is what makes the admission queue's behavior
+// under pressure observable. Latency is recorded into fixed-bucket
+// telemetry histograms (one overall, one per SLO class) and the report's
+// p50/p99 are their interpolated estimates.
+func Replay(ctx context.Context, cfg Config, sched *workload.Schedule) (*Report, error) {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	// A private registry keeps replay runs independent: two Replay calls
+	// in one process (tests) never share buckets.
+	reg := telemetry.NewRegistry()
+	buckets := telemetry.LatencyBuckets()
+	histAll := reg.Histogram("loadgen_submit_seconds",
+		"submission round-trip latency", buckets)
+	histFor := func(class string) *telemetry.Histogram {
+		return reg.Histogram("loadgen_submit_seconds_by_class",
+			"submission round-trip latency per SLO class", buckets,
+			telemetry.L("class", class))
+	}
+
+	rep := &Report{Schema: ReportSchema, Seed: sched.Seed, Events: len(sched.Events),
+		ByClass: make(map[string]*ClassStats)}
+	classOf := func(name string) *ClassStats {
+		cs, ok := rep.ByClass[name]
+		if !ok {
+			cs = &ClassStats{}
+			rep.ByClass[name] = cs
+		}
+		return cs
+	}
+	// Pre-create class rows (and their histograms) single-threaded so
+	// the fire goroutines only ever update.
+	for i := range sched.Events {
+		classOf(string(sched.Events[i].Class))
+		histFor(string(sched.Events[i].Class))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range sched.Events {
+		ev := &sched.Events[i]
+		if cfg.Scale > 0 {
+			due := start.Add(time.Duration(float64(ev.AtMs) * cfg.Scale * float64(time.Millisecond)))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(d):
+				}
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, outcome := submit(ctx, client, cfg.Addr, ev, histAll, histFor(string(ev.Class)))
+			mu.Lock()
+			defer mu.Unlock()
+			cs := classOf(string(ev.Class))
+			cs.Events++
+			switch outcome {
+			case outcomeAdmitted:
+				rep.Admitted++
+				cs.Admitted++
+				rep.AdmittedIDs = append(rep.AdmittedIDs, st.ID)
+			case outcomeRejected:
+				rep.Rejected++
+				cs.Rejected++
+			default:
+				rep.Errors++
+				cs.Errors++
+			}
+		}()
+	}
+	wg.Wait()
+	rep.WallS = time.Since(start).Seconds()
+
+	if cfg.Wait {
+		if err := waitJobs(ctx, client, cfg, rep); err != nil {
+			return nil, err
+		}
+		rep.WallS = time.Since(start).Seconds()
+	}
+
+	if rep.Events > 0 {
+		rep.RejectionRate = float64(rep.Rejected) / float64(rep.Events)
+	}
+	if rep.WallS > 0 {
+		rep.ThroughputRPS = float64(rep.Admitted) / rep.WallS
+	}
+	snap := reg.Snapshot()
+	all := snap.Histograms["loadgen_submit_seconds"]
+	rep.P50S, rep.P99S = all.P50, all.P99
+	for name, cs := range rep.ByClass {
+		key := fmt.Sprintf("loadgen_submit_seconds_by_class{class=%q}", name)
+		h := snap.Histograms[key]
+		cs.P50S, cs.P99S = h.P50, h.P99
+	}
+	return rep, nil
+}
+
+type outcome int
+
+const (
+	outcomeAdmitted outcome = iota
+	outcomeRejected
+	outcomeError
+)
+
+// submit POSTs one event and classifies the response: 2xx admitted,
+// 429 rejected by admission control, anything else an error. The round
+// trip is timed into both histograms regardless of outcome — a rejection
+// that takes a second is as much an SLO fact as a slow admit.
+func submit(ctx context.Context, client *http.Client, addr string, ev *workload.Event, hists ...*telemetry.Histogram) (submitStatus, outcome) {
+	var st submitStatus
+	body, err := json.Marshal(ev.Spec)
+	if err != nil {
+		return st, outcomeError
+	}
+	url := addr + "/jobs?class=" + string(ev.Class)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return st, outcomeError
+	}
+	req.Header.Set("Content-Type", "application/json")
+	timer := telemetry.StartTimer(nil)
+	resp, err := client.Do(req)
+	sec := timer.Stop()
+	for _, h := range hists {
+		h.Observe(sec)
+	}
+	if err != nil {
+		return st, outcomeError
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return st, outcomeRejected
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if err := json.Unmarshal(b, &st); err != nil || st.ID == "" {
+			return st, outcomeError
+		}
+		return st, outcomeAdmitted
+	default:
+		return st, outcomeError
+	}
+}
+
+// waitJobs polls every admitted job to a terminal state.
+func waitJobs(ctx context.Context, client *http.Client, cfg Config, rep *Report) error {
+	deadline := time.Now().Add(cfg.Timeout)
+	if cfg.Timeout <= 0 {
+		deadline = time.Now().Add(10 * time.Minute)
+	}
+	for _, id := range rep.AdmittedIDs {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("loadgen: timed out waiting for job %s", id)
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Addr+"/jobs/"+id, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("loadgen: poll %s: HTTP %d", id, resp.StatusCode)
+			}
+			var st submitStatus
+			if err := json.Unmarshal(b, &st); err != nil {
+				return fmt.Errorf("loadgen: poll %s: %w", id, err)
+			}
+			done := false
+			switch st.State {
+			case "done":
+				rep.Completed++
+				done = true
+			case "failed", "canceled":
+				rep.Failed++
+				done = true
+			}
+			if done {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}

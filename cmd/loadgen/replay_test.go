@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpufaultsim/internal/workload"
+)
+
+// testSpec is a small all-uniform spec: 12 events over 3 model seconds,
+// deterministic counts per class.
+const testSpec = `{
+  "schema": 1, "seed": 11, "duration_s": 3, "rate_rps": 4,
+  "clients": [
+    {"name": "ui", "rate_fraction": 0.5, "arrival": "uniform", "slo_class": "interactive",
+     "jobs": [{"weight": 1, "max_patterns": 4, "injections": 1, "apps": ["vectoradd"], "profiling": ["vectoradd"]}]},
+    {"name": "bulk", "rate_fraction": 0.5, "arrival": "uniform", "slo_class": "background",
+     "jobs": [{"weight": 1, "max_patterns": 4, "injections": 1, "apps": ["vectoradd"], "profiling": ["vectoradd"]}]}
+  ]
+}`
+
+func expandTestSpec(t *testing.T) *workload.Schedule {
+	t.Helper()
+	spec, err := workload.Parse([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// stubDaemon admits until the admission limit, then answers 429 with
+// Retry-After, mimicking faultsimd's bounded pending queue.
+type stubDaemon struct {
+	limit   int64
+	seen    atomic.Int64
+	mu      sync.Mutex
+	classes map[string]int
+	nextID  atomic.Int64
+}
+
+func (d *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		if d.classes == nil {
+			d.classes = map[string]int{}
+		}
+		d.classes[r.URL.Query().Get("class")]++
+		d.mu.Unlock()
+		if d.seen.Add(1) > d.limit {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "pending queue full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		id := fmt.Sprintf("job-%04d", d.nextID.Add(1))
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "state": "queued"})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"id": r.PathValue("id"), "state": "done"})
+	})
+	return mux
+}
+
+// TestReplayAccounting checks the full report against a stub that
+// admits exactly 5 of 12: counts, rejection rate, per-class splits and
+// latency quantiles all line up.
+func TestReplayAccounting(t *testing.T) {
+	sched := expandTestSpec(t)
+	if len(sched.Events) != 12 {
+		t.Fatalf("test spec expanded to %d events, want 12", len(sched.Events))
+	}
+	stub := &stubDaemon{limit: 5}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	rep, err := Replay(context.Background(), Config{
+		Addr: srv.URL, Scale: 0, Wait: true, Timeout: 30 * time.Second,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 12 || rep.Admitted != 5 || rep.Rejected != 7 || rep.Errors != 0 {
+		t.Fatalf("events/admitted/rejected/errors = %d/%d/%d/%d, want 12/5/7/0",
+			rep.Events, rep.Admitted, rep.Rejected, rep.Errors)
+	}
+	if got, want := rep.RejectionRate, 7.0/12.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("rejection_rate = %v, want %v", got, want)
+	}
+	if rep.Completed != 5 || rep.Failed != 0 {
+		t.Fatalf("completed/failed = %d/%d, want 5/0", rep.Completed, rep.Failed)
+	}
+	if len(rep.AdmittedIDs) != 5 {
+		t.Fatalf("admitted IDs: %v", rep.AdmittedIDs)
+	}
+	if rep.ThroughputRPS <= 0 || rep.WallS <= 0 {
+		t.Fatalf("throughput %v over wall %v", rep.ThroughputRPS, rep.WallS)
+	}
+	if rep.P50S <= 0 || rep.P99S < rep.P50S {
+		t.Fatalf("latency p50 %v p99 %v", rep.P50S, rep.P99S)
+	}
+	// Both classes fired 6 events each; admissions split between them
+	// but the totals must add up.
+	ia, bg := rep.ByClass["interactive"], rep.ByClass["background"]
+	if ia == nil || bg == nil {
+		t.Fatalf("by_class keys: %v", rep.ByClass)
+	}
+	if ia.Events != 6 || bg.Events != 6 {
+		t.Fatalf("per-class events = %d/%d, want 6/6", ia.Events, bg.Events)
+	}
+	if ia.Admitted+bg.Admitted != 5 || ia.Rejected+bg.Rejected != 7 {
+		t.Fatalf("per-class admission doesn't sum: %+v %+v", ia, bg)
+	}
+	if ia.P50S <= 0 || bg.P50S <= 0 {
+		t.Fatalf("per-class p50 = %v/%v, want > 0", ia.P50S, bg.P50S)
+	}
+	// The daemon saw the classes the schedule carried.
+	if stub.classes["interactive"] != 6 || stub.classes["background"] != 6 {
+		t.Fatalf("daemon saw classes %v", stub.classes)
+	}
+}
+
+// TestReplayCountsTransportErrors points replay at a dead address: every
+// event must surface as an error, not a hang or a panic.
+func TestReplayCountsTransportErrors(t *testing.T) {
+	sched := expandTestSpec(t)
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // dead on arrival
+	rep, err := Replay(context.Background(), Config{
+		Addr: srv.URL, Scale: 0, Timeout: 5 * time.Second,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != len(sched.Events) || rep.Admitted != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors = %d, want %d (admitted %d rejected %d)",
+			rep.Errors, len(sched.Events), rep.Admitted, rep.Rejected)
+	}
+}
+
+// TestRunScheduleOutOnly checks the -addr "" path scripts use for
+// byte-identity: two expansions of the same spec write identical
+// schedule files, and nothing is submitted.
+func TestRunScheduleOutOnly(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	for _, out := range []string{s1, s2} {
+		if err := run([]string{"-spec", specPath, "-addr", "", "-schedule-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, err := os.ReadFile(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("two expansions of one spec wrote different schedule bytes")
+	}
+	var sched workload.Schedule
+	if err := json.Unmarshal(b1, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Seed != 11 || len(sched.Events) != 12 {
+		t.Fatalf("schedule seed %d events %d", sched.Seed, len(sched.Events))
+	}
+}

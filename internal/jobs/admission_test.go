@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpufaultsim/internal/store"
+)
+
+// TestConcurrentSubmissionsRaceAdmissionLimit hammers SubmitWith from
+// many goroutines against a small MaxPending. Under -race this is the
+// proof that admission control holds its invariant exactly: every
+// attempt is either admitted (distinct job, runs to completion) or
+// rejected with ErrQueueFull (no job, no checkpoint, no queue entry) —
+// no submission is lost, none is double-admitted, and the observed
+// pending count never exceeds the limit. All attempts carry the same
+// spec, so the final artifact set must also be deterministic: every
+// admitted job produces byte-identical artifacts.
+func TestConcurrentSubmissionsRaceAdmissionLimit(t *testing.T) {
+	const limit = 3
+	const attempts = 24
+
+	dir := t.TempDir()
+	st, err := store.Open(dir+"/cache", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Dir: dir + "/jobs", Store: st,
+		JobWorkers: 2, ChunkWorkers: 2, MaxPending: limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejectedBefore := telRejectFull.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	defer s.Stop()
+
+	// Sampler: the pending count must never be seen above the limit
+	// while submissions race admissions.
+	var overLimit atomic.Int64
+	stopSampler := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			default:
+			}
+			if p := s.Pending(); p > limit {
+				overLimit.Store(int64(p))
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var admitted []Status
+	var rejected int
+	var wg sync.WaitGroup
+	for g := 0; g < attempts; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := s.SubmitWith(tinySpec(), SubmitOptions{Class: ClassBatch})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				admitted = append(admitted, st)
+			case errors.Is(err, ErrQueueFull):
+				rejected++
+			default:
+				t.Errorf("unexpected submit error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(admitted)+rejected != attempts {
+		t.Fatalf("admitted %d + rejected %d != %d attempts", len(admitted), rejected, attempts)
+	}
+	if len(admitted) == 0 || len(admitted) > limit {
+		t.Fatalf("admitted %d jobs, want 1..%d (all %d submissions raced the limit)", len(admitted), limit, attempts)
+	}
+	if got := telRejectFull.Value() - rejectedBefore; got != int64(rejected) {
+		t.Fatalf("jobs_rejected_total{queue_full} delta = %d, want %d", got, rejected)
+	}
+
+	// No double admission: IDs are unique, and each admitted ID resolves
+	// to a registered job. No lost jobs: the job table holds exactly the
+	// admitted set.
+	seen := make(map[string]bool)
+	for _, a := range admitted {
+		if seen[a.ID] {
+			t.Fatalf("job ID %s admitted twice", a.ID)
+		}
+		seen[a.ID] = true
+		if _, ok := s.Job(a.ID); !ok {
+			t.Fatalf("admitted job %s lost", a.ID)
+		}
+	}
+	if got := len(s.Jobs()); got != len(admitted) {
+		t.Fatalf("job table has %d jobs, want %d (rejections must leave no job)", got, len(admitted))
+	}
+
+	// Every admitted job finishes, and the artifact set is deterministic:
+	// identical specs yield byte-identical artifacts across all of them.
+	var ref map[string][]byte
+	for _, a := range admitted {
+		fin := waitState(t, s, a.ID, StateDone)
+		arts := make(map[string][]byte, len(fin.Artifacts))
+		if len(fin.Artifacts) != 4 {
+			t.Fatalf("job %s artifacts = %v, want 4", a.ID, fin.Artifacts)
+		}
+		for _, name := range fin.Artifacts {
+			b, ok := s.Artifact(a.ID, name)
+			if !ok || len(b) == 0 {
+				t.Fatalf("job %s artifact %s missing", a.ID, name)
+			}
+			arts[name] = b
+		}
+		if ref == nil {
+			ref = arts
+			continue
+		}
+		for name, b := range arts {
+			if !bytes.Equal(ref[name], b) {
+				t.Fatalf("artifact %s differs between admitted jobs under load", name)
+			}
+		}
+	}
+
+	close(stopSampler)
+	samplerWG.Wait()
+	if v := overLimit.Load(); v != 0 {
+		t.Fatalf("pending count observed at %d, above admission limit %d", v, limit)
+	}
+}
+
+// TestDispatchOrdersByClassThenFIFO pins the priority dispatch rule:
+// with the worker pool not yet running, queued jobs dequeue interactive
+// first, then batch in submission order, then background — and the
+// class never reaches the spec digest, so priority cannot change
+// artifacts.
+func TestDispatchOrdersByClassThenFIFO(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir)
+
+	submit := func(class SLOClass, seed int64) Status {
+		sp := tinySpec()
+		sp.Seed = seed
+		st, err := s.SubmitWith(sp, SubmitOptions{Class: class})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	bg := submit(ClassBackground, 1)
+	b1 := submit(ClassBatch, 2)
+	ia := submit(ClassInteractive, 3)
+	b2 := submit(ClassBatch, 4)
+
+	want := []string{ia.ID, b1.ID, b2.ID, bg.ID}
+	for i, w := range want {
+		s.mu.Lock()
+		got := s.dequeueLocked()
+		s.mu.Unlock()
+		if got != w {
+			t.Fatalf("dequeue %d = %s, want %s (order: interactive, batch FIFO, background)", i, got, w)
+		}
+	}
+
+	// Same spec submitted under different classes digests identically:
+	// class is scheduling-only.
+	spec := tinySpec()
+	d1, err := spec.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, err := s.SubmitWith(spec, SubmitOptions{Class: ClassInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := s.SubmitWith(spec, SubmitOptions{Class: ClassBackground})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Digest != d1 || stB.Digest != d1 {
+		t.Fatalf("class leaked into spec digest: %s / %s vs %s", stA.Digest, stB.Digest, d1)
+	}
+	if stA.Class != ClassInteractive || stB.Class != ClassBackground {
+		t.Fatalf("status classes = %s / %s", stA.Class, stB.Class)
+	}
+}
+
+// TestParseClass covers the class vocabulary and its default.
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]SLOClass{
+		"":            ClassBatch,
+		"batch":       ClassBatch,
+		"interactive": ClassInteractive,
+		"background":  ClassBackground,
+	} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseClass("realtime"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// TestRecoveredJobKeepsClass checks a checkpointed class survives
+// restart, so a recovered interactive job does not lose its priority.
+func TestRecoveredJobKeepsClass(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestScheduler(t, dir)
+	st, err := s.SubmitWith(tinySpec(), SubmitOptions{Class: ClassInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: the job stays queued with its checkpoint on disk.
+
+	s2 := newTestScheduler(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s2.Start(ctx)
+	defer s2.Stop()
+	if _, errs := s2.Recover(); len(errs) > 0 {
+		t.Fatalf("recover: %v", errs)
+	}
+	got, ok := s2.Job(st.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", st.ID)
+	}
+	if got.Class != ClassInteractive {
+		t.Fatalf("recovered class = %q, want interactive", got.Class)
+	}
+	waitState(t, s2, st.ID, StateDone)
+}

@@ -22,6 +22,7 @@ type checkpoint struct {
 	ID      string       `json:"id"`
 	Digest  string       `json:"digest"`
 	Spec    Spec         `json:"spec"`
+	Class   SLOClass     `json:"slo_class,omitempty"`
 	State   State        `json:"state"`
 	Err     string       `json:"error,omitempty"`
 	Created time.Time    `json:"created"`
@@ -37,7 +38,7 @@ func checkpointPath(dir, jobID string) string {
 func saveCheckpoint(dir string, j *Job) error {
 	cp := checkpoint{
 		Schema: checkpointSchema, ID: j.ID, Digest: j.Digest, Spec: j.Spec,
-		State: j.state, Err: j.err, Created: j.created,
+		Class: j.class, State: j.state, Err: j.err, Created: j.created,
 		Chunks: j.chunks,
 	}
 	b, err := json.MarshalIndent(cp, "", "  ")

@@ -1,0 +1,51 @@
+package jobs
+
+import "fmt"
+
+// SLOClass is a job's service-level class: a scheduling priority label
+// attached at submission time, outside the Spec. It orders dispatch —
+// interactive jobs reach a worker before batch, batch before background
+// — but never influences results: the class stays out of the spec
+// digest and every chunk cache key, so a job's artifacts are
+// byte-identical whatever class it was submitted under.
+type SLOClass string
+
+const (
+	// ClassInteractive is latency-sensitive traffic: dispatched first.
+	ClassInteractive SLOClass = "interactive"
+	// ClassBatch is the default class for ordinary campaign submissions.
+	ClassBatch SLOClass = "batch"
+	// ClassBackground is best-effort traffic: dispatched only when no
+	// higher class is waiting.
+	ClassBackground SLOClass = "background"
+)
+
+// classRanks orders dispatch; lower dispatches first. Jobs of equal
+// class dispatch FIFO by submission sequence.
+var classRanks = map[SLOClass]int{
+	ClassInteractive: 0,
+	ClassBatch:       1,
+	ClassBackground:  2,
+}
+
+// ParseClass validates an SLO class name. Empty selects ClassBatch, so
+// pre-existing clients that never send a class keep their behavior.
+func ParseClass(s string) (SLOClass, error) {
+	if s == "" {
+		return ClassBatch, nil
+	}
+	c := SLOClass(s)
+	if _, ok := classRanks[c]; !ok {
+		return "", fmt.Errorf("jobs: unknown SLO class %q (want interactive, batch or background)", s)
+	}
+	return c, nil
+}
+
+// rank returns the dispatch rank, defaulting unknown/empty (e.g. jobs
+// recovered from pre-class checkpoints) to batch.
+func (c SLOClass) rank() int {
+	if r, ok := classRanks[c]; ok {
+		return r
+	}
+	return classRanks[ClassBatch]
+}

@@ -5,6 +5,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -34,6 +35,8 @@ var (
 	telChunkSec    = telemetry.Default().Histogram("jobs_chunk_seconds", "per-chunk compute latency (cache misses only)", telemetry.SecondsBuckets())
 	telChunksCache = telemetry.Default().Counter("jobs_chunks_total", "chunks completed", telemetry.L("source", "cache"))
 	telChunksComp  = telemetry.Default().Counter("jobs_chunks_total", "chunks completed", telemetry.L("source", "computed"))
+	telRejectFull  = telemetry.Default().Counter("jobs_rejected_total", "submissions rejected by admission control", telemetry.L("reason", "queue_full"))
+	telRejectDrain = telemetry.Default().Counter("jobs_rejected_total", "submissions rejected by admission control", telemetry.L("reason", "draining"))
 	telPhaseSec    = map[Phase]*telemetry.Histogram{
 		PhaseProfile:  telemetry.Default().Histogram("jobs_phase_seconds", "per-job phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "profile")),
 		PhaseGate:     telemetry.Default().Histogram("jobs_phase_seconds", "per-job phase wall-clock", telemetry.SecondsBuckets(), telemetry.L("phase", "gate")),
@@ -58,8 +61,11 @@ type Options struct {
 	// summaries are byte-identical at every width — so it stays out of
 	// the chunk cache keys.
 	BatchWorkers int
-	// QueueCap bounds the submission queue (<=0 selects 1024).
-	QueueCap int
+	// MaxPending is the admission limit: Submit rejects with ErrQueueFull
+	// once this many jobs are queued or running (<=0 = unbounded).
+	// Recovery is exempt — interrupted jobs always readmit, because
+	// dropping them would lose accepted work.
+	MaxPending int
 	// Ledger, when non-nil, routes chunk computation through the cluster
 	// lease ledger instead of computing in-process (coordinator mode):
 	// cache misses are offered to the ledger, leased to remote workers,
@@ -68,20 +74,34 @@ type Options struct {
 	Ledger *Ledger
 }
 
+// Admission errors. The daemon maps both to HTTP 429 + Retry-After:
+// the client did nothing wrong, the service is shedding load, and the
+// correct client response is identical — back off and resubmit.
+var (
+	// ErrQueueFull rejects a submission that would exceed MaxPending.
+	ErrQueueFull = errors.New("jobs: pending queue full, retry later")
+	// ErrDraining rejects submissions to a scheduler that is shutting
+	// down; in-flight jobs still run to completion within the grace.
+	ErrDraining = errors.New("jobs: scheduler is draining, retry later")
+)
+
 // Scheduler runs campaign jobs: deterministic chunking, bounded
-// parallelism, per-chunk checkpointing and content-addressed caching.
+// parallelism, SLO-class priority dispatch, per-chunk checkpointing and
+// content-addressed caching.
 type Scheduler struct {
 	opts  Options
 	store *store.Store
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signals ready-queue growth and stop transitions
 	jobs    map[string]*Job
 	order   []string
+	ready   []string // queued job IDs in submission order; dispatch picks by class rank
 	seq     int
 	closed  bool
 	started bool
+	stopped bool
 
-	queue  chan string
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
@@ -94,41 +114,70 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.JobWorkers <= 0 {
 		opts.JobWorkers = 2
 	}
-	if opts.QueueCap <= 0 {
-		opts.QueueCap = 1024
-	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		opts:  opts,
 		store: opts.Store,
 		jobs:  make(map[string]*Job),
-		queue: make(chan string, opts.QueueCap),
-	}, nil
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Start launches the worker pool. Jobs submitted before Start wait in the
-// queue.
+// ready queue.
 func (s *Scheduler) Start(ctx context.Context) {
 	ctx, s.cancel = context.WithCancel(ctx)
 	s.mu.Lock()
 	s.started = true
 	s.mu.Unlock()
+	// Waking cond waiters on context cancellation needs a watcher: a
+	// blocked cond.Wait cannot select on ctx.Done.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-ctx.Done()
+		s.mu.Lock()
+		s.stopped = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
 	for w := 0; w < s.opts.JobWorkers; w++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for {
-				select {
-				case <-ctx.Done():
-					return
-				case id := <-s.queue:
-					s.runJob(ctx, id)
+				s.mu.Lock()
+				for len(s.ready) == 0 && !s.stopped {
+					s.cond.Wait()
 				}
+				if s.stopped {
+					s.mu.Unlock()
+					return
+				}
+				id := s.dequeueLocked()
+				s.mu.Unlock()
+				s.runJob(ctx, id)
 			}
 		}()
 	}
+}
+
+// dequeueLocked removes and returns the next job to dispatch: the
+// earliest-submitted job of the most urgent SLO class present. Caller
+// holds s.mu and has checked len(s.ready) > 0.
+func (s *Scheduler) dequeueLocked() string {
+	best, bestRank := 0, s.jobs[s.ready[0]].class.rank()
+	for i := 1; i < len(s.ready) && bestRank > 0; i++ {
+		if r := s.jobs[s.ready[i]].class.rank(); r < bestRank {
+			best, bestRank = i, r
+		}
+	}
+	id := s.ready[best]
+	s.ready = append(s.ready[:best], s.ready[best+1:]...)
+	return id
 }
 
 // Stop cancels in-flight work at the next chunk boundary and waits for
@@ -171,10 +220,25 @@ func (s *Scheduler) Started() bool {
 	return s.started
 }
 
+// Draining reports whether the scheduler has stopped admitting work
+// (Drain was called). Readiness probes fail during a drain so load
+// balancers steer new traffic away while in-flight streams finish.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Pending counts jobs that are queued or running.
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.pendingLocked()
+}
+
+// pendingLocked is the admission-control load measure: jobs holding or
+// waiting for a worker. Caller holds s.mu.
+func (s *Scheduler) pendingLocked() int {
 	n := 0
 	for _, j := range s.jobs {
 		if j.state == StateQueued || j.state == StateRunning {
@@ -252,12 +316,33 @@ func (s *Scheduler) PhaseTimings() map[Phase]float64 {
 	return out
 }
 
-// Submit validates the spec, registers a new job and enqueues it. Every
+// SubmitOptions carries per-submission attributes that live outside the
+// Spec: they influence scheduling, never results, so they stay out of
+// the spec digest and every cache key.
+type SubmitOptions struct {
+	// Class is the SLO class ("" = batch). Validate with ParseClass.
+	Class SLOClass
+}
+
+// Submit validates the spec, registers a new job at the default batch
+// class and enqueues it. See SubmitWith.
+func (s *Scheduler) Submit(spec Spec) (Status, error) {
+	return s.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith validates the spec, applies admission control, registers a
+// new job and enqueues it for class-priority dispatch. Every admitted
 // submission is a distinct job; result reuse happens underneath in the
 // content-addressed cache, so resubmitting an identical spec completes
-// almost entirely from cache.
-func (s *Scheduler) Submit(spec Spec) (Status, error) {
+// almost entirely from cache. Rejections (ErrQueueFull past MaxPending,
+// ErrDraining during shutdown) happen before any state is created: a
+// rejected submission leaves no job, no checkpoint and no queue entry.
+func (s *Scheduler) SubmitWith(spec Spec, opts SubmitOptions) (Status, error) {
 	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	class, err := ParseClass(string(opts.Class))
+	if err != nil {
 		return Status{}, err
 	}
 	spec = spec.WithDefaults()
@@ -269,13 +354,20 @@ func (s *Scheduler) Submit(spec Spec) (Status, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return Status{}, fmt.Errorf("jobs: scheduler is draining")
+		telRejectDrain.Inc()
+		return Status{}, ErrDraining
+	}
+	if s.opts.MaxPending > 0 && s.pendingLocked() >= s.opts.MaxPending {
+		s.mu.Unlock()
+		telRejectFull.Inc()
+		return Status{}, ErrQueueFull
 	}
 	s.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("j%06d-%s", s.seq, digest[:8]),
 		Spec:    spec,
 		Digest:  digest,
+		class:   class,
 		state:   StateQueued,
 		created: time.Now().UTC(), //vetsim:ignore determinism status-only submission timestamp; never enters artifacts or cache keys
 	}
@@ -291,17 +383,10 @@ func (s *Scheduler) Submit(spec Spec) (Status, error) {
 	if err := s.checkpoint(j); err != nil {
 		return st, err
 	}
-	select {
-	case s.queue <- j.ID:
-	default:
-		s.mu.Lock()
-		j.state = StateFailed
-		j.err = "submission queue full"
-		st = j.statusLocked()
-		s.mu.Unlock()
-		s.checkpoint(j)
-		return st, fmt.Errorf("jobs: submission queue full")
-	}
+	s.mu.Lock()
+	s.ready = append(s.ready, j.ID)
+	s.mu.Unlock()
+	s.cond.Signal()
 	return st, nil
 }
 
@@ -320,6 +405,7 @@ func (s *Scheduler) Recover() (int, []error) {
 		}
 		j := &Job{
 			ID: cp.ID, Spec: cp.Spec.WithDefaults(), Digest: cp.Digest,
+			class: cp.Class,
 			state: cp.State, err: cp.Err, created: cp.Created,
 			chunks: cp.Chunks,
 		}
@@ -341,17 +427,18 @@ func (s *Scheduler) Recover() (int, []error) {
 			}
 			fallthrough
 		case StateQueued, StateRunning:
+			// Re-admission bypasses MaxPending: these jobs were admitted
+			// before the restart, and dropping them would lose accepted
+			// work. The ready queue is unbounded, so recovery never fails
+			// for capacity.
 			s.mu.Lock()
 			j.state = StateQueued
 			j.err = ""
+			s.ready = append(s.ready, j.ID)
 			s.mu.Unlock()
-			select {
-			case s.queue <- j.ID:
-				requeued++
-				telRecovered.Inc()
-			default:
-				errs = append(errs, fmt.Errorf("jobs: queue full recovering %s", j.ID))
-			}
+			s.cond.Signal()
+			requeued++
+			telRecovered.Inc()
 		}
 	}
 	return requeued, errs

@@ -27,6 +27,7 @@ var DeterministicPkgs = []string{
 	"internal/netlist",
 	"internal/report",
 	"internal/syndrome",
+	"internal/workload",
 }
 
 // InstrumentedFiles are the telemetry-instrumented files formerly

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileTable pins the fixed-bucket estimator on the edge
+// geometries the SLO gate depends on: empty histograms, all mass in one
+// bucket, mass in the +Inf overflow bucket, and observations landing
+// exactly on bucket boundaries.
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{
+			name:   "empty histogram yields zero",
+			bounds: []float64{1, 2, 4},
+			q:      0.99,
+			want:   0,
+		},
+		{
+			name:    "single bucket interpolates from lower edge",
+			bounds:  []float64{1, 2, 4},
+			observe: []float64{1.5, 1.5, 1.5, 1.5},
+			// All 4 observations in (1,2]: rank 2 of 4 is halfway through
+			// the bucket -> 1 + (2-1)*0.5.
+			q:    0.5,
+			want: 1.5,
+		},
+		{
+			name:    "single first bucket uses zero lower edge",
+			bounds:  []float64{8, 16},
+			observe: []float64{3, 3},
+			// Both in [0,8]: rank 1 of 2 -> 0 + 8*0.5.
+			q:    0.5,
+			want: 4,
+		},
+		{
+			name:    "overflow bucket reports last finite bound",
+			bounds:  []float64{1, 2, 4},
+			observe: []float64{100, 200, 300},
+			q:       0.99,
+			want:    4,
+		},
+		{
+			name:    "overflow only at the extreme tail",
+			bounds:  []float64{1, 2, 4},
+			observe: []float64{0.5, 0.5, 0.5, 100},
+			// rank 2 of 4 stays in the first bucket: 0 + 1*(2/3).
+			q:    0.5,
+			want: 2.0 / 3.0,
+		},
+		{
+			name:    "exact boundary value is exact at q=1 within its bucket",
+			bounds:  []float64{1, 2, 4},
+			observe: []float64{2, 2},
+			// Observations of exactly 2.0 land in the (1,2] bucket; the
+			// top of that bucket is the exact value.
+			q:    1,
+			want: 2,
+		},
+		{
+			name:    "boundary split across two buckets",
+			bounds:  []float64{1, 2, 4},
+			observe: []float64{1, 1, 2, 2},
+			// Two in (0,1], two in (1,2]. rank 3 of 4 is halfway through
+			// the second bucket: 1 + 1*0.5.
+			q:    0.75,
+			want: 1.5,
+		},
+		{
+			name:    "q clamped below zero",
+			bounds:  []float64{1, 2},
+			observe: []float64{0.5},
+			q:       -3,
+			want:    0,
+		},
+		{
+			name:    "q clamped above one",
+			bounds:  []float64{1, 2},
+			observe: []float64{1.5},
+			q:       7,
+			want:    2,
+		},
+		{
+			name:    "negative-only first bucket keeps its own lower edge",
+			bounds:  []float64{-2, -1, 1},
+			observe: []float64{-1.5, -1.5},
+			// rank 1 of 2 in (-inf,-2]... observations -1.5 land in
+			// (-2,-1]: bucket index 1, lower=-2, upper=-1, frac 0.5.
+			q:    0.5,
+			want: -1.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("q_test_"+tc.name, "test", tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.snapshot().Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotCarriesP50P99 checks the registry snapshot path computes
+// the tail fields every /metrics scrape reports.
+func TestSnapshotCarriesP50P99(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_tail_seconds", "test", []float64{1, 2, 4})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3) // the 10% tail
+	}
+	s := r.Snapshot().Histograms["snap_tail_seconds"]
+	if s.P50 <= 0 || s.P50 > 1 {
+		t.Fatalf("P50 = %v, want in (0,1]", s.P50)
+	}
+	if s.P99 <= 2 {
+		t.Fatalf("P99 = %v, want > 2 with a 10%% tail at 3s", s.P99)
+	}
+}
+
+// TestQuantileMonotone sanity-checks that quantiles never decrease in q
+// on a spread distribution (the interpolation must be monotone for the
+// gate thresholds to be meaningful).
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono_seconds", "test", ExponentialBuckets(0.001, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(0.001 * float64(i))
+	}
+	s := h.snapshot()
+	prev := -math.MaxFloat64
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -88,12 +88,17 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram.
+// HistogramSnapshot is a point-in-time copy of a histogram. P50 and P99
+// are fixed-bucket quantile estimates (see Quantile) computed at
+// snapshot time, so every histogram surfaced on /metrics reports its
+// tail without the scraper reimplementing the interpolation.
 type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"` // per bucket; last entry is the +Inf overflow
+	P50    float64   `json:"p50"`
+	P99    float64   `json:"p99"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -106,6 +111,8 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

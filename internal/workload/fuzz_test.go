@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWorkloadSpec holds Parse to "accepted implies sane": any input it
+// accepts must have finite positive rates (no NaN smuggled through),
+// unique client names, an explicit nonzero seed, and must survive an
+// encode/parse round trip and expand deterministically. Rejections must
+// be errors, not panics.
+func FuzzWorkloadSpec(f *testing.F) {
+	if b, err := os.ReadFile(filepath.Join("testdata", "basic.json")); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"schema":1,"seed":9,"duration_s":2,"rate_rps":3,"clients":[{"name":"a","rate_fraction":1,"arrival":"poisson","jobs":[{"weight":1,"max_patterns":4,"injections":1,"apps":["vectoradd"],"profiling":["vectoradd"]}]}]}`))
+	// Seeds aimed at the rejection classes.
+	f.Add([]byte(`{"schema":1,"seed":0,"duration_s":2,"rate_rps":3,"clients":[]}`))
+	f.Add([]byte(`{"schema":1,"seed":9,"duration_s":2,"rate_rps":-3,"clients":[]}`))
+	f.Add([]byte(`{"schema":1,"seed":9,"duration_s":1e999,"rate_rps":3,"clients":[]}`))
+	f.Add([]byte(`{"schema":1,"seed":9,"duration_s":2,"rate_rps":3,"clients":[{"name":"a","rate_fraction":0.5,"arrival":"poisson","jobs":[{"weight":1}]},{"name":"a","rate_fraction":0.5,"arrival":"poisson","jobs":[{"weight":1}]}]}`))
+	f.Add([]byte(`{"schema":1,"seed":9,"duration_s":2,"rate_rps":3,"clients":[{"name":"a","rate_fraction":1,"arrival":"burst","burst_size":1000,"jobs":[{"weight":1,"campaign_seed":0}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// Accepted: every invariant Validate promises must actually hold.
+		if s.Seed == 0 {
+			t.Fatal("accepted a zero seed")
+		}
+		if !finitePositive(s.RateRPS) || !finitePositive(s.DurationS) {
+			t.Fatalf("accepted non-finite rate/duration: %v / %v", s.RateRPS, s.DurationS)
+		}
+		names := map[string]bool{}
+		for _, c := range s.Clients {
+			if names[c.Name] {
+				t.Fatalf("accepted duplicate client name %q", c.Name)
+			}
+			names[c.Name] = true
+			if !finitePositive(c.Fraction) || c.Fraction > 1 {
+				t.Fatalf("accepted rate_fraction %v", c.Fraction)
+			}
+			for _, m := range c.Jobs {
+				if math.IsNaN(m.Weight) || m.Weight <= 0 {
+					t.Fatalf("accepted mix weight %v", m.Weight)
+				}
+				if m.Seed != nil && *m.Seed == 0 {
+					t.Fatal("accepted ambiguous campaign_seed 0")
+				}
+			}
+		}
+		// Round trip: the canonical encoding must re-parse to the same
+		// traffic.
+		enc, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected on re-parse: %v", err)
+		}
+		// Keep fuzz executions fast: only expand modest schedules. The
+		// cap-sized cases are covered by TestValidateRejects and the
+		// generation guard.
+		if s.RateRPS*s.DurationS > 2000 {
+			return
+		}
+		b1 := mustExpandBytes(t, s)
+		b2 := mustExpandBytes(t, s2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("round-tripped spec expanded to different bytes")
+		}
+		// Expansion invariants: sorted, dense indexes, bounded horizon.
+		sched, err := s.Expand()
+		if err != nil {
+			t.Fatalf("second expansion failed: %v", err)
+		}
+		for i, e := range sched.Events {
+			if e.Index != i {
+				t.Fatalf("event %d carries index %d", i, e.Index)
+			}
+			if i > 0 && e.AtMs < sched.Events[i-1].AtMs {
+				t.Fatal("events out of order")
+			}
+			if !names[e.Client] {
+				t.Fatalf("event for unknown client %q", e.Client)
+			}
+			if e.Spec.Seed == 0 {
+				t.Fatal("event carries campaign seed 0")
+			}
+		}
+	})
+}
+
+func mustExpandBytes(t *testing.T, s *Spec) []byte {
+	t.Helper()
+	sched, err := s.Expand()
+	if err != nil {
+		t.Fatalf("accepted spec failed to expand: %v", err)
+	}
+	b, err := EncodeSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"gpufaultsim/internal/jobs"
+)
+
+// ScheduleSchema versions the expanded-schedule JSON shape.
+const ScheduleSchema = 1
+
+// Event is one submission: fire Spec as client Client at model-time
+// AtMs with SLO class Class. seq is the client-local submission number;
+// it stays out of the JSON but makes the sort order total, so two
+// events at the same millisecond from the same client keep their
+// generation order.
+type Event struct {
+	Index  int           `json:"i"`
+	AtMs   int64         `json:"at_ms"`
+	Client string        `json:"client"`
+	Class  jobs.SLOClass `json:"slo_class"`
+	Spec   jobs.Spec     `json:"spec"`
+
+	seq int
+}
+
+// Schedule is the fully expanded submission plan. It is a pure function
+// of the Spec: EncodeSchedule of two expansions of the same spec are
+// byte-identical.
+type Schedule struct {
+	Schema    int     `json:"schema"`
+	Seed      int64   `json:"seed"`
+	DurationS float64 `json:"duration_s"`
+	Events    []Event `json:"events"`
+}
+
+// EncodeSchedule renders the schedule in the canonical indented-JSON
+// form used for golden files and -schedule-out.
+func EncodeSchedule(s *Schedule) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// --- deterministic RNG ----------------------------------------------------
+
+// rng is a splitmix64 stream. The generator is fixed here rather than
+// borrowed from math/rand so the byte-identical-schedule guarantee
+// cannot be broken by a Go release changing math/rand's algorithm.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp returns a unit-rate exponential draw, the inter-arrival kernel of
+// the Poisson processes.
+func (r *rng) exp() float64 { return -math.Log(1 - r.float()) }
+
+// seed63 returns a nonzero positive int64 usable as a campaign seed.
+func (r *rng) seed63() int64 {
+	for {
+		if v := int64(r.next() >> 1); v != 0 {
+			return v
+		}
+	}
+}
+
+// derive folds a label into a parent seed (FNV-1a over the label, mixed
+// into the seed) so each client and mix gets an independent stream:
+// adding a client never perturbs another client's arrivals.
+func derive(seed int64, label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return uint64(seed) ^ h
+}
+
+// --- expansion ------------------------------------------------------------
+
+// Expand generates the submission schedule from a validated spec.
+func (s *Spec) Expand() (*Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for ci := range s.Clients {
+		c := &s.Clients[ci]
+		class, _ := jobs.ParseClass(c.Class) // validated above
+		rate := s.RateRPS * c.Fraction
+		arrivals := newRNG(derive(s.Seed, "arrivals/"+c.Name))
+		mixes := newRNG(derive(s.Seed, "mix/"+c.Name))
+
+		// Derived campaign-seed pools, one per mix entry, fixed before
+		// any event is drawn so pool contents don't depend on arrival
+		// counts.
+		pools := make([][]int64, len(c.Jobs))
+		for mi := range c.Jobs {
+			n := c.Jobs[mi].SeedPool
+			if n == 0 {
+				n = 1
+			}
+			pr := newRNG(derive(s.Seed, fmt.Sprintf("seeds/%s/%d", c.Name, mi)))
+			pool := make([]int64, n)
+			for k := range pool {
+				pool[k] = pr.seed63()
+			}
+			pools[mi] = pool
+		}
+		sumW := 0.0
+		for mi := range c.Jobs {
+			sumW += c.Jobs[mi].Weight
+		}
+
+		emit := func(atMs int64, seq int) Event {
+			// Weighted mix pick, then a campaign seed from that mix's
+			// pool (ignored when the mix pins campaign_seed).
+			w := mixes.float() * sumW
+			mi := 0
+			for ; mi < len(c.Jobs)-1; mi++ {
+				if w < c.Jobs[mi].Weight {
+					break
+				}
+				w -= c.Jobs[mi].Weight
+			}
+			m := &c.Jobs[mi]
+			seed := pools[mi][int(mixes.next()%uint64(len(pools[mi])))]
+			return Event{
+				AtMs: atMs, Client: c.Name, Class: class,
+				Spec: m.jobSpec(seed), seq: seq,
+			}
+		}
+
+		seq := 0
+		switch c.Arrival {
+		case ArrivalPoisson:
+			t := arrivals.exp() / rate
+			for t <= s.DurationS {
+				events = append(events, emit(int64(math.Round(t*1000)), seq))
+				seq++
+				t += arrivals.exp() / rate
+			}
+		case ArrivalUniform:
+			step := 1 / rate
+			for t := step; t <= s.DurationS; t += step {
+				events = append(events, emit(int64(math.Round(t*1000)), seq))
+				seq++
+			}
+		case ArrivalBurst:
+			// Bursts arrive as a Poisson process at rate/BurstSize, each
+			// delivering BurstSize back-to-back submissions, so the
+			// long-run rate matches the client's share while stressing
+			// the admission queue with clustered arrivals.
+			burstRate := rate / float64(c.BurstSize)
+			t := arrivals.exp() / burstRate
+			for t <= s.DurationS {
+				atMs := int64(math.Round(t * 1000))
+				for j := 0; j < c.BurstSize; j++ {
+					events = append(events, emit(atMs, seq))
+					seq++
+				}
+				t += arrivals.exp() / burstRate
+			}
+		}
+		// The event cap in Validate bounds the expectation; Poisson
+		// overshoot is bounded here so a pathological draw can't balloon
+		// the schedule.
+		if len(events) > 2*MaxEvents {
+			return nil, fmt.Errorf("workload: expansion exceeded %d events", 2*MaxEvents)
+		}
+	}
+
+	// Global order: time, then client name, then client-local sequence —
+	// a total order, so the sort (and the bytes) are deterministic.
+	sort.Slice(events, func(i, j int) bool {
+		a, b := &events[i], &events[j]
+		if a.AtMs != b.AtMs {
+			return a.AtMs < b.AtMs
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.seq < b.seq
+	})
+	for i := range events {
+		events[i].Index = i
+	}
+	return &Schedule{
+		Schema: ScheduleSchema, Seed: s.Seed, DurationS: s.DurationS,
+		Events: events,
+	}, nil
+}

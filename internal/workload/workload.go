@@ -1,0 +1,248 @@
+// Package workload is the deterministic traffic-spec model behind
+// cmd/loadgen: a JSON spec describes multi-tenant traffic against the
+// faultsimd daemon — several named clients, each with a share of the
+// aggregate arrival rate, a seeded arrival process (Poisson, bursty, or
+// uniform), an SLO class, and a weighted mix of campaign job shapes —
+// and expands into a Schedule: the exact, totally ordered list of
+// submissions to fire. The expansion is pure: the same spec (same seed)
+// yields a byte-identical schedule on every machine, so a load test is
+// as reproducible as the campaigns it drives, and two loadgen runs with
+// one seed submit exactly the same jobs at exactly the same offsets.
+package workload
+
+//vetsim:deterministic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gpufaultsim/internal/jobs"
+)
+
+// SpecSchema versions the traffic-spec JSON shape.
+const SpecSchema = 1
+
+// Limits keep hostile or fat-fingered specs from expanding into
+// unbounded schedules: the product of rate, duration and burst size is
+// capped at MaxEvents before any generation happens.
+const (
+	MaxEvents   = 100000
+	MaxRate     = 10000 // arrivals/second, aggregate
+	MaxDuration = 3600  // model seconds
+	MaxBurst    = 1000  // arrivals per burst
+	MaxSeedPool = 64    // distinct derived campaign seeds per job mix
+)
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalBurst   = "burst"
+	ArrivalUniform = "uniform"
+)
+
+// Spec is one load-test description.
+type Spec struct {
+	// Schema must equal SpecSchema.
+	Schema int `json:"schema"`
+	// Seed drives every random draw in the expansion. It must be
+	// explicit and nonzero: zero is JSON's missing-field value, so a
+	// zero seed cannot be distinguished from a forgotten one, and a
+	// "reproducible" run whose seed was an accident is worse than an
+	// error.
+	Seed int64 `json:"seed"`
+	// DurationS is the model-time horizon in seconds; replay maps model
+	// time to wall time through cmd/loadgen's -scale.
+	DurationS float64 `json:"duration_s"`
+	// RateRPS is the aggregate arrival rate across all clients.
+	RateRPS float64 `json:"rate_rps"`
+	// Clients partition the aggregate rate. Fractions must sum to 1.
+	Clients []Client `json:"clients"`
+}
+
+// Client is one traffic source.
+type Client struct {
+	// Name labels the client in schedules and reports. Unique per spec.
+	Name string `json:"name"`
+	// Fraction is this client's share of RateRPS, in (0,1].
+	Fraction float64 `json:"rate_fraction"`
+	// Arrival selects the arrival process: poisson (exponential
+	// inter-arrivals), burst (Poisson bursts of BurstSize back-to-back
+	// submissions), or uniform (fixed spacing).
+	Arrival string `json:"arrival"`
+	// BurstSize is the arrivals per burst; required iff Arrival is
+	// burst.
+	BurstSize int `json:"burst_size,omitempty"`
+	// Class is the SLO class every submission carries ("" = batch).
+	Class string `json:"slo_class,omitempty"`
+	// Jobs is the weighted mix of campaign shapes this client submits.
+	Jobs []JobMix `json:"jobs"`
+}
+
+// JobMix is one campaign shape in a client's mix.
+type JobMix struct {
+	// Weight is the mix proportion (> 0; weights need not sum to 1).
+	Weight float64 `json:"weight"`
+	// Seed, when set, pins every submission of this shape to one exact
+	// campaign seed — the way to make load traffic include a job whose
+	// artifacts can be compared byte-for-byte against an unloaded run.
+	// When nil, campaign seeds are derived deterministically from the
+	// spec seed, cycling through a pool of SeedPool distinct values.
+	Seed *int64 `json:"campaign_seed,omitempty"`
+	// SeedPool is how many distinct derived campaign seeds this shape
+	// cycles through (default 1: all submissions share one derived
+	// seed, so the daemon's content-addressed cache absorbs repeats).
+	SeedPool int `json:"seed_pool,omitempty"`
+
+	MaxPatterns int      `json:"max_patterns,omitempty"`
+	Injections  int      `json:"injections,omitempty"`
+	Collapse    bool     `json:"collapse,omitempty"`
+	Engine      string   `json:"engine,omitempty"`
+	Apps        []string `json:"apps,omitempty"`
+	Profiling   []string `json:"profiling,omitempty"`
+}
+
+// Parse decodes and validates a traffic spec. Unknown fields are
+// rejected, so a typoed knob fails loudly instead of silently loading
+// the wrong traffic.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	// Trailing garbage after the spec object is a malformed file.
+	if dec.More() {
+		return nil, fmt.Errorf("workload: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Encode renders the spec in the canonical indented-JSON file form.
+func Encode(s *Spec) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// finitePositive rejects NaN, infinities, zero and negatives in one
+// breath — every numeric knob in the spec wants exactly this.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// Validate checks the spec's invariants. Every rejection names the
+// offending field; the fuzzer holds Parse to "accepted implies sane".
+func (s *Spec) Validate() error {
+	if s.Schema != SpecSchema {
+		return fmt.Errorf("workload: schema %d, want %d", s.Schema, SpecSchema)
+	}
+	if s.Seed == 0 {
+		return fmt.Errorf("workload: seed must be explicit and nonzero (0 is indistinguishable from a missing field)")
+	}
+	if !finitePositive(s.DurationS) || s.DurationS > MaxDuration {
+		return fmt.Errorf("workload: duration_s %v out of (0,%d]", s.DurationS, MaxDuration)
+	}
+	if !finitePositive(s.RateRPS) || s.RateRPS > MaxRate {
+		return fmt.Errorf("workload: rate_rps %v out of (0,%d]", s.RateRPS, MaxRate)
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("workload: no clients")
+	}
+	names := make(map[string]bool, len(s.Clients))
+	fracSum := 0.0
+	maxBurst := 1
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		if c.Name == "" {
+			return fmt.Errorf("workload: client %d: empty name", i)
+		}
+		for _, r := range c.Name {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+				return fmt.Errorf("workload: client %q: names are [A-Za-z0-9_-]", c.Name)
+			}
+		}
+		if names[c.Name] {
+			return fmt.Errorf("workload: duplicate client name %q", c.Name)
+		}
+		names[c.Name] = true
+		if !finitePositive(c.Fraction) || c.Fraction > 1 {
+			return fmt.Errorf("workload: client %q: rate_fraction %v out of (0,1]", c.Name, c.Fraction)
+		}
+		fracSum += c.Fraction
+		switch c.Arrival {
+		case ArrivalPoisson, ArrivalUniform:
+			if c.BurstSize != 0 {
+				return fmt.Errorf("workload: client %q: burst_size is only valid with arrival=burst", c.Name)
+			}
+		case ArrivalBurst:
+			if c.BurstSize < 1 || c.BurstSize > MaxBurst {
+				return fmt.Errorf("workload: client %q: burst_size %d out of [1,%d]", c.Name, c.BurstSize, MaxBurst)
+			}
+			if c.BurstSize > maxBurst {
+				maxBurst = c.BurstSize
+			}
+		default:
+			return fmt.Errorf("workload: client %q: unknown arrival %q (want poisson, burst or uniform)", c.Name, c.Arrival)
+		}
+		if _, err := jobs.ParseClass(c.Class); err != nil {
+			return fmt.Errorf("workload: client %q: %w", c.Name, err)
+		}
+		if len(c.Jobs) == 0 {
+			return fmt.Errorf("workload: client %q: empty job mix", c.Name)
+		}
+		for mi := range c.Jobs {
+			m := &c.Jobs[mi]
+			if !finitePositive(m.Weight) {
+				return fmt.Errorf("workload: client %q mix %d: weight %v must be finite and positive", c.Name, mi, m.Weight)
+			}
+			if m.Seed != nil && *m.Seed == 0 {
+				return fmt.Errorf("workload: client %q mix %d: campaign_seed 0 is ambiguous; omit it to derive seeds", c.Name, mi)
+			}
+			if m.Seed != nil && m.SeedPool != 0 {
+				return fmt.Errorf("workload: client %q mix %d: campaign_seed and seed_pool are mutually exclusive", c.Name, mi)
+			}
+			if m.SeedPool < 0 || m.SeedPool > MaxSeedPool {
+				return fmt.Errorf("workload: client %q mix %d: seed_pool %d out of [0,%d]", c.Name, mi, m.SeedPool, MaxSeedPool)
+			}
+			// The campaign spec itself must be submittable: unknown
+			// workloads or engines fail here, not mid-replay.
+			if err := m.jobSpec(1).Validate(); err != nil {
+				return fmt.Errorf("workload: client %q mix %d: %w", c.Name, mi, err)
+			}
+		}
+	}
+	if math.Abs(fracSum-1) > 1e-6 {
+		return fmt.Errorf("workload: client rate_fractions sum to %v, want 1", fracSum)
+	}
+	// Bound the expansion before generating anything: expected arrivals
+	// times the worst-case burst multiplier must fit in MaxEvents.
+	if s.RateRPS*s.DurationS > MaxEvents {
+		return fmt.Errorf("workload: rate_rps*duration_s = %v events exceeds the %d-event cap", s.RateRPS*s.DurationS, MaxEvents)
+	}
+	return nil
+}
+
+// jobSpec builds the campaign spec this mix submits under the given
+// campaign seed.
+func (m *JobMix) jobSpec(seed int64) jobs.Spec {
+	if m.Seed != nil {
+		seed = *m.Seed
+	}
+	return jobs.Spec{
+		Seed:        seed,
+		MaxPatterns: m.MaxPatterns,
+		Injections:  m.Injections,
+		Collapse:    m.Collapse,
+		Engine:      m.Engine,
+		Apps:        m.Apps,
+		Profiling:   m.Profiling,
+	}
+}

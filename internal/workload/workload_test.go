@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden schedule files")
+
+func readSpec(t *testing.T) (*Spec, []byte) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "basic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+// TestGoldenSchedule pins the exact expansion of testdata/basic.json.
+// If this golden moves, every committed load test's traffic changed;
+// regenerate with -update only when the expansion rules intentionally
+// change.
+func TestGoldenSchedule(t *testing.T) {
+	s, _ := readSpec(t)
+	sched, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EncodeSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "basic_schedule.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("schedule expansion diverged from golden (%d vs %d bytes); run with -update if intentional", len(got), len(want))
+	}
+}
+
+// TestSpecRoundTrip: Encode∘Parse is the identity on schedules — a spec
+// that survives a save/load cycle expands to byte-identical traffic.
+func TestSpecRoundTrip(t *testing.T) {
+	s, _ := readSpec(t)
+	enc, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("canonical encoding failed to re-parse: %v", err)
+	}
+	b1 := mustSchedule(t, s)
+	b2 := mustSchedule(t, s2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("schedule changed across an encode/parse round trip")
+	}
+	// And the canonical form is a fixed point of encoding.
+	enc2, err := Encode(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("Encode is not idempotent")
+	}
+}
+
+func mustSchedule(t *testing.T, s *Spec) []byte {
+	t.Helper()
+	sched, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSameSeedByteIdentical is the tentpole reproducibility claim: two
+// expansions of one spec are byte-identical, and changing only the seed
+// changes the traffic.
+func TestSameSeedByteIdentical(t *testing.T) {
+	s, _ := readSpec(t)
+	if !bytes.Equal(mustSchedule(t, s), mustSchedule(t, s)) {
+		t.Fatal("same spec expanded to different bytes")
+	}
+	s2, _ := readSpec(t)
+	s2.Seed = 43
+	if bytes.Equal(mustSchedule(t, s), mustSchedule(t, s2)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleShape checks the structural invariants replay depends on:
+// events sorted by time with dense indexes, client-local FIFO preserved,
+// classes carried through, and pinned campaign seeds honored while
+// derived seeds stay within their pool.
+func TestScheduleShape(t *testing.T) {
+	s, _ := readSpec(t)
+	sched, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) == 0 {
+		t.Fatal("empty schedule from a 40-arrival spec")
+	}
+	perClient := map[string]int{}
+	pinnedSeeds := map[int64]bool{}
+	derivedSeeds := map[int64]bool{}
+	for i, e := range sched.Events {
+		if e.Index != i {
+			t.Fatalf("event %d has index %d", i, e.Index)
+		}
+		if i > 0 && e.AtMs < sched.Events[i-1].AtMs {
+			t.Fatalf("events unsorted at %d: %d < %d", i, e.AtMs, sched.Events[i-1].AtMs)
+		}
+		if e.AtMs < 0 || float64(e.AtMs) > s.DurationS*1000+1 {
+			t.Fatalf("event %d at %dms outside horizon", i, e.AtMs)
+		}
+		perClient[e.Client]++
+		if e.Client == "sweep" {
+			if e.Spec.MaxPatterns == 16 {
+				pinnedSeeds[e.Spec.Seed] = true
+			} else {
+				derivedSeeds[e.Spec.Seed] = true
+			}
+		}
+		switch e.Client {
+		case "dash":
+			if e.Class != "interactive" {
+				t.Fatalf("dash event has class %q", e.Class)
+			}
+		case "archive":
+			if e.Class != "background" {
+				t.Fatalf("archive event has class %q", e.Class)
+			}
+		}
+	}
+	for _, name := range []string{"dash", "sweep", "archive"} {
+		if perClient[name] == 0 {
+			t.Fatalf("client %s generated no events: %v", name, perClient)
+		}
+	}
+	// The uniform client fires exactly duration*rate*fraction times.
+	if got, want := perClient["sweep"], int(s.DurationS*s.RateRPS*0.3); got != want {
+		t.Fatalf("uniform client fired %d times, want %d", got, want)
+	}
+	// archive is bursty: its count is a multiple of burst_size.
+	if perClient["archive"]%5 != 0 {
+		t.Fatalf("burst client count %d not a multiple of burst_size 5", perClient["archive"])
+	}
+	if len(pinnedSeeds) != 1 || !pinnedSeeds[7] {
+		t.Fatalf("pinned campaign_seed not honored: %v", pinnedSeeds)
+	}
+	if len(derivedSeeds) == 0 || len(derivedSeeds) > 4 {
+		t.Fatalf("derived seeds %v, want 1..4 distinct (seed_pool 4)", derivedSeeds)
+	}
+	for s := range derivedSeeds {
+		if s == 0 {
+			t.Fatal("derived campaign seed 0")
+		}
+	}
+}
+
+// TestValidateRejects is the table of malformed specs Validate must
+// refuse — the same classes of garbage the fuzzer searches for.
+func TestValidateRejects(t *testing.T) {
+	nan := math.NaN()
+	base := func() *Spec {
+		s, _ := readSpec(t)
+		return s
+	}
+	cases := map[string]func(*Spec){
+		"zero seed":            func(s *Spec) { s.Seed = 0 },
+		"wrong schema":         func(s *Spec) { s.Schema = 2 },
+		"nan duration":         func(s *Spec) { s.DurationS = nan },
+		"negative duration":    func(s *Spec) { s.DurationS = -1 },
+		"inf rate":             func(s *Spec) { s.RateRPS = math.Inf(1) },
+		"nan rate":             func(s *Spec) { s.RateRPS = nan },
+		"zero rate":            func(s *Spec) { s.RateRPS = 0 },
+		"excess rate":          func(s *Spec) { s.RateRPS = MaxRate + 1 },
+		"event explosion":      func(s *Spec) { s.RateRPS = 100; s.DurationS = 3600 },
+		"no clients":           func(s *Spec) { s.Clients = nil },
+		"duplicate client":     func(s *Spec) { s.Clients[1].Name = s.Clients[0].Name },
+		"empty client name":    func(s *Spec) { s.Clients[0].Name = "" },
+		"bad client name":      func(s *Spec) { s.Clients[0].Name = "a b" },
+		"nan fraction":         func(s *Spec) { s.Clients[0].Fraction = nan },
+		"negative fraction":    func(s *Spec) { s.Clients[0].Fraction = -0.5 },
+		"fractions not 1":      func(s *Spec) { s.Clients[0].Fraction = 0.9 },
+		"unknown arrival":      func(s *Spec) { s.Clients[0].Arrival = "flood" },
+		"burst without size":   func(s *Spec) { s.Clients[2].BurstSize = 0 },
+		"burst size too big":   func(s *Spec) { s.Clients[2].BurstSize = MaxBurst + 1 },
+		"stray burst size":     func(s *Spec) { s.Clients[0].BurstSize = 3 },
+		"unknown class":        func(s *Spec) { s.Clients[0].Class = "platinum" },
+		"empty mix":            func(s *Spec) { s.Clients[0].Jobs = nil },
+		"nan weight":           func(s *Spec) { s.Clients[0].Jobs[0].Weight = nan },
+		"zero weight":          func(s *Spec) { s.Clients[0].Jobs[0].Weight = 0 },
+		"zero campaign seed":   func(s *Spec) { z := int64(0); s.Clients[0].Jobs[0].Seed = &z },
+		"seed and pool":        func(s *Spec) { v := int64(9); s.Clients[0].Jobs[0].Seed = &v; s.Clients[0].Jobs[0].SeedPool = 2 },
+		"oversized seed pool":  func(s *Spec) { s.Clients[0].Jobs[0].SeedPool = MaxSeedPool + 1 },
+		"unknown app":          func(s *Spec) { s.Clients[0].Jobs[0].Apps = []string{"doom"} },
+		"negative maxpatterns": func(s *Spec) { s.Clients[0].Jobs[0].MaxPatterns = -1 },
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestParseRejectsMalformedJSON covers the decoder-level rejections that
+// never reach Validate.
+func TestParseRejectsMalformedJSON(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":         "",
+		"not json":      "schema: 1",
+		"unknown field": `{"schema":1,"seed":1,"duration_s":1,"rate_rps":1,"rate_burst":9,"clients":[]}`,
+		"trailing data": `{"schema":1,"seed":1,"duration_s":1,"rate_rps":1,"clients":[]} {"more":true}`,
+	} {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDerivedStreamsIndependent: adding a client must not perturb the
+// arrivals of existing clients — each client draws from its own stream.
+func TestDerivedStreamsIndependent(t *testing.T) {
+	s, _ := readSpec(t)
+	// Shrink dash's share and hand the remainder to a new client; sweep
+	// and archive keep their fractions, so their event streams must be
+	// untouched.
+	s.Clients[0].Fraction = 0.25
+	extra := s.Clients[0]
+	extra.Name = "extra"
+	extra.Fraction = 0.25
+	s.Clients = append(s.Clients, extra)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := readSpec(t)
+	sched1, err := orig.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(sch *Schedule, client string) []Event {
+		var out []Event
+		for _, e := range sch.Events {
+			if e.Client == client {
+				e.Index = 0 // global index legitimately shifts
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for _, client := range []string{"sweep", "archive"} {
+		a, b := pick(sched1, client), pick(sched2, client)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d events after adding an unrelated client", client, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].AtMs != b[i].AtMs || a[i].Spec.Seed != b[i].Spec.Seed {
+				t.Fatalf("%s event %d perturbed by unrelated client", client, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+#!/bin/sh
+# loadtest.sh — load generator + SLO gate against a live faultsimd.
+#
+# Boots a daemon with a small admission limit, replays the committed
+# traffic spec (specs/loadtest.json) at full pressure through
+# cmd/loadgen, and checks the whole admission-control story end to end:
+#
+#   1. Schedule reproducibility: the spec expands to byte-identical
+#      schedules on two independent runs (no daemon involved).
+#   2. Admission accounting: every fired event is exactly admitted or
+#      rejected (no errors), the daemon's jobs_rejected_total counter
+#      agrees with the client's rejection count, and every admitted job
+#      runs to completion.
+#   3. Artifact integrity under load: a campaign submitted to the loaded
+#      daemon produces artifacts byte-identical to the same campaign on
+#      a fresh, unloaded daemon.
+#   4. SLO gate: submission p99 must stay under SLO_P99 seconds. The
+#      gate only arms on hosts with >= 2 CPUs — tail latency on a
+#      single-core runner measures the scheduler, not the daemon — but
+#      BENCH_loadgen.json is always written, with the CPU count and the
+#      armed flag recorded so a skipped gate can't pass as a measured
+#      one.
+#
+#   SLO_P99=2.5 MAX_PENDING=4 sh scripts/loadtest.sh
+#
+# Writes BENCH_loadgen.json (p50/p99, throughput, rejection rate).
+# Invoked by `make loadtest`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SLO_P99="${SLO_P99:-2.5}"
+MAX_PENDING="${MAX_PENDING:-4}"
+OUT="${LOADGEN_OUT:-BENCH_loadgen.json}"
+SPEC_FILE="specs/loadtest.json"
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+ADDR="127.0.0.1:18095"
+BASE="http://$ADDR"
+REFADDR="127.0.0.1:18096"
+REFBASE="http://$REFADDR"
+DATA="$(mktemp -d)"
+PID=""; REFPID=""
+trap 'kill "$PID" "$REFPID" 2>/dev/null || true; rm -rf "$DATA"' EXIT INT TERM
+
+fetch() { # fetch URL [curl-extra-args...]
+	url="$1"; shift
+	if command -v curl >/dev/null 2>&1; then
+		curl -sSf "$@" "$url"
+	else
+		wget -qO- "$url"
+	fi
+}
+
+json_num() { # json_num KEY < report — first numeric value of "KEY"
+	sed -n "s/.*\"$1\": *\([0-9.eE+-]*\).*/\1/p" | head -n1
+}
+
+wait_healthy() { # wait_healthy BASE
+	for i in $(seq 1 50); do
+		if fetch "$1/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "daemon at $1 never became healthy" >&2
+	return 1
+}
+
+echo "==> build faultsimd + loadgen"
+go build -o "$DATA/faultsimd" ./cmd/faultsimd
+go build -o "$DATA/loadgen" ./cmd/loadgen
+
+echo "==> schedule reproducibility: same spec, byte-identical expansion"
+"$DATA/loadgen" -spec "$SPEC_FILE" -addr "" -schedule-out "$DATA/sched1.json"
+"$DATA/loadgen" -spec "$SPEC_FILE" -addr "" -schedule-out "$DATA/sched2.json"
+cmp -s "$DATA/sched1.json" "$DATA/sched2.json" || {
+	echo "loadtest: two expansions of $SPEC_FILE differ" >&2; exit 1
+}
+EVENTS=$(grep -c '"at_ms"' "$DATA/sched1.json")
+echo "    $EVENTS events, stable bytes"
+
+echo "==> start daemon on $ADDR with -max-pending $MAX_PENDING"
+"$DATA/faultsimd" -addr "$ADDR" -data "$DATA/state" -max-pending "$MAX_PENDING" -grace 5s &
+PID=$!
+wait_healthy "$BASE"
+
+echo "==> replay at full pressure (-scale 0 -wait)"
+"$DATA/loadgen" -spec "$SPEC_FILE" -addr "$BASE" -scale 0 -wait \
+	-timeout 180s -out "$DATA/report.json"
+ADMITTED=$(json_num admitted < "$DATA/report.json")
+REJECTED=$(json_num rejected < "$DATA/report.json")
+ERRORS=$(json_num errors < "$DATA/report.json")
+COMPLETED=$(json_num completed < "$DATA/report.json")
+FAILED=$(json_num failed < "$DATA/report.json")
+P50=$(json_num latency_p50_s < "$DATA/report.json")
+P99=$(json_num latency_p99_s < "$DATA/report.json")
+RATE=$(json_num rejection_rate < "$DATA/report.json")
+RPS=$(json_num throughput_rps < "$DATA/report.json")
+[ -z "$COMPLETED" ] && COMPLETED=0
+[ -z "$FAILED" ] && FAILED=0
+echo "    admitted=$ADMITTED rejected=$REJECTED errors=$ERRORS completed=$COMPLETED p50=${P50}s p99=${P99}s"
+
+echo "==> admission accounting"
+[ "$ERRORS" = "0" ] || { echo "loadtest: $ERRORS transport/protocol errors" >&2; exit 1; }
+[ $((ADMITTED + REJECTED)) -eq "$EVENTS" ] || {
+	echo "loadtest: admitted+rejected = $((ADMITTED + REJECTED)), fired $EVENTS" >&2; exit 1
+}
+[ "$ADMITTED" -ge 1 ] || { echo "loadtest: nothing was admitted" >&2; exit 1; }
+[ "$REJECTED" -ge 1 ] || {
+	echo "loadtest: no rejections — $EVENTS simultaneous events against max-pending $MAX_PENDING must overflow" >&2; exit 1
+}
+[ "$COMPLETED" = "$ADMITTED" ] && [ "$FAILED" = "0" ] || {
+	echo "loadtest: admitted $ADMITTED but completed $COMPLETED / failed $FAILED" >&2; exit 1
+}
+# The daemon counted the same rejections the client saw.
+DAEMON_REJ=$(fetch "$BASE/metrics?format=prometheus" |
+	awk '$1 == "jobs_rejected_total{reason=\"queue_full\"}" {print $2}')
+[ "$DAEMON_REJ" = "$REJECTED" ] || {
+	echo "loadtest: daemon jobs_rejected_total{queue_full}=$DAEMON_REJ, client saw $REJECTED" >&2; exit 1
+}
+# Submission latency surfaced server-side too.
+fetch "$BASE/metrics?format=prometheus" | grep -q '^http_submit_seconds_count ' || {
+	echo "loadtest: daemon is missing the http_submit_seconds histogram" >&2; exit 1
+}
+
+echo "==> artifact byte-identity: loaded daemon vs fresh unloaded daemon"
+SPEC='{"seed":7,"max_patterns":16,"injections":2,"apps":["vectoradd"],"profiling":["vectoradd","gemm"]}'
+submit_and_fetch() { # submit_and_fetch BASE OUTDIR — retries 429s
+	base="$1"; outdir="$2"
+	id=""
+	for i in $(seq 1 100); do
+		resp=$(fetch "$base/jobs" -X POST -d "$SPEC" 2>/dev/null) || { sleep 0.2; continue; }
+		id=$(printf '%s' "$resp" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+		[ -n "$id" ] && break
+		sleep 0.2
+	done
+	[ -n "$id" ] || { echo "loadtest: submission to $base never admitted" >&2; return 1; }
+	for i in $(seq 1 300); do
+		state=$(fetch "$base/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
+		case "$state" in
+		done) break ;;
+		failed) echo "loadtest: reference job failed on $base" >&2; return 1 ;;
+		esac
+		[ "$i" -eq 300 ] && { echo "loadtest: job on $base never finished" >&2; return 1; }
+		sleep 0.2
+	done
+	mkdir -p "$outdir"
+	for a in software.json gate_wsc.json gate_fetch.json gate_decoder.json; do
+		fetch "$base/jobs/$id/artifacts/$a" > "$outdir/$a"
+		[ -s "$outdir/$a" ] || { echo "loadtest: artifact $a empty from $base" >&2; return 1; }
+	done
+}
+submit_and_fetch "$BASE" "$DATA/loaded"
+"$DATA/faultsimd" -addr "$REFADDR" -data "$DATA/refstate" -grace 5s &
+REFPID=$!
+wait_healthy "$REFBASE"
+submit_and_fetch "$REFBASE" "$DATA/unloaded"
+for a in software.json gate_wsc.json gate_fetch.json gate_decoder.json; do
+	cmp -s "$DATA/loaded/$a" "$DATA/unloaded/$a" || {
+		echo "loadtest: artifact $a differs between loaded and unloaded daemons" >&2; exit 1
+	}
+done
+echo "    4 artifacts byte-identical"
+
+# SLO gate: only arm where tail latency is measurable. The skip must be
+# loud — a 1-CPU runner passing silently would look like a measured
+# result.
+gate=0
+[ "$CPUS" -ge 2 ] && gate=1
+if [ "$gate" -eq 0 ]; then
+	echo "loadtest: SKIPPING SLO_P99 gate: host has $CPUS CPU(s), need >= 2 for meaningful tail latency; $OUT is advisory"
+fi
+
+awk -v events="$EVENTS" -v adm="$ADMITTED" -v rej="$REJECTED" \
+	-v rate="$RATE" -v rps="$RPS" -v p50="$P50" -v p99="$P99" \
+	-v maxp="$MAX_PENDING" -v slo="$SLO_P99" -v cpus="$CPUS" -v gate="$gate" '
+BEGIN {
+	printf "{\n"                                            > "'"$OUT"'"
+	printf "  \"benchmark\": \"loadgen burst vs faultsimd admission control\",\n" > "'"$OUT"'"
+	printf "  \"spec\": \"specs/loadtest.json\",\n"         > "'"$OUT"'"
+	printf "  \"cpus\": %d,\n", cpus                        > "'"$OUT"'"
+	printf "  \"max_pending\": %d,\n", maxp                 > "'"$OUT"'"
+	printf "  \"events\": %d,\n", events                    > "'"$OUT"'"
+	printf "  \"admitted\": %d,\n", adm                     > "'"$OUT"'"
+	printf "  \"rejected\": %d,\n", rej                     > "'"$OUT"'"
+	printf "  \"rejection_rate\": %.4f,\n", rate            > "'"$OUT"'"
+	printf "  \"throughput_rps\": %.3f,\n", rps             > "'"$OUT"'"
+	printf "  \"latency_p50_s\": %.6f,\n", p50              > "'"$OUT"'"
+	printf "  \"latency_p99_s\": %.6f,\n", p99              > "'"$OUT"'"
+	printf "  \"slo_p99_s\": %.3f,\n", slo                  > "'"$OUT"'"
+	printf "  \"gate_armed\": %s\n", gate ? "true" : "false" > "'"$OUT"'"
+	printf "}\n"                                            > "'"$OUT"'"
+	printf "submission p99: %.4fs (SLO: <= %.2fs, %s)\n", p99, slo, \
+		gate ? "armed" : "SKIPPED: " cpus " CPU(s) < 2"
+	if (gate && p99 > slo) {
+		printf "loadtest: SLO REGRESSION: p99 %.4fs > %.2fs\n", p99, slo > "/dev/stderr"
+		exit 1
+	}
+}' || { echo "loadtest: SLO gate failed" >&2; exit 1; }
+echo "wrote $OUT"
+
+echo "==> graceful shutdown"
+kill -TERM "$PID" "$REFPID" 2>/dev/null || true
+for i in $(seq 1 100); do
+	if ! kill -0 "$PID" 2>/dev/null && ! kill -0 "$REFPID" 2>/dev/null; then break; fi
+	[ "$i" -eq 100 ] && { echo "daemon ignored SIGTERM" >&2; exit 1; }
+	sleep 0.1
+done
+PID=""; REFPID=""
+
+echo "loadtest: OK"

@@ -10,6 +10,12 @@
 # still completes with artifacts byte-identical to part 1's single-node
 # goldens (lease expiry reassigns the dead worker's chunks).
 #
+# Part 3 fires a loadgen burst (specs/loadtest.json at -scale 0) at the
+# surviving cluster: admission control must reject the overflow with
+# accounting that matches the coordinator's own rejection counter, every
+# admitted job must complete, and a campaign submitted under that load
+# must still produce artifacts byte-identical to part 1's goldens.
+#
 # Exits non-zero if any step fails. Invoked by `make serve-smoke`.
 set -eu
 
@@ -30,8 +36,9 @@ fetch() { # fetch URL [curl-extra-args...]
 	fi
 }
 
-echo "==> build faultsimd"
+echo "==> build faultsimd + loadgen"
 go build -o "$DATA/faultsimd" ./cmd/faultsimd
+go build -o "$DATA/loadgen" ./cmd/loadgen
 
 echo "==> start daemon on $ADDR"
 "$DATA/faultsimd" -addr "$ADDR" -data "$DATA/state" -grace 5s &
@@ -117,9 +124,9 @@ CBASE="http://$CADDR"
 W1ADDR="127.0.0.1:18093"
 W2ADDR="127.0.0.1:18094"
 
-echo "==> start coordinator on $CADDR + 2 workers (lease TTL 2s)"
+echo "==> start coordinator on $CADDR + 2 workers (lease TTL 2s, max-pending 6)"
 "$DATA/faultsimd" -role coordinator -addr "$CADDR" -data "$DATA/coord" \
-	-lease-ttl 2s -grace 5s &
+	-lease-ttl 2s -grace 5s -max-pending 6 &
 CPID=$!
 "$DATA/faultsimd" -role worker -join "$CBASE" -addr "$W1ADDR" \
 	-data "$DATA/w1" -worker-name smoke-w1 &
@@ -171,6 +178,55 @@ WORKERS=$(fetch "$CBASE/cluster/workers")
 printf '%s' "$WORKERS" | grep -q '"smoke-w2"' || {
 	echo "surviving worker missing from /cluster/workers: $WORKERS" >&2; exit 1
 }
+
+# --- Part 3: loadgen burst against the cluster -----------------------------
+
+echo "==> loadgen burst at the coordinator (-scale 0 against max-pending 6)"
+"$DATA/loadgen" -spec specs/loadtest.json -addr "$CBASE" -scale 0 -wait \
+	-timeout 180s -out "$DATA/load-report.json"
+num() { sed -n "s/.*\"$1\": *\([0-9.eE+-]*\).*/\1/p" "$DATA/load-report.json" | head -n1; }
+L_EVENTS=$(num events); L_ADM=$(num admitted); L_REJ=$(num rejected)
+L_ERR=$(num errors); L_DONE=$(num completed); L_FAIL=$(num failed)
+[ -z "$L_DONE" ] && L_DONE=0
+[ -z "$L_FAIL" ] && L_FAIL=0
+echo "    events=$L_EVENTS admitted=$L_ADM rejected=$L_REJ errors=$L_ERR completed=$L_DONE"
+[ "$L_ERR" = "0" ] || { echo "loadgen burst saw $L_ERR errors" >&2; exit 1; }
+[ $((L_ADM + L_REJ)) -eq "$L_EVENTS" ] || {
+	echo "burst accounting broken: $L_ADM + $L_REJ != $L_EVENTS" >&2; exit 1
+}
+[ "$L_ADM" -ge 1 ] && [ "$L_REJ" -ge 1 ] || {
+	echo "burst should both admit and reject against max-pending 6 (admitted=$L_ADM rejected=$L_REJ)" >&2; exit 1
+}
+[ "$L_DONE" = "$L_ADM" ] && [ "$L_FAIL" = "0" ] || {
+	echo "admitted $L_ADM but completed $L_DONE / failed $L_FAIL" >&2; exit 1
+}
+
+echo "==> coordinator's rejection counter matches the client's count"
+COORD_REJ=$(fetch "$CBASE/metrics?format=prometheus" |
+	awk '$1 == "jobs_rejected_total{reason=\"queue_full\"}" {print $2}')
+[ "$COORD_REJ" = "$L_REJ" ] || {
+	echo "coordinator counted $COORD_REJ queue-full rejections, client saw $L_REJ" >&2; exit 1
+}
+
+echo "==> artifacts under load must still match part 1's goldens"
+JOB=$(fetch "$CBASE/jobs" -X POST -d "$SPEC")
+LID=$(printf '%s' "$JOB" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$LID" ] || { echo "post-burst submission rejected: $JOB" >&2; exit 1; }
+for i in $(seq 1 300); do
+	STATE=$(fetch "$CBASE/jobs/$LID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
+	case "$STATE" in
+	done) break ;;
+	failed) echo "post-burst job failed:" >&2; fetch "$CBASE/jobs/$LID" >&2; exit 1 ;;
+	esac
+	[ "$i" -eq 300 ] && { echo "post-burst job never finished (state: $STATE)" >&2; exit 1; }
+	sleep 0.2
+done
+for a in $ARTS; do
+	fetch "$CBASE/jobs/$LID/artifacts/$a" > "$DATA/load-$a"
+	cmp -s "$DATA/golden/$a" "$DATA/load-$a" || {
+		echo "artifact $a differs between unloaded single-node and loaded cluster runs" >&2; exit 1
+	}
+done
 
 echo "==> shut the cluster down"
 kill -TERM "$W2PID" "$CPID" 2>/dev/null || true
