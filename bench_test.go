@@ -390,10 +390,16 @@ func BenchmarkEventCampaign(b *testing.B) {
 // 1/2/4-worker rows into BENCH_parallel.json and gates the 4-worker
 // speedup on multi-core hosts. Width 1 uses the serial reference path —
 // the honest baseline, with zero sharding overhead.
+//
+// With GPUFAULTSIM_TIMELINE_OUT set, the widest width additionally runs
+// one instrumented campaign after timing and writes its shard
+// utilization timeline there (timeline recording is gated, so the timed
+// iterations stay allocation-free).
 func BenchmarkParallelCampaignWSC(b *testing.B) {
 	u := units.WSC()
 	patterns := campaignPatterns(b)
-	for _, workers := range []int{1, 2, 4} {
+	widths := []int{1, 2, 4}
+	for _, workers := range widths {
 		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -401,6 +407,19 @@ func BenchmarkParallelCampaignWSC(b *testing.B) {
 				b.ReportMetric(float64(sum.SimulatedSites), "sim-faults")
 			}
 		})
+	}
+	if out := os.Getenv("GPUFAULTSIM_TIMELINE_OUT"); out != "" {
+		tl := &gatesim.ShardTimeline{}
+		gatesim.CampaignCfg(u, patterns, nil,
+			gatesim.Config{Engine: gatesim.EngineEvent, Workers: widths[len(widths)-1], Timeline: tl})
+		f, err := os.Create(out)
+		if err != nil {
+			b.Fatalf("timeline out: %v", err)
+		}
+		defer f.Close()
+		if err := tl.WriteJSON(f); err != nil {
+			b.Fatalf("timeline write: %v", err)
+		}
 	}
 }
 

@@ -11,6 +11,11 @@
 // workers that joined with -role worker -join <url>. Artifacts stay
 // byte-identical to a single-node run at any worker count, and killing a
 // worker mid-campaign costs only its in-flight leases.
+//
+// Logs are structured: one JSON line per event on stderr, levelled with
+// -log-level, every line stamped with the role (and worker identity),
+// and cluster events carrying the same run/job/chunk/worker IDs the
+// distributed trace uses — a log line and its span grep together.
 package main
 
 //vetsim:instrumented
@@ -20,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,11 +35,10 @@ import (
 	"gpufaultsim/internal/cluster"
 	"gpufaultsim/internal/jobs"
 	"gpufaultsim/internal/store"
+	"gpufaultsim/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("faultsimd: ")
 	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
 	dataDir := flag.String("data", "faultsimd-data", "state directory (checkpoints + result cache)")
 	cacheBudget := flag.Int64("cache-budget", 256<<20, "result cache budget in bytes")
@@ -49,33 +53,39 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "chunk lease TTL before the coordinator reassigns (coordinator role)")
 	workerName := flag.String("worker-name", "", "worker identity in the cluster (worker role; default host-pid)")
 	maxLeases := flag.Int("max-leases", 2, "chunks a worker requests per poll (worker role)")
+	logLevel := flag.String("log-level", envOr("GPUFAULTSIM_LOG_LEVEL", "info"), "log verbosity: debug | info | warn | error")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLevel),
+		slog.String("role", *role))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	st, err := store.Open(*dataDir+"/cache", *cacheBudget)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "open store", err)
 	}
 
 	if *role == "worker" {
 		if *join == "" {
-			log.Fatal("-role worker requires -join <coordinator-url>")
+			fatal(logger, "flags", errors.New("-role worker requires -join <coordinator-url>"))
 		}
-		runWorker(ctx, st, *addr, *join, *workerName, *batchWorkers, *maxLeases)
+		runWorker(ctx, logger, st, *addr, *join, *workerName, *batchWorkers, *maxLeases)
 		return
 	}
 
 	// Roles single and coordinator both run the scheduler and the job
 	// API; the coordinator additionally routes chunks through the lease
-	// ledger and serves the cluster protocol.
+	// ledger and serves the cluster protocol. Both own the job traces,
+	// so the process flight recorder answers to "coordinator".
+	telemetry.DefaultRecorder().SetOrigin("coordinator")
 	var ledger *jobs.Ledger
 	var coord *cluster.Coordinator
 	if *role == "coordinator" {
 		ledger = jobs.NewLedger(jobs.LedgerOptions{TTL: *leaseTTL})
 	} else if *role != "single" {
-		log.Fatalf("unknown -role %q (want single, coordinator or worker)", *role)
+		fatal(logger, "flags", fmt.Errorf("unknown -role %q (want single, coordinator or worker)", *role))
 	}
 
 	sched, err := jobs.New(jobs.Options{
@@ -88,25 +98,27 @@ func main() {
 		Ledger:       ledger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "scheduler", err)
 	}
 
 	requeued, recErrs := sched.Recover()
 	for _, e := range recErrs {
-		log.Printf("recover: %v", e)
+		logger.Warn("recover", "error", e)
 	}
 	if requeued > 0 {
-		log.Printf("recover: resuming %d interrupted job(s)", requeued)
+		logger.Info("recover: resuming interrupted jobs", "jobs", requeued)
 	}
 
 	sched.Start(context.Background())
 	if ledger != nil {
-		coord, err = cluster.NewCoordinator(cluster.CoordinatorOptions{Ledger: ledger, Store: st})
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			Ledger: ledger, Store: st, Log: logger,
+		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "coordinator", err)
 		}
 		coord.Start(context.Background())
-		log.Printf("coordinator: lease TTL %s", *leaseTTL)
+		logger.Info("coordinator up", "lease_ttl", leaseTTL.String())
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: newServer(serverDeps{
@@ -114,22 +126,22 @@ func main() {
 	})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s as %s (data in %s)", *addr, *role, *dataDir)
+	logger.Info("listening", "addr", *addr, "data", *dataDir)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting jobs, let in-flight work finish
 	// within the grace period (progress past it is checkpointed anyway),
 	// then close the listener.
-	log.Printf("shutting down, draining for up to %s", *grace)
+	logger.Info("shutting down, draining", "grace", grace.String())
 	if sched.Drain(*grace) {
-		log.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	} else {
-		log.Printf("grace expired; interrupted jobs will resume on restart")
+		logger.Warn("grace expired; interrupted jobs will resume on restart")
 	}
 	if coord != nil {
 		coord.Stop()
@@ -137,14 +149,14 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 }
 
 // runWorker joins a coordinator and computes leased chunks until
 // SIGTERM. The local store deduplicates repeat chunks and caches
 // dependency payloads pulled from the coordinator.
-func runWorker(ctx context.Context, st *store.Store, addr, join, name string, batchWorkers, maxLeases int) {
+func runWorker(ctx context.Context, logger *slog.Logger, st *store.Store, addr, join, name string, batchWorkers, maxLeases int) {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -152,33 +164,52 @@ func runWorker(ctx context.Context, st *store.Store, addr, join, name string, ba
 		}
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	telemetry.DefaultRecorder().SetOrigin(name)
+	// NewWorker bakes the worker attr into its own logger, so pass the
+	// untagged one and tag only main's lines here.
 	wk, err := cluster.NewWorker(cluster.WorkerOptions{
 		Name: name, Coordinator: join, Store: st,
 		BatchWorkers: batchWorkers, MaxLeases: maxLeases,
+		Log: logger,
 	})
+	logger = logger.With(slog.String("worker", name))
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "worker", err)
 	}
 
 	srv := &http.Server{Addr: addr, Handler: newWorkerServer(wk, st)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("worker %s joining %s (status on %s)", name, join, addr)
+	logger.Info("worker joining", "coordinator", join, "addr", addr)
 
 	runc := make(chan error, 1)
 	go func() { runc <- wk.Run(ctx) }()
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 	}
-	log.Printf("worker shutting down; abandoning unfinished leases to TTL reassignment")
+	logger.Info("worker shutting down; abandoning unfinished leases to TTL reassignment")
 	wk.Stop()
 	<-runc
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
+}
+
+// envOr reads an environment default for a flag.
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// fatal logs one structured error line and exits non-zero.
+func fatal(logger *slog.Logger, what string, err error) {
+	logger.Error(what, "error", err)
+	os.Exit(1)
 }

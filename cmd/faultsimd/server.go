@@ -112,6 +112,11 @@ func newServer(deps serverDeps) http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		// A client-propagated trace context (loadgen stamps one per
+		// submission) links the client's run trace to the job: the
+		// submit point span parents under the client's span, and its
+		// job attribute names the job trace the scheduler opens.
+		tc := telemetry.ParseTraceContext(r.Header.Get(telemetry.TraceHeader))
 		st, err := s.SubmitWith(spec, jobs.SubmitOptions{Class: class})
 		if err != nil {
 			// Admission pushback is a retryable client condition, not a
@@ -124,6 +129,11 @@ func newServer(deps serverDeps) http.Handler {
 			}
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
+		}
+		if !tc.IsZero() {
+			sp := telemetry.DefaultRecorder().StartSpanContext("submit:"+st.ID, tc)
+			sp.SetAttr("job", st.ID)
+			sp.End()
 		}
 		writeJSON(w, http.StatusAccepted, st)
 	})
@@ -281,6 +291,21 @@ func newWorkerServer(wk *cluster.Worker, st *store.Store) http.Handler {
 			telemetry.Default().WritePrometheus(w)
 		default:
 			httpError(w, http.StatusBadRequest, "unknown format (want json or prometheus)")
+		}
+	})
+	// The worker's own copy of every chunk trace subtree — the same
+	// spans it ships to the coordinator for stitching.
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		rec := wk.Recorder()
+		switch r.URL.Query().Get("format") {
+		case "", "trace":
+			w.Header().Set("Content-Type", "application/json")
+			rec.WriteTrace(w)
+		case "ndjson":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			rec.WriteNDJSON(w)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format (want trace or ndjson)")
 		}
 	})
 	return mux

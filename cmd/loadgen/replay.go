@@ -32,6 +32,11 @@ type Config struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests inject httptest here).
 	Client *http.Client
+	// Run names the replay's trace: every submission carries it in the
+	// X-Gpufaultsim-Trace header, so the daemon's flight recorder groups
+	// the whole load run under one trace ID. Empty derives
+	// "loadgen-<seed>" from the schedule.
+	Run string
 }
 
 // ClassStats is the per-SLO-class slice of the report.
@@ -100,6 +105,11 @@ func Replay(ctx context.Context, cfg Config, sched *workload.Schedule) (*Report,
 			telemetry.L("class", class))
 	}
 
+	run := cfg.Run
+	if run == "" {
+		run = fmt.Sprintf("loadgen-%d", sched.Seed)
+	}
+
 	rep := &Report{Schema: ReportSchema, Seed: sched.Seed, Events: len(sched.Events),
 		ByClass: make(map[string]*ClassStats)}
 	classOf := func(name string) *ClassStats {
@@ -135,7 +145,7 @@ func Replay(ctx context.Context, cfg Config, sched *workload.Schedule) (*Report,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, outcome := submit(ctx, client, cfg.Addr, ev, histAll, histFor(string(ev.Class)))
+			st, outcome := submit(ctx, client, cfg.Addr, run, ev, histAll, histFor(string(ev.Class)))
 			mu.Lock()
 			defer mu.Unlock()
 			cs := classOf(string(ev.Class))
@@ -193,7 +203,7 @@ const (
 // 429 rejected by admission control, anything else an error. The round
 // trip is timed into both histograms regardless of outcome — a rejection
 // that takes a second is as much an SLO fact as a slow admit.
-func submit(ctx context.Context, client *http.Client, addr string, ev *workload.Event, hists ...*telemetry.Histogram) (submitStatus, outcome) {
+func submit(ctx context.Context, client *http.Client, addr, run string, ev *workload.Event, hists ...*telemetry.Histogram) (submitStatus, outcome) {
 	var st submitStatus
 	body, err := json.Marshal(ev.Spec)
 	if err != nil {
@@ -205,6 +215,8 @@ func submit(ctx context.Context, client *http.Client, addr string, ev *workload.
 		return st, outcomeError
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader,
+		telemetry.TraceContext{Trace: run, Origin: "loadgen"}.Encode())
 	timer := telemetry.StartTimer(nil)
 	resp, err := client.Do(req)
 	sec := timer.Stop()

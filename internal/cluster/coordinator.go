@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -16,15 +17,11 @@ import (
 	"gpufaultsim/internal/telemetry"
 )
 
-// Coordinator-side metrics. The per-worker gauge/counter handles are
-// label-baked per worker name and created once at registration (never in
-// a loop), so the hot lease path only touches atomics.
-var (
-	telWorkersLive  = telemetry.Default().Gauge("cluster_workers", "workers seen within the liveness window")
-	telChunksServed = telemetry.Default().Counter("cluster_chunk_fetches_total", "dependency payloads served to workers via GET /cluster/chunks")
-)
-
-// workerState tracks one worker's registration and its metric handles.
+// workerState tracks one worker's registration, its metric handles, its
+// throughput EWMAs, and the latest registry snapshot it pushed. The
+// per-worker handles are label-baked per worker name and created once at
+// registration (never in a loop), so the hot lease path only touches
+// atomics.
 type workerState struct {
 	name      string
 	lastSeen  time.Time
@@ -32,9 +29,23 @@ type workerState struct {
 	completed int64
 	failed    int64
 
-	gLeases    *telemetry.Gauge
-	cGranted   *telemetry.Counter
-	cCompleted *telemetry.Counter
+	chunksRate rateEWMA
+	bytesRate  rateEWMA
+
+	// Latest pushed registry snapshot (nil until the first metrics
+	// heartbeat) and the high-water contribution floors that keep
+	// merged counters monotonic across a worker restart (a restarted
+	// worker's counters reset to zero; its floor does not).
+	metrics    *telemetry.Snapshot
+	metricsAt  time.Time
+	floorInt   map[string]int64
+	floorFloat map[string]float64
+
+	gLeases     *telemetry.Gauge
+	cGranted    *telemetry.Counter
+	cCompleted  *telemetry.Counter
+	gChunksRate *telemetry.FloatGauge
+	gBytesRate  *telemetry.FloatGauge
 }
 
 // CoordinatorOptions configures a Coordinator.
@@ -50,15 +61,36 @@ type CoordinatorOptions struct {
 	// Now overrides the clock (tests). Worker liveness is status-only and
 	// never enters artifacts or cache keys.
 	Now func() time.Time
+	// Registry overrides the metric registry (nil selects the process
+	// default). Tests model separate processes by giving each role its
+	// own registry.
+	Registry *telemetry.Registry
+	// Recorder overrides the flight recorder (nil selects the process
+	// default). Worker span batches are ingested here; if the recorder
+	// has no origin yet it is named "coordinator" so remote parent
+	// references resolve.
+	Recorder *telemetry.FlightRecorder
+	// Log receives structured cluster events (nil discards them).
+	Log *slog.Logger
+	// RateTau is the throughput EWMA time constant in seconds (<=0
+	// selects 30s).
+	RateTau float64
 }
 
 // Coordinator owns cluster membership and serves the lease protocol on
 // top of a jobs.Ledger and the shared result store.
 type Coordinator struct {
-	ledger *jobs.Ledger
-	store  *store.Store
-	sweep  time.Duration
-	now    func() time.Time
+	ledger  *jobs.Ledger
+	store   *store.Store
+	sweep   time.Duration
+	now     func() time.Time
+	reg     *telemetry.Registry
+	rec     *telemetry.FlightRecorder
+	log     *slog.Logger
+	rateTau float64
+
+	telWorkersLive  *telemetry.Gauge
+	telChunksServed *telemetry.Counter
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -81,11 +113,34 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if opts.Now == nil {
 		opts.Now = func() time.Time { return time.Now() } //vetsim:ignore determinism worker liveness is status-only bookkeeping; never enters artifacts or cache keys
 	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.Default()
+	}
+	if opts.Recorder == nil {
+		opts.Recorder = telemetry.DefaultRecorder()
+	}
+	if opts.Recorder.Origin() == "" {
+		opts.Recorder.SetOrigin("coordinator")
+	}
+	if opts.Log == nil {
+		opts.Log = telemetry.NopLogger()
+	}
+	if opts.RateTau <= 0 {
+		opts.RateTau = defaultRateTau
+	}
 	return &Coordinator{
 		ledger:  opts.Ledger,
 		store:   opts.Store,
 		sweep:   opts.SweepEvery,
 		now:     opts.Now,
+		reg:     opts.Registry,
+		rec:     opts.Recorder,
+		log:     opts.Log,
+		rateTau: opts.RateTau,
+		telWorkersLive: opts.Registry.Gauge("cluster_workers",
+			"workers seen within the liveness window"),
+		telChunksServed: opts.Registry.Counter("cluster_chunk_fetches_total",
+			"dependency payloads served to workers via GET /cluster/chunks"),
 		workers: make(map[string]*workerState),
 	}, nil
 }
@@ -104,7 +159,9 @@ func (c *Coordinator) Start(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				c.ledger.Expire()
+				if n := c.ledger.Expire(); n > 0 {
+					c.log.Warn("leases expired", "reassigned", n)
+				}
 				c.refreshGauges()
 			}
 		}
@@ -132,18 +189,28 @@ func (c *Coordinator) touch(name string) *workerState {
 	if !ok {
 		w = &workerState{
 			name:       name,
-			gLeases:    telemetry.Default().Gauge("cluster_worker_active_leases", "leases currently held, by worker", telemetry.L("worker", name)),
-			cGranted:   telemetry.Default().Counter("cluster_worker_leases_total", "lease grants, by worker", telemetry.L("worker", name)),
-			cCompleted: telemetry.Default().Counter("cluster_worker_completed_total", "chunk completions, by worker", telemetry.L("worker", name)),
+			chunksRate: newRateEWMA(c.rateTau),
+			bytesRate:  newRateEWMA(c.rateTau),
+			floorInt:   make(map[string]int64),
+			floorFloat: make(map[string]float64),
+			gLeases:    c.reg.Gauge("cluster_worker_active_leases", "leases currently held, by worker", telemetry.L("worker", name)),
+			cGranted:   c.reg.Counter("cluster_worker_leases_total", "lease grants, by worker", telemetry.L("worker", name)),
+			cCompleted: c.reg.Counter("cluster_worker_completed_total", "chunk completions, by worker", telemetry.L("worker", name)),
+			gChunksRate: c.reg.FloatGauge("cluster_worker_throughput_chunks_per_sec",
+				"EWMA chunk completion rate, by worker", telemetry.L("worker", name)),
+			gBytesRate: c.reg.FloatGauge("cluster_worker_throughput_bytes_per_sec",
+				"EWMA payload throughput, by worker", telemetry.L("worker", name)),
 		}
 		c.workers[name] = w
+		c.log.Info("worker joined", "worker", name)
 	}
 	w.lastSeen = c.now()
 	return w
 }
 
 // refreshGauges recomputes the live-worker count and per-worker lease
-// gauges; called from the sweeper and after membership-changing requests.
+// and throughput gauges; called from the sweeper and after
+// membership-changing requests.
 func (c *Coordinator) refreshGauges() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,8 +221,10 @@ func (c *Coordinator) refreshGauges() {
 			live++
 		}
 		w.gLeases.Set(int64(len(c.ledger.ActiveLeases(w.name))))
+		w.gChunksRate.Set(w.chunksRate.Rate(now))
+		w.gBytesRate.Set(w.bytesRate.Rate(now))
 	}
-	telWorkersLive.Set(live)
+	c.telWorkersLive.Set(live)
 }
 
 // Register mounts the cluster protocol on mux.
@@ -164,6 +233,7 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /cluster/complete", c.handleComplete)
 	mux.HandleFunc("POST /cluster/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("GET /cluster/workers", c.handleWorkers)
+	mux.HandleFunc("GET /cluster/metrics", c.handleClusterMetrics)
 	mux.HandleFunc("GET /cluster/chunks/{key}", c.handleChunk)
 }
 
@@ -194,6 +264,21 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Grants = append(resp.Grants, signed)
+		// Propagate the scheduler's chunk span context beside the signed
+		// grant, and mark the hand-off as a point span in the job trace.
+		if !g.Trace.IsZero() {
+			if resp.Traces == nil {
+				resp.Traces = make(map[string]telemetry.TraceContext, len(grants))
+			}
+			resp.Traces[g.Lease] = g.Trace
+		}
+		sp := c.rec.StartSpanContext("lease:"+g.Req.Chunk.ID, g.Trace)
+		sp.SetAttr("worker", req.Worker)
+		sp.SetAttr("lease", g.Lease)
+		sp.End()
+		c.log.Debug("lease granted",
+			"worker", req.Worker, "lease", g.Lease,
+			"job", g.Req.Job, "chunk", g.Req.Chunk.ID, "run", g.Trace.Trace)
 	}
 	c.mu.Lock()
 	ws.granted += int64(len(grants))
@@ -221,6 +306,11 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tc := c.ledger.TraceOf(req.Key)
+	// Stitch the worker's span subtree in before the ledger transition:
+	// Complete wakes the scheduler's waiters, and a waiter that then
+	// exports the job trace must already see the chunk's remote spans.
+	c.rec.Ingest(req.Spans)
 	outcome := c.ledger.Complete(req.Lease, req.Worker, req.Key, req.Error)
 	c.mu.Lock()
 	switch {
@@ -229,9 +319,35 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	case outcome == jobs.CompleteOK:
 		ws.completed++
 	}
+	if req.Error == "" {
+		// Physical throughput: the worker produced these bytes whether or
+		// not the ledger still wanted them (late completions included).
+		now := c.now()
+		ws.chunksRate.Observe(1, now)
+		ws.bytesRate.Observe(float64(len(req.Payload)), now)
+	}
 	c.mu.Unlock()
 	if req.Error == "" && outcome == jobs.CompleteOK {
 		ws.cCompleted.Inc()
+	}
+	// Mark the ledger transition as a point span parented like the lease
+	// span.
+	name := "complete"
+	if tc.Chunk != "" {
+		name = "complete:" + tc.Chunk
+	}
+	sp := c.rec.StartSpanContext(name, tc)
+	sp.SetAttr("worker", req.Worker)
+	sp.SetAttr("status", string(outcome))
+	sp.End()
+	if req.Error != "" {
+		c.log.Error("chunk failed remotely",
+			"worker", req.Worker, "lease", req.Lease, "chunk", tc.Chunk,
+			"run", tc.Trace, "error", req.Error)
+	} else {
+		c.log.Debug("chunk completed",
+			"worker", req.Worker, "lease", req.Lease, "chunk", tc.Chunk,
+			"run", tc.Trace, "status", string(outcome), "bytes", len(req.Payload))
 	}
 	c.refreshGauges()
 	clusterJSON(w, http.StatusOK, CompleteResponse{Status: string(outcome)})
@@ -243,7 +359,15 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusBadRequest, "bad heartbeat request")
 		return
 	}
-	c.touch(req.Worker)
+	ws := c.touch(req.Worker)
+	if req.Metrics != nil {
+		if req.MetricsSchema == metricsSchema {
+			c.absorbMetrics(ws, req.Metrics)
+		} else {
+			c.log.Warn("ignoring metrics push with unknown schema",
+				"worker", req.Worker, "schema", req.MetricsSchema, "want", metricsSchema)
+		}
+	}
 	renewed, lost := c.ledger.Renew(req.Worker, req.Leases)
 	clusterJSON(w, http.StatusOK, HeartbeatResponse{Renewed: renewed, Lost: lost})
 }
@@ -268,6 +392,10 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 			Granted:      ws.granted,
 			Completed:    ws.completed,
 			Failed:       ws.failed,
+			Throughput: WorkerThroughput{
+				ChunksPerSec: ws.chunksRate.Rate(now),
+				BytesPerSec:  ws.bytesRate.Rate(now),
+			},
 		})
 	}
 	c.mu.Unlock()
@@ -281,7 +409,7 @@ func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusNotFound, "no such chunk")
 		return
 	}
-	telChunksServed.Inc()
+	c.telChunksServed.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
 }

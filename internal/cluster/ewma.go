@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// rateEWMA estimates an event rate (units/second) with exponential
+// decay: each observation is added as an impulse of area n, so the
+// estimate integrates to the true total and settles at the true rate
+// for a steady stream. Reads decay the estimate toward zero while no
+// events arrive, so a stalled worker's throughput visibly dies off
+// instead of freezing at its last good value.
+//
+// The clock comes in as an argument (the coordinator's injectable now
+// func): nothing here reads wall time, keeping the package's
+// determinism guarantee intact.
+type rateEWMA struct {
+	tau  float64 // decay time constant, seconds
+	last time.Time
+	acc  float64 // decayed rate estimate at time `last`
+}
+
+// defaultRateTau smooths throughput over ~30s: long enough to ride out
+// chunk-granularity burstiness, short enough that a slow worker shows
+// up within a couple of lease TTLs.
+const defaultRateTau = 30.0
+
+func newRateEWMA(tau float64) rateEWMA {
+	if tau <= 0 {
+		tau = defaultRateTau
+	}
+	return rateEWMA{tau: tau}
+}
+
+// Observe folds n units arriving at time now into the estimate.
+func (e *rateEWMA) Observe(n float64, now time.Time) {
+	e.decayTo(now)
+	e.acc += n / e.tau
+}
+
+// Rate reports the estimated units/second as of now.
+func (e *rateEWMA) Rate(now time.Time) float64 {
+	e.decayTo(now)
+	return e.acc
+}
+
+func (e *rateEWMA) decayTo(now time.Time) {
+	if e.last.IsZero() {
+		e.last = now
+		return
+	}
+	dt := now.Sub(e.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	e.acc *= math.Exp(-dt / e.tau)
+	e.last = now
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRateEWMASteadyStreamConvergesToTrueRate drives one event per
+// second through the estimator for many time constants and checks the
+// estimate settles at ~1/s: the impulse-integral construction means a
+// steady stream converges to its true rate, not some scaled version.
+func TestRateEWMASteadyStreamConvergesToTrueRate(t *testing.T) {
+	e := newRateEWMA(30)
+	now := time.Unix(1_000_000, 0)
+	for i := 0; i < 300; i++ { // 10 taus: fully converged
+		e.Observe(1, now)
+		now = now.Add(time.Second)
+	}
+	if r := e.Rate(now); math.Abs(r-1.0) > 0.05 {
+		t.Fatalf("steady 1/s stream: Rate = %v, want ~1.0", r)
+	}
+}
+
+func TestRateEWMADecaysWhileIdle(t *testing.T) {
+	e := newRateEWMA(30)
+	now := time.Unix(1_000_000, 0)
+	e.Observe(60, now) // one burst, then silence
+	r0 := e.Rate(now)
+	if r0 != 60.0/30 {
+		t.Fatalf("burst rate = %v, want n/tau = 2", r0)
+	}
+	r1 := e.Rate(now.Add(30 * time.Second))
+	if want := r0 * math.Exp(-1); math.Abs(r1-want) > 1e-9 {
+		t.Fatalf("after one tau idle: Rate = %v, want %v", r1, want)
+	}
+	if r2 := e.Rate(now.Add(10 * time.Minute)); r2 > 1e-6 {
+		t.Fatalf("long-idle rate = %v, want ~0 (stalled workers must visibly die off)", r2)
+	}
+}
+
+// TestRateEWMAFirstObservationPinsClock checks the zero-value clock is
+// pinned on first contact rather than decayed from the epoch: the first
+// observation must land at full weight.
+func TestRateEWMAFirstObservationPinsClock(t *testing.T) {
+	e := newRateEWMA(30)
+	now := time.Unix(1_000_000, 0)
+	e.Observe(30, now)
+	if r := e.Rate(now); r != 1.0 {
+		t.Fatalf("first observation: Rate = %v, want n/tau = 1.0", r)
+	}
+}
+
+// TestRateEWMANonMonotonicClockIsSafe feeds a read timestamp earlier
+// than the last observation; the estimate must hold rather than decay by
+// a negative dt (which would inflate it).
+func TestRateEWMANonMonotonicClockIsSafe(t *testing.T) {
+	e := newRateEWMA(30)
+	now := time.Unix(1_000_000, 0)
+	e.Observe(30, now)
+	if r := e.Rate(now.Add(-time.Minute)); r != 1.0 {
+		t.Fatalf("backwards read: Rate = %v, want 1.0 unchanged", r)
+	}
+}
+
+func TestRateEWMADefaultTau(t *testing.T) {
+	for _, tau := range []float64{0, -5} {
+		if e := newRateEWMA(tau); e.tau != defaultRateTau {
+			t.Fatalf("newRateEWMA(%v).tau = %v, want default %v", tau, e.tau, defaultRateTau)
+		}
+	}
+}

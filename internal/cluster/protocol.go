@@ -17,7 +17,15 @@
 //	POST /cluster/complete   CompleteRequest -> CompleteResponse
 //	POST /cluster/heartbeat  HeartbeatRequest -> HeartbeatResponse
 //	GET  /cluster/workers    -> WorkersResponse
+//	GET  /cluster/metrics    -> ClusterMetrics (or Prometheus text with ?format=prometheus)
 //	GET  /cluster/chunks/{key} -> payload bytes (dependency read-through)
+//
+// Observability rides the same wire types: lease responses carry the
+// scheduler's per-chunk trace contexts (beside the signed grants, never
+// inside them), completions push the worker's span subtree for
+// stitching, and heartbeats piggyback schema-tagged registry snapshots
+// that the coordinator merges into the fleet-wide /cluster/metrics
+// view. None of it enters grant digests or cache keys.
 package cluster
 
 //vetsim:deterministic
@@ -27,12 +35,21 @@ import (
 
 	"gpufaultsim/internal/artifact"
 	"gpufaultsim/internal/jobs"
+	"gpufaultsim/internal/telemetry"
 )
 
 // protocolSchema versions the wire protocol. It enters every grant
 // digest, so a coordinator and worker speaking different protocol
 // versions refuse each other's grants instead of miscomputing.
-const protocolSchema = 1
+// Schema history: 1 = PR 7 lease protocol; 2 = observability fields
+// (trace contexts on leases, span push on complete, metrics on
+// heartbeat, throughput on the workers view).
+const protocolSchema = 2
+
+// metricsSchema versions the registry-snapshot payload workers push on
+// heartbeats. The coordinator ignores snapshots with a different schema
+// instead of merging values whose semantics may have shifted.
+const metricsSchema = 1
 
 // LeaseRequest asks the coordinator for up to Max chunk leases.
 type LeaseRequest struct {
@@ -53,20 +70,28 @@ type LeaseGrant struct {
 }
 
 // LeaseResponse carries zero or more grants; empty means no pending
-// chunks right now and the worker should poll again.
+// chunks right now and the worker should poll again. Traces maps lease
+// ID → the scheduler's span context for that chunk. It travels beside
+// the signed grants — adding it to LeaseGrant would pull observability
+// state into grantKey and, transitively, toward cache-key territory
+// (the vetsim cachekey analyzer would flag exactly that).
 type LeaseResponse struct {
-	Grants []LeaseGrant `json:"grants"`
+	Grants []LeaseGrant                      `json:"grants"`
+	Traces map[string]telemetry.TraceContext `json:"traces,omitempty"`
 }
 
 // CompleteRequest pushes one computed payload back. Key must match the
 // granted chunk's content-addressed key; Error reports a failed
-// computation instead of a payload.
+// computation instead of a payload. Spans is the worker's completed
+// span subtree for the chunk (root + compute/put children), ingested by
+// the coordinator's flight recorder so the distributed trace stitches.
 type CompleteRequest struct {
-	Worker  string `json:"worker"`
-	Lease   string `json:"lease"`
-	Key     string `json:"key"`
-	Payload []byte `json:"payload,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Worker  string                 `json:"worker"`
+	Lease   string                 `json:"lease"`
+	Key     string                 `json:"key"`
+	Payload []byte                 `json:"payload,omitempty"`
+	Error   string                 `json:"error,omitempty"`
+	Spans   []telemetry.SpanRecord `json:"spans,omitempty"`
 }
 
 // CompleteResponse reports the ledger outcome: "ok", "late" (the chunk
@@ -75,10 +100,17 @@ type CompleteResponse struct {
 	Status string `json:"status"`
 }
 
-// HeartbeatRequest renews the worker's active leases.
+// HeartbeatRequest renews the worker's active leases. Metrics, when
+// non-nil, is the worker's full registry snapshot tagged with
+// MetricsSchema; the coordinator keeps the latest per worker and merges
+// them (monotonic-counter-safe) into GET /cluster/metrics. Workers with
+// no active leases still heartbeat on a metrics cadence, so an idle
+// fleet stays visible.
 type HeartbeatRequest struct {
-	Worker string   `json:"worker"`
-	Leases []string `json:"leases,omitempty"`
+	Worker        string              `json:"worker"`
+	Leases        []string            `json:"leases,omitempty"`
+	MetricsSchema int                 `json:"metrics_schema,omitempty"`
+	Metrics       *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse lists the leases that could not be renewed (expired
@@ -88,21 +120,52 @@ type HeartbeatResponse struct {
 	Lost    []string `json:"lost,omitempty"`
 }
 
+// WorkerThroughput is the per-worker EWMA throughput view: chunks/sec
+// and payload bytes/sec, decayed toward completion events (tau ~30s).
+// This is the signal the ROADMAP names as the prerequisite for
+// throughput-weighted lease assignment.
+type WorkerThroughput struct {
+	ChunksPerSec float64 `json:"chunks_per_sec"`
+	BytesPerSec  float64 `json:"bytes_per_sec"`
+}
+
 // WorkerInfo is one row of the GET /cluster/workers view.
 type WorkerInfo struct {
-	Name         string   `json:"name"`
-	LastSeenSec  float64  `json:"last_seen_sec"`
-	Live         bool     `json:"live"`
-	ActiveLeases []string `json:"active_leases,omitempty"`
-	Granted      int64    `json:"granted"`
-	Completed    int64    `json:"completed"`
-	Failed       int64    `json:"failed"`
+	Name         string           `json:"name"`
+	LastSeenSec  float64          `json:"last_seen_sec"`
+	Live         bool             `json:"live"`
+	ActiveLeases []string         `json:"active_leases,omitempty"`
+	Granted      int64            `json:"granted"`
+	Completed    int64            `json:"completed"`
+	Failed       int64            `json:"failed"`
+	Throughput   WorkerThroughput `json:"throughput"`
 }
 
 // WorkersResponse is the cluster membership + ledger view.
 type WorkersResponse struct {
 	Workers []WorkerInfo     `json:"workers"`
 	Ledger  jobs.LedgerStats `json:"ledger"`
+}
+
+// WorkerMetrics is one worker's contribution to GET /cluster/metrics:
+// the latest snapshot it pushed, how old that push is, and whether it
+// is stale (older than the liveness window — the merged totals still
+// include it, marked, rather than silently dropping completed work).
+type WorkerMetrics struct {
+	Worker   string             `json:"worker"`
+	AgeSec   float64            `json:"age_sec"`
+	Stale    bool               `json:"stale"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+}
+
+// ClusterMetrics is the canonical JSON body of GET /cluster/metrics:
+// the coordinator's own registry snapshot, each worker's latest pushed
+// snapshot, and the fleet-wide merge.
+type ClusterMetrics struct {
+	Schema      int                `json:"schema"`
+	Coordinator telemetry.Snapshot `json:"coordinator"`
+	Workers     []WorkerMetrics    `json:"workers"`
+	Merged      telemetry.Snapshot `json:"merged"`
 }
 
 // grantKeyMaterial is the digested content of a lease grant.

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -17,14 +18,10 @@ import (
 	"gpufaultsim/internal/telemetry"
 )
 
-// Worker-side metrics. A process can host several in-process workers
-// (tests); counters aggregate across them.
-var (
-	telWorkerComputed  = telemetry.Default().Counter("cluster_chunks_computed_total", "chunks computed by workers in this process")
-	telWorkerErrors    = telemetry.Default().Counter("cluster_worker_errors_total", "worker protocol or compute errors")
-	telWorkerDedup     = telemetry.Default().Counter("cluster_chunks_local_dedup_total", "leased chunks already present in the worker's local store")
-	telWorkerComputeHg = telemetry.Default().Histogram("cluster_worker_compute_seconds", "chunk computation latency on workers", telemetry.SecondsBuckets())
-)
+// chunkRecorderCap bounds the throwaway per-chunk recorder that collects
+// the span subtree shipped with a completion. A chunk records a handful
+// of spans (root + compute + put), so this never wraps in practice.
+const chunkRecorderCap = 32
 
 // WorkerOptions configures a Worker.
 type WorkerOptions struct {
@@ -45,8 +42,22 @@ type WorkerOptions struct {
 	MaxLeases int
 	// Poll is the idle/backoff poll interval (<=0 selects 250ms).
 	Poll time.Duration
+	// MetricsEvery is the cadence of metrics-bearing heartbeats (<=0
+	// selects 2s). These run independently of lease renewal so an idle
+	// worker stays visible in /cluster/metrics.
+	MetricsEvery time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Registry is the registry snapshotted on metrics pushes (nil selects
+	// the process default). Tests model separate processes by giving each
+	// worker its own registry.
+	Registry *telemetry.Registry
+	// Recorder receives the worker's copy of every chunk span subtree
+	// (nil selects the process default). If it has no origin yet it is
+	// named after the worker so trace stitching can attribute its spans.
+	Recorder *telemetry.FlightRecorder
+	// Log receives structured worker events (nil discards them).
+	Log *slog.Logger
 	// BeforeCompute, when set, runs before each chunk computation (test
 	// hook for wedging a worker mid-lease). If it returns after ctx is
 	// canceled the chunk is abandoned without a completion, exactly like
@@ -58,15 +69,26 @@ type WorkerOptions struct {
 // shared executor, and pushes payloads back under their content-addressed
 // keys. Run loops until its context is canceled; heartbeats renew the
 // active lease while a chunk computes, so a wedged or dead worker loses
-// its leases to TTL expiry and nothing else.
+// its leases to TTL expiry and nothing else. Each completion also ships
+// the chunk's span subtree (rooted under the coordinator's chunk span)
+// and a metrics goroutine pushes registry snapshots on heartbeats.
 type Worker struct {
 	opts      WorkerOptions
 	client    *http.Client
+	reg       *telemetry.Registry
+	rec       *telemetry.FlightRecorder
+	log       *slog.Logger
 	connected atomic.Bool
 	stop      context.CancelFunc
+
+	telComputed  *telemetry.Counter
+	telErrors    *telemetry.Counter
+	telDedup     *telemetry.Counter
+	telComputeHg *telemetry.Histogram
 }
 
-// NewWorker validates options and builds a worker.
+// NewWorker validates options and builds a worker, creating its metric
+// handles once here (never per chunk).
 func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.Name == "" || opts.Coordinator == "" || opts.Store == nil {
 		return nil, fmt.Errorf("cluster: worker needs a name, a coordinator URL and a store")
@@ -80,16 +102,52 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.Poll <= 0 {
 		opts.Poll = 250 * time.Millisecond
 	}
+	if opts.MetricsEvery <= 0 {
+		opts.MetricsEvery = 2 * time.Second
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.Default()
+	}
+	if opts.Recorder == nil {
+		opts.Recorder = telemetry.DefaultRecorder()
+	}
+	if opts.Recorder.Origin() == "" {
+		opts.Recorder.SetOrigin(opts.Name)
+	}
+	if opts.Log == nil {
+		opts.Log = telemetry.NopLogger()
+	}
+	// Bake the identity in once; every worker log line carries it without
+	// the call sites repeating (or duplicating) the attr.
+	opts.Log = opts.Log.With(slog.String("worker", opts.Name))
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Worker{opts: opts, client: client}, nil
+	return &Worker{
+		opts:   opts,
+		client: client,
+		reg:    opts.Registry,
+		rec:    opts.Recorder,
+		log:    opts.Log,
+		telComputed: opts.Registry.Counter("cluster_chunks_computed_total",
+			"chunks computed by workers in this process"),
+		telErrors: opts.Registry.Counter("cluster_worker_errors_total",
+			"worker protocol or compute errors"),
+		telDedup: opts.Registry.Counter("cluster_chunks_local_dedup_total",
+			"leased chunks already present in the worker's local store"),
+		telComputeHg: opts.Registry.Histogram("cluster_worker_compute_seconds",
+			"chunk computation latency on workers", telemetry.SecondsBuckets()),
+	}, nil
 }
 
 // Connected reports whether the last coordinator exchange succeeded
 // (worker readiness).
 func (w *Worker) Connected() bool { return w.connected.Load() }
+
+// Recorder exposes the worker's flight recorder (the worker-side copy of
+// every chunk trace) for debug endpoints and tests.
+func (w *Worker) Recorder() *telemetry.FlightRecorder { return w.rec }
 
 // Stop cancels a running Run loop.
 func (w *Worker) Stop() {
@@ -99,10 +157,12 @@ func (w *Worker) Stop() {
 }
 
 // Run is the worker main loop: lease, compute, complete, repeat. It
-// returns the context's error once canceled (via ctx or Stop).
+// returns the context's error once canceled (via ctx or Stop). A
+// sibling goroutine pushes metrics snapshots for the loop's lifetime.
 func (w *Worker) Run(ctx context.Context) error {
 	ctx, w.stop = context.WithCancel(ctx)
 	defer w.stop()
+	go w.metricsLoop(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -111,7 +171,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err != nil {
 			w.connected.Store(false)
 			if ctx.Err() == nil {
-				telWorkerErrors.Inc()
+				w.telErrors.Inc()
+				w.log.Warn("lease poll failed", "error", err)
 			}
 			sleepCtx(ctx, w.opts.Poll)
 			continue
@@ -122,26 +183,68 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		for _, g := range resp.Grants {
-			w.process(ctx, g)
+			w.process(ctx, g, resp.Traces[g.Lease])
 		}
 	}
 }
 
-// process executes one granted chunk end to end.
-func (w *Worker) process(ctx context.Context, g LeaseGrant) {
+// metricsLoop pushes registry snapshots on the metrics cadence until the
+// run scope ends. Push failures are dropped silently: the next tick
+// carries a fresher snapshot anyway, and lease heartbeats report
+// connectivity loss already.
+func (w *Worker) metricsLoop(ctx context.Context) {
+	t := time.NewTicker(w.opts.MetricsEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = w.PushMetrics(ctx)
+		}
+	}
+}
+
+// PushMetrics sends one metrics-bearing heartbeat (no lease renewal):
+// the full registry snapshot tagged with the metrics schema. Exported so
+// tests and shutdown paths can force a final push.
+func (w *Worker) PushMetrics(ctx context.Context) error {
+	snap := w.reg.Snapshot()
+	var resp HeartbeatResponse
+	return w.post(ctx, "/cluster/heartbeat", HeartbeatRequest{
+		Worker:        w.opts.Name,
+		MetricsSchema: metricsSchema,
+		Metrics:       &snap,
+	}, &resp)
+}
+
+// process executes one granted chunk end to end, recording its span
+// subtree into a chunk-local recorder whose batch ships with the
+// completion (and is kept locally for the worker's own trace view).
+func (w *Worker) process(ctx context.Context, g LeaseGrant, tc telemetry.TraceContext) {
+	crec := telemetry.NewFlightRecorder(chunkRecorderCap)
+	crec.SetOrigin(w.opts.Name)
+	root := crec.StartSpanContext("chunk:"+g.Work.Chunk.ID, tc)
+	root.SetAttr("worker", w.opts.Name)
+	root.SetAttr("lease", g.Lease)
+
 	if err := VerifyGrant(g); err != nil {
 		// Protocol skew: report it so the chunk fails loudly instead of
 		// the grant being silently dropped and endlessly reassigned.
-		telWorkerErrors.Inc()
-		w.complete(ctx, g, nil, err)
+		w.telErrors.Inc()
+		w.log.Error("grant rejected", "lease", g.Lease, "error", err)
+		root.SetAttr("error", err.Error())
+		w.complete(ctx, g, nil, err, w.endChunk(crec, root))
 		return
 	}
 
 	// Local dedup: a previous campaign on this worker may already hold
 	// the payload.
 	if payload, ok := w.opts.Store.Get(g.Work.Key); ok {
-		telWorkerDedup.Inc()
-		w.complete(ctx, g, payload, nil)
+		w.telDedup.Inc()
+		root.SetAttr("dedup", "local")
+		w.log.Debug("chunk deduplicated locally", "lease", g.Lease, "chunk", g.Work.Chunk.ID, "run", tc.Trace)
+		w.complete(ctx, g, payload, nil, w.endChunk(crec, root))
 		return
 	}
 
@@ -160,20 +263,41 @@ func (w *Worker) process(ctx context.Context, g LeaseGrant) {
 		return
 	}
 
-	t := telemetry.StartTimer(telWorkerComputeHg)
+	sp := root.Child("compute")
+	t := telemetry.StartTimer(w.telComputeHg)
 	payload, err := jobs.ComputeChunk(g.Work, w.depFetcher(ctx), w.opts.BatchWorkers)
 	t.Stop()
+	sp.End()
 	if err != nil {
-		telWorkerErrors.Inc()
-		w.complete(ctx, g, nil, err)
+		w.telErrors.Inc()
+		w.log.Error("chunk compute failed", "lease", g.Lease, "chunk", g.Work.Chunk.ID,
+			"run", tc.Trace, "error", err)
+		root.SetAttr("error", err.Error())
+		w.complete(ctx, g, nil, err, w.endChunk(crec, root))
 		return
 	}
-	telWorkerComputed.Inc()
+	w.telComputed.Inc()
 	// Cache locally first so future leases and dependency lookups hit.
+	sp = root.Child("put")
 	if err := w.opts.Store.Put(g.Work.Key, payload); err != nil {
-		telWorkerErrors.Inc()
+		w.telErrors.Inc()
+		w.log.Warn("local store put failed", "chunk", g.Work.Chunk.ID, "error", err)
 	}
-	w.complete(ctx, g, payload, nil)
+	sp.End()
+	w.log.Debug("chunk computed", "lease", g.Lease, "chunk", g.Work.Chunk.ID,
+		"run", tc.Trace, "bytes", len(payload))
+	w.complete(ctx, g, payload, nil, w.endChunk(crec, root))
+}
+
+// endChunk closes the chunk root span and drains the chunk-local
+// recorder into the batch shipped with the completion. The worker's own
+// recorder ingests a copy so /debug/trace on the worker shows the same
+// subtree the coordinator stitches.
+func (w *Worker) endChunk(crec *telemetry.FlightRecorder, root *telemetry.Span) []telemetry.SpanRecord {
+	root.End()
+	spans, _ := crec.Snapshot()
+	w.rec.Ingest(spans)
+	return spans
 }
 
 // depFetcher resolves dependency chunks (the profiling payload for gate
@@ -210,6 +334,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, g LeaseGrant) {
 			}
 			for _, lost := range resp.Lost {
 				if lost == g.Lease {
+					w.log.Warn("lease lost", "lease", g.Lease, "chunk", g.Work.Chunk.ID)
 					return
 				}
 			}
@@ -224,17 +349,22 @@ func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
 	return resp, err
 }
 
-// complete pushes a payload (or the compute error) back to the
-// coordinator. Uses a background-derived context so a worker stopping
-// right after finishing a chunk still delivers the result.
-func (w *Worker) complete(ctx context.Context, g LeaseGrant, payload []byte, compErr error) {
-	req := CompleteRequest{Worker: w.opts.Name, Lease: g.Lease, Key: g.Work.Key, Payload: payload}
+// complete pushes a payload (or the compute error) plus the chunk's span
+// batch back to the coordinator. Uses a background-derived context so a
+// worker stopping right after finishing a chunk still delivers the
+// result.
+func (w *Worker) complete(ctx context.Context, g LeaseGrant, payload []byte, compErr error, spans []telemetry.SpanRecord) {
+	req := CompleteRequest{
+		Worker: w.opts.Name, Lease: g.Lease, Key: g.Work.Key,
+		Payload: payload, Spans: spans,
+	}
 	if compErr != nil {
 		req.Error = compErr.Error()
 	}
 	var resp CompleteResponse
 	if err := w.post(context.WithoutCancel(ctx), "/cluster/complete", req, &resp); err != nil {
-		telWorkerErrors.Inc()
+		w.telErrors.Inc()
+		w.log.Warn("complete push failed", "lease", g.Lease, "error", err)
 	}
 }
 

@@ -52,6 +52,10 @@ var (
 	// inner loops — so the engine hot path stays telemetry-free.
 	telBatchBusy = telemetry.Default().Gauge("gatesim_batch_workers_busy", "intra-campaign fault-batch workers currently simulating")
 	telBatchSec  = telemetry.Default().Histogram("gatesim_batch_seconds", "wall-clock per 64-lane fault batch (sharded campaigns)", telemetry.ExponentialBuckets(1e-6, 4, 10))
+	// Cumulative worker-seconds spent idle inside sharded pattern rounds
+	// (round wall-clock minus busy time, summed over workers): the
+	// straggler-tail signal behind the shard utilization timeline.
+	telShardIdleSec = telemetry.Default().FloatCounter("gatesim_shard_idle_seconds", "cumulative shard-worker idle seconds inside campaign rounds")
 )
 
 // Engine selects the faulty-machine evaluation strategy of a campaign.
@@ -182,6 +186,11 @@ type Config struct {
 	// at every width. 0 selects GOMAXPROCS; 1 pins the single-threaded
 	// reference path.
 	Workers int
+	// Timeline, when non-nil, receives the per-worker busy intervals of
+	// every sharded pattern round (the shard utilization timeline) plus
+	// per-batch flight-recorder spans. Observational only: it never
+	// influences grading, and the serial path ignores it.
+	Timeline *ShardTimeline
 
 	// forceShard routes width-1 runs through the sharded path; tests use
 	// it to hold the sharding machinery itself to the serial reference.
@@ -407,6 +416,7 @@ type campaignCtx struct {
 	g         *grader
 	activated []bool
 	maxOuts   int
+	timeline  *ShardTimeline
 
 	gsim        *netlist.Simulator
 	goldenNode  [][]uint64 // per cycle: golden node bits, packed 64 per word
@@ -592,6 +602,7 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 		g:          g,
 		activated:  make([]bool, len(full)),
 		maxOuts:    maxOuts,
+		timeline:   cfg.Timeline,
 		gsim:       netlist.NewSimulator(nl),
 		goldenNode: goldenNode, goldenField: g.goldenField,
 		fieldMaskOf: fieldMaskOf,

@@ -29,6 +29,7 @@ package gatesim
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +79,10 @@ type shardWorker struct {
 	esim *engine.Sim // nil for EngineFull
 	ws   []uint64    // lane words of the field under grade
 	ev   evStats
+	// busyRound is the worker's busy seconds in the current pattern
+	// round: written by the worker before its doneWg.Done, read by the
+	// main goroutine after the Wait (WaitGroup happens-before edge).
+	busyRound float64
 }
 
 // recordCycle is gradeCycle's recording twin: identical field/lane
@@ -211,9 +216,19 @@ func (cc *campaignCtx) mergeEvents(p units.Pattern, events []shardEvent) {
 // receives; per-batch buffers pass back through the WaitGroup join — all
 // accesses are ordered by channel/WaitGroup happens-before edges, so the
 // hot loop itself is lock-free and the whole campaign is race-clean.
+//
+// Utilization accounting rides the existing per-batch timer: each worker
+// sums its busy seconds per round into a worker-owned slot read after
+// the join, and the main goroutine charges the difference against the
+// round's wall-clock as idle time (gatesim_shard_idle_seconds). With
+// cc.timeline set, every batch additionally records a timeline interval
+// on the campaign-relative clock and a flight-recorder span — gated so
+// the default path stays allocation-free.
 func (cc *campaignCtx) runSharded(p int) {
 	nl := cc.u.NL
 	nBatches := (len(cc.sim) + 63) / 64
+	tl := cc.timeline
+	clock := telemetry.StartTimer(nil) // campaign-relative clock; Stop only reads
 
 	// One levelization shared by every worker's engine: it is read-only
 	// after construction and by far the largest per-engine allocation.
@@ -233,37 +248,56 @@ func (cc *campaignCtx) runSharded(p int) {
 
 	var (
 		cur    units.Pattern // pattern under simulation; written pre-token
+		curPat int           // pattern round index; written pre-token
 		next   atomic.Int64  // dynamic batch counter (work stealing)
 		start  = make(chan struct{})
 		doneWg sync.WaitGroup
 	)
-	for _, w := range workers {
-		go func(w *shardWorker) {
+	for wi, w := range workers {
+		go func(wi int, w *shardWorker) {
 			for range start {
 				telBatchBusy.Add(1)
 				if w.esim != nil {
 					w.esim.BindGolden(cc.goldenNode)
 				}
+				busy := 0.0
 				for {
 					b := int(next.Add(1)) - 1
 					if b >= nBatches {
 						break
 					}
+					var sp *telemetry.Span
+					if tl != nil {
+						sp = telemetry.StartSpan("shard:batch")
+					}
 					tm := telemetry.StartTimer(telBatchSec)
 					evBuf[b] = w.runBatch(cc, cur, b, evBuf[b][:0])
-					tm.Stop()
+					sec := tm.Stop()
+					busy += sec
+					if tl != nil {
+						end := clock.Stop()
+						tl.add(ShardInterval{Worker: wi, Pattern: curPat, Batch: b, StartSec: end - sec, EndSec: end})
+						sp.SetAttr("worker", strconv.Itoa(wi))
+						sp.SetAttr("batch", strconv.Itoa(b))
+						sp.SetAttr("pattern", strconv.Itoa(curPat))
+						sp.End()
+					}
 				}
+				w.busyRound = busy
 				telBatchBusy.Add(-1)
 				doneWg.Done()
 			}
-		}(w)
+		}(wi, w)
 	}
 
-	for _, pat := range cc.patterns {
+	idleSec := 0.0
+	for pi, pat := range cc.patterns {
 		cc.goldenPass(pat)
 		cur = pat
+		curPat = pi
 		next.Store(0)
 		doneWg.Add(p)
+		roundStart := clock.Stop()
 		for range workers {
 			start <- struct{}{}
 		}
@@ -271,12 +305,29 @@ func (cc *campaignCtx) runSharded(p int) {
 		// write — overlap it with the batch fan-out.
 		cc.markActivated()
 		doneWg.Wait()
+		// Idle per worker this round: wall-clock minus its busy time.
+		// Workers that drained the counter early sit idle until the
+		// join (the straggler tail this metric exists to expose).
+		roundWall := clock.Stop() - roundStart
+		for _, w := range workers {
+			if d := roundWall - w.busyRound; d > 0 {
+				idleSec += d
+			}
+		}
 		for b := 0; b < nBatches; b++ {
 			cc.mergeEvents(pat, evBuf[b])
 		}
 	}
 	close(start)
+	telShardIdleSec.Add(idleSec)
 	for _, w := range workers {
 		cc.ev.add(w.ev)
+	}
+	if tl != nil {
+		tl.Workers = p
+		tl.Batches = nBatches
+		tl.Patterns = len(cc.patterns)
+		tl.IdleSec = idleSec
+		tl.WallSec = clock.Stop()
 	}
 }

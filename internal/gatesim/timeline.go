@@ -1,0 +1,67 @@
+// Shard utilization timeline: an opt-in record of which worker simulated
+// which fault batch when, on a campaign-relative clock. The timeline is
+// purely observational — intervals are recorded beside the batch loop,
+// never inside the simulation inner loops, and nothing here feeds back
+// into grading — so summaries and sink event streams stay byte-identical
+// with or without it (parallel_test.go holds the sharded path to the
+// serial reference either way).
+package gatesim
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// ShardInterval is one busy interval of one shard worker: batch b of
+// pattern round p simulated on worker w, in seconds since the campaign
+// started. The gaps between a worker's intervals — and between its last
+// interval and the round join — are its idle time.
+type ShardInterval struct {
+	Worker   int     `json:"worker"`
+	Pattern  int     `json:"pattern"`
+	Batch    int     `json:"batch"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+// ShardTimeline collects the per-worker busy intervals of one sharded
+// campaign (Config.Timeline). Safe for the concurrent appends the shard
+// workers perform; read it only after the campaign returns.
+type ShardTimeline struct {
+	mu sync.Mutex
+
+	Workers   int             `json:"workers"`
+	Batches   int             `json:"batches"`
+	Patterns  int             `json:"patterns"`
+	WallSec   float64         `json:"wall_sec"`
+	IdleSec   float64         `json:"idle_sec"`
+	Intervals []ShardInterval `json:"intervals"`
+}
+
+func (t *ShardTimeline) add(iv ShardInterval) {
+	t.mu.Lock()
+	t.Intervals = append(t.Intervals, iv)
+	t.mu.Unlock()
+}
+
+// BusySec sums the recorded busy time across all workers.
+func (t *ShardTimeline) BusySec() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum := 0.0
+	for _, iv := range t.Intervals {
+		sum += iv.EndSec - iv.StartSec
+	}
+	return sum
+}
+
+// WriteJSON emits the timeline as indented JSON (the per-batch export
+// consumed by bench runs and the smoke scripts).
+func (t *ShardTimeline) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,68 @@
+package gatesim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpufaultsim/internal/units"
+)
+
+// TestShardTimelineRecordsEveryBatch runs a sharded campaign with the
+// timeline attached and checks the record is complete and coherent:
+// every (pattern, batch) cell appears exactly once, intervals are
+// well-formed on the campaign clock, and attaching the timeline does not
+// perturb the campaign result (same Summary as an untimed run).
+func TestShardTimelineRecordsEveryBatch(t *testing.T) {
+	u := units.Decoder()
+	patterns := diffPatterns(7, 6)
+
+	wantJS, wantEv := runCfg(t, u, patterns, nil, Config{Workers: 2, forceShard: true})
+
+	tl := &ShardTimeline{}
+	gotJS, gotEv := runCfg(t, u, patterns, nil, Config{Workers: 2, forceShard: true, Timeline: tl})
+	compareRuns(t, "timeline attached", wantJS, wantEv, gotJS, gotEv)
+
+	if tl.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", tl.Workers)
+	}
+	if tl.Patterns == 0 || tl.Batches == 0 {
+		t.Fatalf("empty timeline dimensions: %+v", tl)
+	}
+	if tl.WallSec <= 0 {
+		t.Fatalf("WallSec = %v, want > 0", tl.WallSec)
+	}
+	seen := make(map[[2]int]int)
+	for _, iv := range tl.Intervals {
+		if iv.Worker < 0 || iv.Worker >= tl.Workers {
+			t.Fatalf("interval names worker %d of %d", iv.Worker, tl.Workers)
+		}
+		if iv.EndSec < iv.StartSec || iv.StartSec < 0 || iv.EndSec > tl.WallSec {
+			t.Fatalf("interval outside the campaign clock: %+v (wall %v)", iv, tl.WallSec)
+		}
+		seen[[2]int{iv.Pattern, iv.Batch}]++
+	}
+	if want := tl.Patterns * tl.Batches; len(seen) != want {
+		t.Fatalf("timeline covers %d (pattern, batch) cells, want %d", len(seen), want)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %v simulated %d times, want exactly once", cell, n)
+		}
+	}
+	if tl.BusySec() <= 0 {
+		t.Fatalf("BusySec = %v, want > 0", tl.BusySec())
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ShardTimeline
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("timeline JSON does not round-trip: %v", err)
+	}
+	if len(round.Intervals) != len(tl.Intervals) {
+		t.Fatalf("round-trip lost intervals: %d != %d", len(round.Intervals), len(tl.Intervals))
+	}
+}

@@ -96,9 +96,13 @@ const (
 )
 
 // Grant is one leased chunk: the lease identity plus the request.
+// Trace is the scheduler's span context for the chunk, carried beside
+// the request — never inside it — so distributed tracing cannot perturb
+// RequestDigest or the content-addressed cache keys.
 type Grant struct {
-	Lease string       `json:"lease"`
-	Req   ChunkRequest `json:"req"`
+	Lease string                 `json:"lease"`
+	Req   ChunkRequest           `json:"req"`
+	Trace telemetry.TraceContext `json:"trace,omitempty"`
 }
 
 // LedgerStats is a point-in-time view of the ledger.
@@ -112,6 +116,7 @@ type LedgerStats struct {
 
 type ledgerEntry struct {
 	req      ChunkRequest
+	trace    telemetry.TraceContext // scheduler chunk span; observability only
 	state    LeaseState
 	worker   string
 	lease    string
@@ -176,9 +181,21 @@ func (l *Ledger) TTL() time.Duration { return l.ttl }
 // is idempotent; offering a failed key revives it to pending so a
 // resubmitted job retries the chunk.
 func (l *Ledger) Offer(req ChunkRequest) {
+	l.OfferTraced(req, telemetry.TraceContext{})
+}
+
+// OfferTraced is Offer plus the offering scheduler's span context for
+// the chunk. The context rides on grants and completion spans so the
+// coordinator and workers stitch into the job's trace; it never touches
+// the request, its digest, or the cache key. A non-zero context on a
+// re-offer (job resubmitted) replaces the stored one.
+func (l *Ledger) OfferTraced(req ChunkRequest, tc telemetry.TraceContext) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if e, ok := l.entries[req.Key]; ok {
+		if !tc.IsZero() {
+			e.trace = tc
+		}
 		if e.state == LeaseFailed {
 			e.state = LeasePending
 			e.errMsg = ""
@@ -188,10 +205,22 @@ func (l *Ledger) Offer(req ChunkRequest) {
 	}
 	l.entries[req.Key] = &ledgerEntry{
 		req:   req,
+		trace: tc,
 		state: LeasePending,
 		done:  make(chan struct{}),
 	}
 	l.order = append(l.order, req.Key)
+}
+
+// TraceOf returns the span context stored for key's chunk (zero when
+// the key is unknown or was offered without one).
+func (l *Ledger) TraceOf(key string) telemetry.TraceContext {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok {
+		return e.trace
+	}
+	return telemetry.TraceContext{}
 }
 
 // Lease grants up to max pending chunks to worker, in offer order, each
@@ -219,7 +248,7 @@ func (l *Ledger) Lease(worker string, max int) []Grant {
 		e.granted = now
 		e.expiry = now.Add(l.ttl)
 		e.attempts++
-		out = append(out, Grant{Lease: e.lease, Req: e.req})
+		out = append(out, Grant{Lease: e.lease, Req: e.req, Trace: e.trace})
 		telLeaseGranted.Inc()
 	}
 	return out

@@ -582,7 +582,9 @@ func (s *Scheduler) runJob(ctx context.Context, id string) {
 // checkpointed, so progress survives a kill at any point.
 func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	spec := j.Spec
-	root := telemetry.StartSpan("job:" + j.ID)
+	// The job ID doubles as the distributed trace ID: remote workers tag
+	// their spans with it and they stitch back under this root.
+	root := telemetry.StartTrace("job:"+j.ID, j.ID)
 	defer root.End()
 
 	// Phase 1: profiling.
@@ -595,7 +597,7 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 	profBytes, err := s.ensureChunk(ctx, j, ChunkRequest{
 		Job: j.ID, Chunk: Chunk{ID: "profile", Phase: PhaseProfile},
 		Spec: spec, Key: profKey,
-	}, func() ([]byte, error) {
+	}, profSpan, func() ([]byte, error) {
 		return computeProfile(spec)
 	})
 	if err != nil {
@@ -635,7 +637,7 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 			b, err := s.ensureChunk(ctx, j, ChunkRequest{
 				Job: j.ID, Chunk: Chunk{ID: id, Phase: PhaseGate, Arg: u.Name},
 				Spec: spec, Key: key, ProfileKey: profKey,
-			}, func() ([]byte, error) {
+			}, sp, func() ([]byte, error) {
 				return computeGate(spec, u, prof.Patterns, s.opts.BatchWorkers)
 			})
 			return chunkOut{id: id, b: b, err: err}
@@ -678,7 +680,7 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 			b, err := s.ensureChunk(ctx, j, ChunkRequest{
 				Job: j.ID, Chunk: Chunk{ID: id, Phase: PhaseSoftware, Arg: app},
 				Spec: spec, Key: key,
-			}, func() ([]byte, error) {
+			}, sp, func() ([]byte, error) {
 				return computeSoftware(spec, app)
 			})
 			return chunkOut{id: id, b: b, err: err}
@@ -721,8 +723,10 @@ func (s *Scheduler) executeJob(ctx context.Context, j *Job) error {
 // ensureChunk returns the chunk's payload, from the cache when possible.
 // On a miss it either computes in-process or, when a ledger is
 // configured, offers the chunk for remote execution and waits for a
-// worker to deliver the payload into the store.
-func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, req ChunkRequest, compute func() ([]byte, error)) ([]byte, error) {
+// worker to deliver the payload into the store. sp is the chunk's span
+// in the job trace (nil when telemetry is off); its context travels
+// with remote offers so worker spans re-parent under it.
+func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, req ChunkRequest, sp *telemetry.Span, compute func() ([]byte, error)) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -742,7 +746,7 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, req ChunkRequest, c
 	s.mu.Unlock()
 
 	if s.opts.Ledger != nil {
-		return s.ensureRemote(ctx, j, req)
+		return s.ensureRemote(ctx, j, req, sp)
 	}
 
 	tm := telemetry.StartTimer(telChunkSec)
@@ -763,9 +767,14 @@ func (s *Scheduler) ensureChunk(ctx context.Context, j *Job, req ChunkRequest, c
 // worker completes it, then reads the payload back out of the store.
 // Cancellation (shutdown/drain past grace) surfaces as ctx.Err, leaving
 // the job resumable exactly like an interrupted local chunk.
-func (s *Scheduler) ensureRemote(ctx context.Context, j *Job, req ChunkRequest) ([]byte, error) {
-	s.opts.Ledger.Offer(req)
-	if err := s.opts.Ledger.Wait(ctx, req.Key); err != nil {
+func (s *Scheduler) ensureRemote(ctx context.Context, j *Job, req ChunkRequest, sp *telemetry.Span) ([]byte, error) {
+	tc := sp.Context()
+	tc.Chunk = req.Chunk.ID
+	s.opts.Ledger.OfferTraced(req, tc)
+	wait := sp.Child("remote-wait")
+	err := s.opts.Ledger.Wait(ctx, req.Key)
+	wait.End()
+	if err != nil {
 		return nil, err
 	}
 	b, ok := s.store.Get(req.Key)

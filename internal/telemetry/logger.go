@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the daemon and cluster roles: one line of JSON
+// per event, levelled, stamped with the same correlation IDs the trace
+// context carries (run/job/chunk/worker), so a log line and a span for
+// the same unit of work grep together.
+
+// ParseLogLevel maps a level name to a slog.Level (default info).
+func ParseLogLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a leveled JSON logger writing to w. Attrs given here
+// (typically component/role/worker identity) are stamped on every line.
+func NewLogger(w io.Writer, level slog.Level, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	if len(attrs) == 0 {
+		return slog.New(h)
+	}
+	return slog.New(h.WithAttrs(attrs))
+}
+
+// NopLogger discards everything: the default for library code when the
+// caller doesn't wire a logger in.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

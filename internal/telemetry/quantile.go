@@ -21,10 +21,15 @@ package telemetry
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the observed
 // distribution from the snapshot's bucket counts. Out-of-range q is
-// clamped; an empty histogram yields 0.
+// clamped (NaN counts as out of range and clamps to 1, reporting the
+// max estimate instead of propagating NaN through the interpolation);
+// an empty histogram yields 0.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count <= 0 {
 		return 0
+	}
+	if q != q { // NaN: both range clamps below are false
+		q = 1
 	}
 	if q < 0 {
 		q = 0

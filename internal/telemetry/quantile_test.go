@@ -112,6 +112,77 @@ func TestHistogramQuantileTable(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileDegenerate pins the degenerate geometries that
+// used to fall through to 0 or NaN: NaN q, hand-built snapshots whose
+// bucket counts disagree with Count (a skew possible when a snapshot is
+// merged or transported), single-bucket histograms, and all-zero
+// observations. The estimator must report the relevant bucket upper
+// bound, never NaN and never a spurious 0 for a populated histogram.
+func TestHistogramQuantileDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		snap HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{
+			name: "NaN q clamps to max estimate, not NaN",
+			snap: HistogramSnapshot{Count: 4, Bounds: []float64{1, 2}, Counts: []int64{4, 0, 0}},
+			q:    math.NaN(),
+			want: 1, // all mass in the first bucket; q clamps to 1 -> its upper edge
+		},
+		{
+			name: "single-bucket histogram at q=1 reports the bucket upper bound",
+			snap: HistogramSnapshot{Count: 3, Bounds: []float64{5}, Counts: []int64{3, 0}},
+			q:    1,
+			want: 5,
+		},
+		{
+			name: "single-bucket histogram with overflow mass reports the finite bound",
+			snap: HistogramSnapshot{Count: 2, Bounds: []float64{5}, Counts: []int64{0, 2}},
+			q:    0.99,
+			want: 5,
+		},
+		{
+			name: "all-zero counts but positive Count reports last finite bound",
+			snap: HistogramSnapshot{Count: 7, Bounds: []float64{1, 2, 4}, Counts: []int64{0, 0, 0, 0}},
+			q:    0.5,
+			want: 4,
+		},
+		{
+			name: "no finite buckets at all yields zero",
+			snap: HistogramSnapshot{Count: 3, Bounds: nil, Counts: []int64{3}},
+			q:    0.99,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.snap.Quantile(tc.q)
+			if math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) = NaN", tc.q)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+	// All-zero observations: every sample is 0, the smallest bucket.
+	// The estimate must stay within that first bucket (never NaN).
+	r := NewRegistry()
+	h := r.Histogram("all_zero_seconds", "test", []float64{0.5, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	s := h.snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if math.IsNaN(v) || v < 0 || v > 0.5 {
+			t.Fatalf("all-zero histogram Quantile(%v) = %v, want in [0, 0.5]", q, v)
+		}
+	}
+}
+
 // TestSnapshotCarriesP50P99 checks the registry snapshot path computes
 // the tail fields every /metrics scrape reports.
 func TestSnapshotCarriesP50P99(t *testing.T) {

@@ -55,6 +55,49 @@ func (g *Gauge) Add(n int64) {
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatCounter is a monotonically increasing float metric (accumulated
+// seconds, fractional work units). Adds are a lock-free CAS on the
+// float64 bit pattern, like Histogram sums.
+type FloatCounter struct {
+	v    atomic.Uint64 // float64 bits
+	name string
+}
+
+// Add accumulates v (non-positive deltas are a programmer error and
+// ignored, keeping the counter monotonic).
+func (c *FloatCounter) Add(v float64) {
+	if !enabled.Load() || !(v > 0) {
+		return
+	}
+	for {
+		old := c.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.v.Load()) }
+
+// FloatGauge is an atomic instantaneous float value (rates, ratios).
+type FloatGauge struct {
+	v    atomic.Uint64 // float64 bits
+	name string
+}
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket distribution: bounds are upper bucket
 // edges (ascending), counts[i] tallies observations v <= bounds[i]
 // (first matching bucket), and the implicit last bucket catches the
@@ -160,20 +203,24 @@ type family struct {
 // Re-registering a name as a different metric type panics — that is a
 // programmer error, not an operational condition.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	families map[string]*family
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	floats      map[string]*FloatCounter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	hists       map[string]*Histogram
+	families    map[string]*family
 }
 
 // NewRegistry builds an empty registry. Most callers want Default().
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		families: make(map[string]*family),
+		counters:    make(map[string]*Counter),
+		floats:      make(map[string]*FloatCounter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		hists:       make(map[string]*Histogram),
+		families:    make(map[string]*family),
 	}
 }
 
@@ -232,6 +279,24 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	return c
 }
 
+// FloatCounter returns (registering if needed) the float counter for
+// name+labels. Float and integer counters may not share a base name.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	key := renderKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.floats[key]; ok {
+		return c
+	}
+	if _, ok := r.counters[key]; ok {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both int and float counter", key))
+	}
+	r.register(name, key, help, "counter")
+	c := &FloatCounter{name: key}
+	r.floats[key] = c
+	return c
+}
+
 // Gauge returns (registering if needed) the gauge for name+labels.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	key := renderKey(name, labels)
@@ -243,6 +308,24 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	r.register(name, key, help, "gauge")
 	g := &Gauge{name: key}
 	r.gauges[key] = g
+	return g
+}
+
+// FloatGauge returns (registering if needed) the float gauge for
+// name+labels. Float and integer gauges may not share a base name.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	key := renderKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.floatGauges[key]; ok {
+		return g
+	}
+	if _, ok := r.gauges[key]; ok {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both int and float gauge", key))
+	}
+	r.register(name, key, help, "gauge")
+	g := &FloatGauge{name: key}
+	r.floatGauges[key] = g
 	return g
 }
 
@@ -275,9 +358,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 // Operators and the daemon's /metrics endpoint consume this instead of
 // issuing field-by-field loads that interleave with live updates.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters      map[string]int64             `json:"counters"`
+	FloatCounters map[string]float64           `json:"float_counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges"`
+	FloatGauges   map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot captures every registered metric in one locked pass.
@@ -285,15 +370,23 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Counters:      make(map[string]int64, len(r.counters)),
+		FloatCounters: make(map[string]float64, len(r.floats)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		FloatGauges:   make(map[string]float64, len(r.floatGauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for k, c := range r.counters {
 		s.Counters[k] = c.Value()
 	}
+	for k, c := range r.floats {
+		s.FloatCounters[k] = c.Value()
+	}
 	for k, g := range r.gauges {
 		s.Gauges[k] = g.Value()
+	}
+	for k, g := range r.floatGauges {
+		s.FloatGauges[k] = g.Value()
 	}
 	for k, h := range r.hists {
 		s.Histograms[k] = h.snapshot()

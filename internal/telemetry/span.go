@@ -14,13 +14,21 @@ import (
 const DefaultRecorderCap = 4096
 
 // SpanRecord is one completed span as stored in the flight recorder.
+// Trace, Origin and RemoteParent exist for distributed stitching: Trace
+// groups every span of one logical run (the job ID), Origin names the
+// process/role that recorded the span, and RemoteParent is a cross-
+// process parent reference ("origin#id") resolved to a local Parent
+// when the batch is Ingested by the recorder owning that origin.
 type SpanRecord struct {
-	ID      uint64            `json:"id"`
-	Parent  uint64            `json:"parent,omitempty"` // 0 = root
-	Name    string            `json:"name"`
-	StartUS int64             `json:"start_us"` // unix microseconds
-	DurUS   int64             `json:"dur_us"`
-	Attrs   map[string]string `json:"attrs,omitempty"`
+	ID           uint64            `json:"id"`
+	Parent       uint64            `json:"parent,omitempty"` // 0 = root
+	Name         string            `json:"name"`
+	StartUS      int64             `json:"start_us"` // unix microseconds
+	DurUS        int64             `json:"dur_us"`
+	Trace        string            `json:"trace,omitempty"`
+	Origin       string            `json:"origin,omitempty"`
+	RemoteParent string            `json:"remote_parent,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
 }
 
 // Span is one in-flight phase of a campaign run. Spans form trees via
@@ -28,11 +36,13 @@ type SpanRecord struct {
 // *Span (telemetry disabled) is a valid no-op receiver for every
 // method, so instrumentation sites never branch on Enabled themselves.
 type Span struct {
-	rec    *FlightRecorder
-	id     uint64
-	parent uint64
-	name   string
-	start  time.Time
+	rec          *FlightRecorder
+	id           uint64
+	parent       uint64
+	name         string
+	trace        string
+	remoteParent string
+	start        time.Time
 
 	mu    sync.Mutex
 	attrs map[string]string
@@ -40,12 +50,21 @@ type Span struct {
 }
 
 // Child opens a sub-span. Children may End after their parent; the
-// parent link is by ID, not lifetime.
+// parent link is by ID, not lifetime. Children inherit the trace ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.rec.startSpan(name, s.id)
+	return s.rec.startSpan(name, s.id, s.trace)
+}
+
+// Context returns the span's trace context for propagation across a
+// process boundary. A nil span returns the zero context.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: s.trace, Origin: s.rec.Origin(), Span: s.id}
 }
 
 // SetAttr attaches a key/value to the span's record.
@@ -76,12 +95,15 @@ func (s *Span) End() {
 	attrs := s.attrs
 	s.mu.Unlock()
 	s.rec.record(SpanRecord{
-		ID:      s.id,
-		Parent:  s.parent,
-		Name:    s.name,
-		StartUS: s.start.UnixMicro(),
-		DurUS:   time.Since(s.start).Microseconds(),
-		Attrs:   attrs,
+		ID:           s.id,
+		Parent:       s.parent,
+		Name:         s.name,
+		StartUS:      s.start.UnixMicro(),
+		DurUS:        time.Since(s.start).Microseconds(),
+		Trace:        s.trace,
+		Origin:       s.rec.Origin(),
+		RemoteParent: s.remoteParent,
+		Attrs:        attrs,
 	})
 }
 
@@ -92,10 +114,28 @@ type FlightRecorder struct {
 	seq atomic.Uint64 // span IDs
 
 	mu      sync.Mutex
+	origin  string       // process identity stamped on recorded spans
 	buf     []SpanRecord // ring storage, len == cap once full
 	next    int          // next write position
 	wrapped bool
 	total   uint64 // spans ever recorded
+}
+
+// SetOrigin names the process/role owning this recorder (for example
+// "coordinator" or a worker name). The origin is stamped on every span
+// recorded afterwards and lets Ingest resolve RemoteParent references
+// that point back at this recorder's own spans.
+func (r *FlightRecorder) SetOrigin(origin string) {
+	r.mu.Lock()
+	r.origin = origin
+	r.mu.Unlock()
+}
+
+// Origin returns the recorder's process identity ("" if unset).
+func (r *FlightRecorder) Origin() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.origin
 }
 
 // NewFlightRecorder builds a recorder holding up to capacity completed
@@ -110,14 +150,74 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 // StartSpan opens a root span. Returns nil (a no-op span) when
 // telemetry is disabled.
 func (r *FlightRecorder) StartSpan(name string) *Span {
-	return r.startSpan(name, 0)
+	return r.startSpan(name, 0, "")
 }
 
-func (r *FlightRecorder) startSpan(name string, parent uint64) *Span {
+// StartTrace opens a root span tagged with a trace ID (typically the
+// job/run ID) so every descendant — local or remote — can be grouped
+// back into one logical run.
+func (r *FlightRecorder) StartTrace(name, trace string) *Span {
+	return r.startSpan(name, 0, trace)
+}
+
+// StartSpanContext opens a span continuing a propagated trace context.
+// If the context's origin matches this recorder's own origin the parent
+// link is local (by ID); otherwise the parent is kept as a remote
+// reference resolved when the span batch is ingested by the origin
+// process. Returns nil when telemetry is disabled.
+func (r *FlightRecorder) StartSpanContext(name string, tc TraceContext) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	return &Span{rec: r, id: r.seq.Add(1), parent: parent, name: name, start: time.Now()}
+	s := &Span{rec: r, id: r.seq.Add(1), name: name, trace: tc.Trace, start: time.Now()}
+	if tc.Span != 0 {
+		if tc.Origin != "" && tc.Origin == r.Origin() {
+			s.parent = tc.Span
+		} else {
+			s.remoteParent = SpanRef(tc.Origin, tc.Span)
+		}
+	}
+	return s
+}
+
+func (r *FlightRecorder) startSpan(name string, parent uint64, trace string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{rec: r, id: r.seq.Add(1), parent: parent, name: name, trace: trace, start: time.Now()}
+}
+
+// Ingest splices a batch of spans recorded by another process into this
+// recorder: IDs are remapped through the local sequence (parent links
+// inside the batch follow), and RemoteParent references naming this
+// recorder's own origin are resolved to local parent IDs — which is
+// what re-parents worker span trees under the coordinator's job spans.
+// Returns the number of spans recorded.
+func (r *FlightRecorder) Ingest(records []SpanRecord) int {
+	if !enabled.Load() || len(records) == 0 {
+		return 0
+	}
+	own := r.Origin()
+	idmap := make(map[uint64]uint64, len(records))
+	for i := range records {
+		idmap[records[i].ID] = r.seq.Add(1)
+	}
+	for _, rec := range records {
+		rec.ID = idmap[rec.ID]
+		if p, ok := idmap[rec.Parent]; ok {
+			rec.Parent = p
+		} else if rec.Parent != 0 {
+			rec.Parent = 0 // dangling intra-batch link; keep the span as a root
+		}
+		if rec.RemoteParent != "" && own != "" {
+			if o, id, ok := splitSpanRef(rec.RemoteParent); ok && o == own {
+				rec.Parent = id
+				rec.RemoteParent = ""
+			}
+		}
+		r.record(rec)
+	}
+	return len(records)
 }
 
 func (r *FlightRecorder) record(rec SpanRecord) {
@@ -212,6 +312,15 @@ func (r *FlightRecorder) WriteTrace(w io.Writer) error {
 		args := map[string]string{"id": fmt.Sprint(s.ID)}
 		if s.Parent != 0 {
 			args["parent"] = fmt.Sprint(s.Parent)
+		}
+		if s.Trace != "" {
+			args["trace"] = s.Trace
+		}
+		if s.Origin != "" {
+			args["origin"] = s.Origin
+		}
+		if s.RemoteParent != "" {
+			args["remote_parent"] = s.RemoteParent
 		}
 		for k, v := range s.Attrs {
 			args[k] = v

@@ -21,6 +21,7 @@ package telemetry
 
 import (
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -55,10 +56,27 @@ type Label struct {
 // L builds a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
+// recorderCapFromEnv sizes the default flight recorder: the
+// GPUFAULTSIM_TRACE_SPANS environment variable overrides the
+// DefaultRecorderCap of 4096 (values < 1 and junk fall back to the
+// default). The GPUFAULTSIM_TELEMETRY=off kill switch still applies on
+// top — capacity only matters while telemetry is on.
+func recorderCapFromEnv() int {
+	v := strings.TrimSpace(os.Getenv("GPUFAULTSIM_TRACE_SPANS"))
+	if v == "" {
+		return DefaultRecorderCap
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return DefaultRecorderCap
+	}
+	return n
+}
+
 // defaultRegistry and defaultRecorder are the process-wide singletons.
 var (
 	defaultRegistry = NewRegistry()
-	defaultRecorder = NewFlightRecorder(DefaultRecorderCap)
+	defaultRecorder = NewFlightRecorder(recorderCapFromEnv())
 )
 
 // Default returns the process-wide metric registry.
@@ -69,6 +87,9 @@ func DefaultRecorder() *FlightRecorder { return defaultRecorder }
 
 // StartSpan opens a root span on the default flight recorder.
 func StartSpan(name string) *Span { return defaultRecorder.StartSpan(name) }
+
+// StartTrace opens a trace-tagged root span on the default recorder.
+func StartTrace(name, trace string) *Span { return defaultRecorder.StartTrace(name, trace) }
 
 // Timer measures one interval and feeds it to a histogram on Stop. The
 // measurement itself always happens — even with telemetry disabled —

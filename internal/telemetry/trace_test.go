@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{},
+		{Trace: "job-1"},
+		{Trace: "job-1", Origin: "coordinator", Span: 42, Chunk: "gate:wsc"},
+		{Origin: "w#1", Span: 7}, // '#' in origin survives (only span refs split on '#')
+	}
+	for _, tc := range cases {
+		got := ParseTraceContext(tc.Encode())
+		if got != tc {
+			t.Fatalf("round trip: got %+v, want %+v", got, tc)
+		}
+	}
+	if !(TraceContext{}).IsZero() {
+		t.Fatal("zero context must report IsZero")
+	}
+	// Junk tolerance: malformed pairs are skipped, known keys still land.
+	got := ParseTraceContext("garbage;span=notanumber;trace=t1;=x;chunk=c")
+	if got.Trace != "t1" || got.Chunk != "c" || got.Span != 0 {
+		t.Fatalf("lenient parse: got %+v", got)
+	}
+}
+
+func TestSpanContextAndStartSpanContext(t *testing.T) {
+	SetEnabled(true)
+	rec := NewFlightRecorder(16)
+	rec.SetOrigin("coordinator")
+
+	root := rec.StartTrace("job:j1", "j1")
+	tc := root.Context()
+	if tc.Trace != "j1" || tc.Origin != "coordinator" || tc.Span != root.id {
+		t.Fatalf("Context() = %+v", tc)
+	}
+
+	// Same-origin continuation parents locally.
+	local := rec.StartSpanContext("lease", tc)
+	if local.parent != root.id || local.remoteParent != "" {
+		t.Fatalf("same-origin continuation: parent=%d remote=%q", local.parent, local.remoteParent)
+	}
+
+	// Foreign-origin continuation keeps a remote reference.
+	wrec := NewFlightRecorder(16)
+	wrec.SetOrigin("worker-a")
+	remote := wrec.StartSpanContext("chunk", tc)
+	if remote.parent != 0 || remote.remoteParent != SpanRef("coordinator", root.id) {
+		t.Fatalf("foreign continuation: parent=%d remote=%q", remote.parent, remote.remoteParent)
+	}
+	remote.End()
+	local.End()
+	root.End()
+
+	spans, _ := rec.Snapshot()
+	for _, s := range spans {
+		if s.Origin != "coordinator" {
+			t.Fatalf("span %q origin = %q, want coordinator", s.Name, s.Origin)
+		}
+		if s.Trace != "j1" {
+			t.Fatalf("span %q trace = %q, want j1", s.Name, s.Trace)
+		}
+	}
+}
+
+// TestIngestReparentsRemoteSpans models the worker→coordinator push: a
+// worker records a chunk subtree whose root points at a coordinator
+// span via RemoteParent; after Ingest the subtree must hang off the
+// coordinator span by local IDs with intra-batch links intact.
+func TestIngestReparentsRemoteSpans(t *testing.T) {
+	SetEnabled(true)
+	coord := NewFlightRecorder(32)
+	coord.SetOrigin("coordinator")
+	job := coord.StartTrace("job:j1", "j1")
+	chunk := job.Child("gate:wsc")
+
+	worker := NewFlightRecorder(32)
+	worker.SetOrigin("worker-a")
+	wroot := worker.StartSpanContext("chunk:gate:wsc", chunk.Context())
+	wcomp := wroot.Child("compute")
+	wcomp.End()
+	wput := wroot.Child("put")
+	wput.End()
+	wroot.End()
+	chunk.End()
+	job.End()
+
+	recs, _ := worker.Snapshot()
+	if n := coord.Ingest(recs); n != 3 {
+		t.Fatalf("Ingest = %d, want 3", n)
+	}
+
+	spans, _ := coord.Snapshot()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	croot := byName["chunk:gate:wsc"]
+	if croot.Parent != chunk.id || croot.RemoteParent != "" {
+		t.Fatalf("ingested root: parent=%d (want %d) remote=%q", croot.Parent, chunk.id, croot.RemoteParent)
+	}
+	if croot.Origin != "worker-a" {
+		t.Fatalf("ingested root origin = %q, want worker-a", croot.Origin)
+	}
+	for _, name := range []string{"compute", "put"} {
+		if byName[name].Parent != croot.ID {
+			t.Fatalf("ingested child %q parent = %d, want %d", name, byName[name].Parent, croot.ID)
+		}
+	}
+	// Local IDs must not collide with the remapped ones.
+	seen := map[uint64]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after ingest", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestIngestForeignRemoteParentSurvives(t *testing.T) {
+	SetEnabled(true)
+	rec := NewFlightRecorder(8)
+	rec.SetOrigin("worker-b")
+	rec.Ingest([]SpanRecord{{ID: 9, Name: "x", RemoteParent: SpanRef("coordinator", 3)}})
+	spans, _ := rec.Snapshot()
+	if len(spans) != 1 || spans[0].RemoteParent != "coordinator#3" || spans[0].Parent != 0 {
+		t.Fatalf("foreign remote parent mangled: %+v", spans)
+	}
+}
+
+func TestWriteTraceCarriesOriginArgs(t *testing.T) {
+	SetEnabled(true)
+	rec := NewFlightRecorder(8)
+	rec.SetOrigin("coordinator")
+	s := rec.StartTrace("job:j9", "j9")
+	s.End()
+	var b strings.Builder
+	if err := rec.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"origin":"coordinator"`, `"trace":"j9"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTrace output missing %s:\n%s", want, out)
+		}
+	}
+}

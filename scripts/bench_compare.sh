@@ -14,7 +14,10 @@
 # parallel gate only arms on hosts with >= 4 CPUs — scaling is physically
 # unmeasurable below that — but the JSON is always written, with the
 # host's CPU count recorded so a 1-core row can't masquerade as a
-# multi-core result.
+# multi-core result. The run also emits the shard utilization timeline
+# of one instrumented widest-width campaign to BENCH_timeline.json
+# (override with BENCH_TIMELINE_OUT) — per-worker busy intervals for
+# eyeballing straggler tails behind a weak speedup number.
 #
 #   MIN_SPEEDUP=2 MIN_PARALLEL_SPEEDUP=1.5 sh scripts/bench_compare.sh
 #
@@ -30,6 +33,7 @@ MIN_PARALLEL_SPEEDUP="${MIN_PARALLEL_SPEEDUP:-1.5}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_gatesim.json}"
 POUT="${BENCH_PARALLEL_OUT:-BENCH_parallel.json}"
+TOUT="${BENCH_TIMELINE_OUT:-BENCH_timeline.json}"
 CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 echo "==> benchmarking decoder campaign: full vs event engine (count=$BENCH_COUNT)"
@@ -63,9 +67,16 @@ echo "$raw" | awk -v min="$MIN_SPEEDUP" -v out="$OUT" '
 echo "wrote $OUT"
 
 echo "==> benchmarking WSC campaign: 1/2/4 fault-batch workers (count=$BENCH_COUNT, cpus=$CPUS)"
-praw=$(go test -run '^$' -bench '^BenchmarkParallelCampaignWSC$' \
+praw=$(GPUFAULTSIM_TIMELINE_OUT="$TOUT" go test -run '^$' -bench '^BenchmarkParallelCampaignWSC$' \
 	-benchtime 1x -count "$BENCH_COUNT" .)
 echo "$praw"
+
+if [ -s "$TOUT" ]; then
+	echo "wrote $TOUT (shard utilization timeline)"
+else
+	echo "bench_compare: missing $TOUT" >&2
+	exit 1
+fi
 
 # Gate only where 4 workers can actually run in parallel; otherwise the
 # numbers are recorded but advisory. The skip must be loud — a runner

@@ -179,6 +179,43 @@ printf '%s' "$WORKERS" | grep -q '"smoke-w2"' || {
 	echo "surviving worker missing from /cluster/workers: $WORKERS" >&2; exit 1
 }
 
+echo "==> per-worker throughput accounting is live"
+RATE=$(printf '%s' "$WORKERS" | tr ',' '\n' |
+	sed -n 's/.*"chunks_per_sec": *\([0-9.eE+-]*\).*/\1/p' | grep -v '^0$' | head -n1)
+[ -n "$RATE" ] || {
+	echo "no nonzero chunks_per_sec EWMA in /cluster/workers: $WORKERS" >&2; exit 1
+}
+echo "    chunks/sec EWMA $RATE"
+
+echo "==> fleet metrics: worker pushes merged into /cluster/metrics"
+# Workers push registry snapshots on a 2s heartbeat cadence; poll until
+# the surviving worker's computed-chunk counter shows in the merged view.
+for i in $(seq 1 60); do
+	CPROM=$(fetch "$CBASE/cluster/metrics?format=prometheus")
+	COMPUTED=$(printf '%s\n' "$CPROM" | awk '$1 == "cluster_chunks_computed_total" {print $2}')
+	if [ -n "$COMPUTED" ] && [ "$COMPUTED" != "0" ]; then break; fi
+	[ "$i" -eq 60 ] && {
+		echo "worker metrics never reached the merged /cluster/metrics view" >&2
+		printf '%s\n' "$CPROM" | head -30 >&2; exit 1
+	}
+	sleep 0.5
+done
+echo "    merged cluster_chunks_computed_total $COMPUTED"
+printf '%s\n' "$CPROM" | grep -q '^cluster_worker_throughput_chunks_per_sec{worker="smoke-w2"}' || {
+	echo "merged exposition missing the per-worker throughput series" >&2
+	printf '%s\n' "$CPROM" | head -30 >&2; exit 1
+}
+
+echo "==> stitched distributed trace (worker spans under the coordinator's job root)"
+CTRACE=$(fetch "$CBASE/debug/trace?format=ndjson")
+printf '%s\n' "$CTRACE" | grep -q "\"name\":\"job:$CID\"" || {
+	echo "coordinator trace has no root span for job $CID" >&2; exit 1
+}
+printf '%s\n' "$CTRACE" | grep '"name":"chunk:' | grep -q '"origin":"smoke-w' || {
+	echo "coordinator trace has no worker-origin chunk spans (stitching broken)" >&2
+	printf '%s\n' "$CTRACE" | head -10 >&2; exit 1
+}
+
 # --- Part 3: loadgen burst against the cluster -----------------------------
 
 echo "==> loadgen burst at the coordinator (-scale 0 against max-pending 6)"
