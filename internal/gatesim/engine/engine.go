@@ -15,12 +15,34 @@
 // hardware-masked and uncontrollable faults, the bulk of every campaign,
 // become nearly free.
 //
+// On top of the 64 fault lanes the engine packs up to Slots patterns into
+// one sweep: every per-node word becomes a Slots-wide vector (vec), slot r
+// holding the fault group's lanes under pattern r. The fault cones of
+// nearby patterns overlap heavily — on the WSC campaign the union of the
+// per-pattern active sets is ~0.37x their sum at four slots — so one
+// quad-packed propagation schedules, loads and stores roughly a third of
+// what four single-pattern sweeps would, while the per-slot delta words
+// stay bit-for-bit what each solo sweep computes (the slots share control
+// flow, never data).
+//
+// Layout and dispatch follow the same GATSPI playbook: per-node sparse
+// state lives in flat node-indexed slabs sized once per engine and reused
+// across every pattern and batch (delta words retired per cycle, seed and
+// schedule stamps invalidated wholesale by epoch bumps), and scheduled
+// gates evaluate through the netlist's branch-free kernel program
+// (netlist.Kernels) — one truth-table mask expression per gate, no
+// per-gate switch dispatch. Faulty values are stored as deltas (faulty
+// XOR golden): a clean node's delta is zero, so operand loads in the
+// sweep are pure mask arithmetic with no validity branch. The golden
+// operand is pre-broadcast per node at bind time (BindGoldenPack), so a
+// sweep operand is one vector XOR — no bit extraction on the hot path.
+//
 // The engine is exact, not approximate: every value it exposes is the word
 // the full simulator would compute, because a gate's output can only
 // deviate from the golden trace if one of its inputs deviates, and the
 // level order guarantees every deviating input is final before its readers
 // evaluate. The differential and fuzz harnesses in package gatesim assert
-// byte-identical campaign results across both engines.
+// byte-identical campaign results across both engines at every packing.
 package engine
 
 //vetsim:deterministic
@@ -30,62 +52,82 @@ import (
 	"gpufaultsim/internal/netlist"
 )
 
-// nodeState fuses the per-node sparse state into one 16-byte record so a
-// value lookup touches a single cache line. stamp==epoch means cur holds
-// the node's faulty word (otherwise the node sits at its golden value);
-// dirty==epoch means the node is on the touched list.
-type nodeState struct {
-	cur   uint64
-	stamp uint32
-	dirty uint32
-}
+// Slots is the pattern-packing width of one sweep: up to this many
+// patterns' fault cones propagate through a single quad-wide delta pass.
+const Slots = 4
 
-// override fuses a node's stuck-at masks: set bits are forced to 1, clr
-// bits to 0, per lane.
-type override struct {
-	set, clr uint64
-}
+// vec is one node's per-slot lane words: vec[r] is the 64-lane value under
+// pattern slot r. Half a cache line per node at Slots = 4.
+type vec = [Slots]uint64
 
-// Sim is an event-driven 64-lane fault simulator bound to one netlist.
-// It is not safe for concurrent use; campaigns own one per worker.
+// Sim is an event-driven, pattern-packed 64-lane fault simulator bound to
+// one netlist. It is not safe for concurrent use; campaigns own one per
+// worker.
 //
-// Protocol, per pattern:
+// Protocol, per pattern quad:
 //
-//	sim.BindGolden(trace)          // packed fault-free node values per cycle
+//	sim.BindGoldenPack(traces)     // 1..Slots packed fault-free traces
 //	sim.SetFaults(group)           // ≤64 stuck-at faults, one per lane
 //	for c := 0; c < cycles; c++ {
-//		sim.BeginCycle(c)          // seed + propagate deltas
-//		if sim.Active() { ... }    // read Node / OutputWord
-//		sim.Clock(c)               // capture DFF divergence for cycle c+1
+//		sim.BeginCycle(c)          // seed + propagate deltas, all slots
+//		if sim.Active() { ... }    // SetReadSlot, then read Node
+//		sim.Clock(c)               // capture DFF divergence, retire deltas
 //	}
+//
+// Clock must run after every BeginCycle — besides capturing flip-flop
+// divergence it retires the cycle's delta vectors, the invariant the next
+// cycle's branch-free operand loads rest on.
 //
 // Delay faults are not supported (they need the previous evaluation's raw
 // value at every node); campaigns route batches containing them to the
 // full simulator.
 type Sim struct {
-	nl *netlist.Netlist
-	lv *analyze.Levelization
+	nl   *netlist.Netlist
+	lv   *analyze.Levelization
+	kern *netlist.Kernels
 
-	golden [][]uint64 // packed golden node bits, per cycle (borrowed)
-	gcur   []uint64   // golden[c] for the cycle being simulated
+	// Golden state: gq[c][n] is node n's golden value in cycle c,
+	// broadcast per slot (an owned slab filled by BindGoldenPack); gqcur
+	// is gq[c] for the cycle being simulated. qlen is the number of real
+	// pattern slots bound (1..Slots); the rest duplicate the last real
+	// slot, so they propagate identical deltas and never widen the
+	// active set.
+	gq     [][]vec
+	gqcur  []vec
+	cycles int
+	qlen   int
 
-	// Fault overrides for the current group, dense by node.
-	ovr        []override
+	// Per-node sparse state, flat node-indexed slabs sized once per
+	// engine. delta[n] is the node's faulty vector XOR its golden vector —
+	// all-zero for every clean node, maintained by Clock retiring the
+	// touched nodes' deltas each cycle, so operand loads in the sweep are
+	// branch-free (golden ^ delta, valid for clean and dirty nodes
+	// alike). ovr[n] is the node's stuck-at override pair {set, clr} for
+	// the current fault group, shared by every slot (the packed patterns
+	// grade the same faults). stamp dedups seeding and sched dedups
+	// scheduling within a cycle; both are invalidated wholesale by epoch
+	// bumps, never cleared.
+	delta  []vec
+	ovr    [][2]uint64
+	fsMask []uint64 // fault-site bitmask: bit n%64 of word n/64 set when ovr[n] is live
+	stamp  []uint32
+	sched  []uint32
+	epoch  uint32
+
 	faultNodes []netlist.Node
+	touched    []netlist.Node // nodes marked dirty this cycle (deduplicated)
+	pend       []netlist.Node // per-level transition scratch for BeginCycle's two-phase sweep
 
-	// Per-cycle sparse state, invalidated wholesale by bumping epoch.
-	state   []nodeState
-	epoch   uint32
-	touched []netlist.Node // nodes marked dirty this cycle (deduplicated)
+	// Level-bucketed event queue, swept between the active bounds
+	// [lvLo, lvHi] maintained by the schedulers — quiet levels outside
+	// the bounds are never visited.
+	bucket     [][]netlist.Node
+	lvLo, lvHi int
 
-	// Level-bucketed event queue.
-	bucket [][]netlist.Node
-	sched  []uint32 // per-node scheduled stamp
-
-	// DFFs whose faulty state diverges from golden going into the next
-	// cycle: parallel node/word lists, rebuilt by every Clock.
+	// DFFs whose faulty state diverges from golden in any slot going into
+	// the next cycle: parallel node/vector lists, rebuilt by every Clock.
 	divNode []netlist.Node
-	divWord []uint64
+	divWord []vec
 
 	// Output tracking: isOut flags nodes bound to primary outputs;
 	// outTouched lists the ones marked dirty this cycle (a conservative
@@ -93,6 +135,10 @@ type Sim struct {
 	// to its golden value after marking).
 	isOut      []bool
 	outTouched []netlist.Node
+
+	// readSlot selects the pattern slot served by Node/OutputWord/
+	// OutputSlice (SetReadSlot); grading loops switch it per slot.
+	readSlot int
 }
 
 // New builds an event-driven simulator from a netlist and its levelization.
@@ -102,12 +148,18 @@ func New(nl *netlist.Netlist, lv *analyze.Levelization) *Sim {
 		lv = analyze.Levelize(nl)
 	}
 	n := len(nl.Cells)
+	// One 32-bit arena carries both per-cycle stamp arrays.
+	stamps := make([]uint32, 2*n)
 	s := &Sim{
 		nl:     nl,
 		lv:     lv,
-		ovr:    make([]override, n),
-		state:  make([]nodeState, n),
-		sched:  make([]uint32, n),
+		kern:   nl.Kernels(),
+		delta:  make([]vec, n),
+		ovr:    make([][2]uint64, n),
+		fsMask: make([]uint64, (n+63)/64),
+		pend:   make([]netlist.Node, n),
+		stamp:  stamps[0*n : 1*n : 1*n],
+		sched:  stamps[1*n : 2*n : 2*n],
 		bucket: make([][]netlist.Node, lv.MaxLevel+1),
 		isOut:  make([]bool, n),
 	}
@@ -117,20 +169,55 @@ func New(nl *netlist.Netlist, lv *analyze.Levelization) *Sim {
 	return s
 }
 
-// BindGolden attaches the fault-free trace of the current pattern:
-// golden[c] holds every node's value in cycle c, packed 64 nodes per word
-// (bit n%64 of word n/64). The engine aliases the slice — the caller must
-// keep it stable until the next BindGolden. Divergence state from the
-// previous pattern is discarded (machines restart from reset, where all
-// lanes agree with golden).
-func (s *Sim) BindGolden(golden [][]uint64) {
-	s.golden = golden
+// BindGoldenPack attaches the fault-free traces of 1..Slots patterns:
+// traces[r][c] holds every node's value under pattern r in cycle c, packed
+// 64 nodes per word (bit n%64 of word n/64) — the campaign's per-slot
+// golden view. The bits are expanded into the engine's per-node broadcast
+// vectors once here, off the sweep's critical path; unused slots duplicate
+// the last real trace. Divergence state from the previous binding is
+// discarded (machines restart from reset, where all lanes agree with
+// golden).
+func (s *Sim) BindGoldenPack(traces [][][]uint64) {
+	if len(traces) == 0 || len(traces) > Slots {
+		panic("engine: BindGoldenPack wants 1..Slots golden traces")
+	}
+	n := len(s.nl.Cells)
+	cycles := len(traces[0])
+	if len(s.gq) < cycles {
+		s.gq = make([][]vec, cycles)
+		slab := make([]vec, cycles*n)
+		for c := range s.gq {
+			s.gq[c] = slab[c*n : (c+1)*n : (c+1)*n]
+		}
+	}
+	s.cycles = cycles
+	s.qlen = len(traces)
+	for r := 0; r < Slots; r++ {
+		tr := traces[min(r, len(traces)-1)]
+		for c := 0; c < cycles; c++ {
+			dst := s.gq[c]
+			for w, word := range tr[c] {
+				base := w * 64
+				end := min(base+64, n)
+				for i := base; i < end; i++ {
+					dst[i][r] = -(word >> (uint(i) & 63) & 1)
+				}
+			}
+		}
+	}
 	s.divNode = s.divNode[:0]
 	s.divWord = s.divWord[:0]
 }
 
+// BindGolden is BindGoldenPack for a single pattern — the pre-packing
+// protocol, kept for single-trace callers.
+func (s *Sim) BindGolden(golden [][]uint64) {
+	s.BindGoldenPack([][][]uint64{golden})
+}
+
 // SetFaults installs a group of up to 64 stuck-at faults, fault i on lane
-// i, replacing the previous group. Divergence state is reset.
+// i, replacing the previous group. The group is shared by every pattern
+// slot. Divergence state is reset.
 //
 //vetsim:hotpath
 func (s *Sim) SetFaults(group []netlist.Fault) {
@@ -138,212 +225,288 @@ func (s *Sim) SetFaults(group []netlist.Fault) {
 		panic("engine: fault group exceeds 64 lanes")
 	}
 	for _, n := range s.faultNodes {
-		s.ovr[n] = override{}
+		s.ovr[n] = [2]uint64{}
+		s.fsMask[uint(n)>>6] &^= 1 << (uint(n) & 63)
 	}
 	s.faultNodes = s.faultNodes[:0]
 	for lane, f := range group {
 		if f.Kind != netlist.StuckAt {
 			panic("engine: only stuck-at faults are event-driven; route delay faults to the full simulator")
 		}
-		o := &s.ovr[f.Node]
-		if o.set == 0 && o.clr == 0 {
-			s.faultNodes = append(s.faultNodes, f.Node)
+		n := f.Node
+		if s.ovr[n] == ([2]uint64{}) {
+			s.faultNodes = append(s.faultNodes, n)
+			s.fsMask[uint(n)>>6] |= 1 << (uint(n) & 63)
 		}
 		if f.Stuck {
-			o.set |= 1 << lane
+			s.ovr[n][0] |= 1 << lane
 		} else {
-			o.clr |= 1 << lane
+			s.ovr[n][1] |= 1 << lane
 		}
 	}
 	s.divNode = s.divNode[:0]
 	s.divWord = s.divWord[:0]
 }
 
-// gb returns node n's golden value broadcast to all 64 lanes.
-func (s *Sim) gb(n netlist.Node) uint64 {
-	return -(s.gcur[uint(n)>>6] >> (uint(n) & 63) & 1)
-}
-
-// val returns node n's faulty word for the current cycle.
+// val returns node n's faulty word for the current cycle in the read slot.
 func (s *Sim) val(n netlist.Node) uint64 {
-	if st := &s.state[n]; st.stamp == s.epoch {
-		return st.cur
-	}
-	return s.gb(n)
+	return s.gqcur[n][s.readSlot] ^ s.delta[n][s.readSlot]
 }
 
-// markDirty records a node that deviates from golden and schedules its
-// combinational readers. BeginCycle's sweep inlines the same logic; this
-// method serves the seeding phase.
+// seed installs a known faulty base vector at node n (the latched state of
+// a diverged DFF), applies the node's own stuck-at override, and schedules
+// its combinational readers if any slot deviates from golden. Seeds run on
+// retired (all-zero) deltas — stamp dedups the fault-site pass against
+// nodes the flip-flop pass already seeded — so a nonzero delta here is
+// always a 0→d transition.
 //
 //vetsim:hotpath
-func (s *Sim) markDirty(n netlist.Node) {
-	if st := &s.state[n]; st.dirty != s.epoch {
-		st.dirty = s.epoch
-		s.touched = append(s.touched, n)
-		if s.isOut[n] {
-			s.outTouched = append(s.outTouched, n)
-		}
+func (s *Sim) seed(n netlist.Node, base *vec) {
+	o := &s.ovr[n]
+	g := &s.gqcur[n]
+	d := &s.delta[n]
+	s.stamp[n] = s.epoch
+	var any uint64
+	for r := 0; r < Slots; r++ {
+		dr := ((base[r] | o[0]) &^ o[1]) ^ g[r]
+		d[r] = dr
+		any |= dr
+	}
+	if any != 0 {
+		s.markTouched(n)
+	}
+}
+
+// markTouched records a node whose delta just transitioned 0→nonzero in
+// some slot: it joins the touched (and, if output-bound, outTouched) list,
+// and its combinational readers are scheduled into the level buckets,
+// deduplicated by the sched stamp.
+//
+//vetsim:hotpath
+func (s *Sim) markTouched(n netlist.Node) {
+	s.touched = append(s.touched, n)
+	if s.isOut[n] {
+		s.outTouched = append(s.outTouched, n)
 	}
 	lv := s.lv
 	for i, end := lv.ReadersOff[n], lv.ReadersOff[n+1]; i < end; i++ {
 		r := lv.ReadersFlat[i]
 		if s.sched[r] != s.epoch {
 			s.sched[r] = s.epoch
-			s.bucket[lv.ReadersLvl[i]] = append(s.bucket[lv.ReadersLvl[i]], r)
+			l := int(lv.ReadersLvl[i])
+			s.bucket[l] = append(s.bucket[l], r)
+			if l < s.lvLo {
+				s.lvLo = l
+			}
+			if l > s.lvHi {
+				s.lvHi = l
+			}
 		}
-	}
-}
-
-// seed installs a known faulty base word at node n (golden for plain fault
-// sites, the latched state for diverged DFFs), applies the node's own
-// stuck-at override, and schedules propagation if the result deviates.
-//
-//vetsim:hotpath
-func (s *Sim) seed(n netlist.Node, base uint64) {
-	o := s.ovr[n]
-	v := (base | o.set) &^ o.clr
-	st := &s.state[n]
-	st.stamp = s.epoch
-	st.cur = v
-	if v != s.gb(n) {
-		s.markDirty(n)
 	}
 }
 
 // BeginCycle evaluates cycle c of the faulty machines as a delta over the
-// golden trace: diverged DFFs and fault sites are seeded, then deltas
-// propagate level-by-level through the fanout. On return, Node and
-// OutputWord serve exactly the values the full simulator would hold after
-// its Eval of cycle c.
+// golden traces, all pattern slots at once: diverged DFFs and fault sites
+// are seeded, then deltas propagate level-by-level through the fanout. On
+// return, Node and OutputWord serve exactly the values the full simulator
+// would hold after its Eval of cycle c under the read slot's pattern.
 //
 //vetsim:hotpath
 func (s *Sim) BeginCycle(c int) {
-	s.gcur = s.golden[c]
+	s.gqcur = s.gq[c]
 	s.epoch++
 	s.touched = s.touched[:0]
 	s.outTouched = s.outTouched[:0]
+	s.lvLo = len(s.bucket)
+	s.lvHi = 0
 
-	// Seeds: flip-flops whose captured state deviates from golden, then
-	// every fault site (stuck-at pins force their value every cycle).
+	// Seeds: flip-flops whose captured state deviates from golden in any
+	// slot, then every fault site (stuck-at pins force their value every
+	// cycle).
 	for i, q := range s.divNode {
-		s.seed(q, s.divWord[i])
+		s.seed(q, &s.divWord[i])
 	}
 	for _, n := range s.faultNodes {
-		if s.state[n].stamp != s.epoch {
-			s.seed(n, s.gb(n))
+		if s.stamp[n] != s.epoch {
+			g := &s.gqcur[n]
+			o := &s.ovr[n]
+			d := &s.delta[n]
+			// Inline of seed with base = golden: d = ((g|set)&^clr) ^ g.
+			s.stamp[n] = s.epoch
+			var any uint64
+			for r := 0; r < Slots; r++ {
+				dr := ((g[r] | o[0]) &^ o[1]) ^ g[r]
+				d[r] = dr
+				any |= dr
+			}
+			if any != 0 {
+				s.markTouched(n)
+			}
 		}
 	}
 
 	// Levelized sweep: a gate evaluates at most once, after every deviating
-	// input is final. Everything hot is hoisted into locals; the scheduling
-	// loop is inlined (markDirty mirrors it for the seeding phase).
-	cells := s.nl.Cells
-	state, gcur := s.state, s.gcur
-	ovr := s.ovr
-	sched, epoch := s.sched, s.epoch
-	flat, lvls := s.lv.ReadersFlat, s.lv.ReadersLvl
-	offs := s.lv.ReadersOff
-	for lvl := 1; lvl <= s.lv.MaxLevel; lvl++ {
+	// input is final, through the branch-free kernel program. A node's
+	// kernel arrives as one packed 16-byte record (netlist.KCell); an
+	// operand is golden ^ delta per slot — two vector loads and four XORs,
+	// no bit extraction and no validity branch (clean nodes carry a zero
+	// delta by the Clock invariant). The result is stored back as a delta
+	// vector, and readers are scheduled only when a node transitions from
+	// all-slots-clean to dirty-somewhere — a node re-evaluating to a
+	// different nonzero delta already scheduled them, and sched dedups the
+	// rest. Scheduling during the sweep only ever targets strictly higher
+	// levels, so reading s.lvHi in the loop condition keeps the bounds
+	// exact while the active frontier grows.
+	//
+	// Per-gate cost is trimmed three ways: lo==hi gates (everything but
+	// MUX) evaluate through the six-op Reed-Muller form and never fetch
+	// the third operand, MUXes use the direct a^(sel&(a^b)) blend and
+	// never fetch a table, and the stuck-at override pair — a scattered
+	// 16-byte load in a node-indexed array — is only fetched for the few
+	// nodes flagged in the fault-site bitmask (L1-resident, one bit per
+	// node). The delta/kc/ovr/gq slices are pinned to a common length so
+	// the kc[id] check proves the rest of the node-indexed accesses in
+	// bounds. The slot loops are over fixed-size arrays and unroll.
+	delta := s.delta
+	kc := s.kern.KCells[:len(delta)]
+	ovr := s.ovr[:len(delta)]
+	gq := s.gqcur[:len(delta)]
+	fs := s.fsMask
+	pend := s.pend
+	for lvl := s.lvLo; lvl <= s.lvHi; lvl++ {
 		q := s.bucket[lvl]
 		if len(q) == 0 {
 			continue
 		}
 		s.bucket[lvl] = q[:0]
+		// Phase 1: evaluate every node of the level. The transition
+		// predicate is computed arithmetically and transitions are
+		// collected by an unconditional store plus predicated index
+		// bump — the ~1/3-taken, data-dependent branch this replaces is
+		// the sweep's worst mispredict source.
+		w := 0
 		for _, id := range q {
-			cell := &cells[id]
-			var v uint64
-			val := func(n netlist.Node) uint64 {
-				if st := &state[n]; st.stamp == epoch {
-					return st.cur
+			p := kc[id]
+			ga, da := &gq[p.In0], &delta[p.In0]
+			gb, db := &gq[p.In1], &delta[p.In1]
+			var v vec
+			if p.Lo == p.Hi {
+				m := &netlist.ANFMasks[p.Lo&15]
+				for r := 0; r < Slots; r++ {
+					a := ga[r] ^ da[r]
+					b := gb[r] ^ db[r]
+					v[r] = m[0] ^ m[1]&a ^ m[2]&b ^ m[3]&(a&b)
 				}
-				return -(gcur[uint(n)>>6] >> (uint(n) & 63) & 1)
-			}
-			switch cell.Kind {
-			case netlist.KBuf:
-				v = val(cell.In[0])
-			case netlist.KInv:
-				v = ^val(cell.In[0])
-			case netlist.KAnd:
-				v = val(cell.In[0]) & val(cell.In[1])
-			case netlist.KOr:
-				v = val(cell.In[0]) | val(cell.In[1])
-			case netlist.KXor:
-				v = val(cell.In[0]) ^ val(cell.In[1])
-			case netlist.KNand:
-				v = ^(val(cell.In[0]) & val(cell.In[1]))
-			case netlist.KNor:
-				v = ^(val(cell.In[0]) | val(cell.In[1]))
-			case netlist.KMux:
-				sel := val(cell.In[2])
-				v = (val(cell.In[0]) &^ sel) | (val(cell.In[1]) & sel)
-			}
-			o := ovr[id]
-			v = (v | o.set) &^ o.clr
-			st := &state[id]
-			st.stamp = epoch
-			st.cur = v
-			if v != -(gcur[uint(id)>>6] >> (uint(id) & 63) & 1) {
-				if st.dirty != epoch {
-					st.dirty = epoch
-					s.touched = append(s.touched, id)
-					if s.isOut[id] {
-						s.outTouched = append(s.outTouched, id)
-					}
-				}
-				for i, end := offs[id], offs[id+1]; i < end; i++ {
-					r := flat[i]
-					if sched[r] != epoch {
-						sched[r] = epoch
-						s.bucket[lvls[i]] = append(s.bucket[lvls[i]], r)
-					}
+			} else {
+				gs, ds := &gq[p.In2], &delta[p.In2]
+				for r := 0; r < Slots; r++ {
+					a := ga[r] ^ da[r]
+					b := gb[r] ^ db[r]
+					sel := gs[r] ^ ds[r]
+					v[r] = a ^ sel&(a^b)
 				}
 			}
+			if fs[uint32(id)>>6]>>(uint32(id)&63)&1 != 0 {
+				o := &ovr[id]
+				for r := 0; r < Slots; r++ {
+					v[r] = (v[r] | o[0]) &^ o[1]
+				}
+			}
+			g, dd := &gq[id], &delta[id]
+			old := dd[0] | dd[1] | dd[2] | dd[3]
+			var nw uint64
+			for r := 0; r < Slots; r++ {
+				dr := v[r] ^ g[r]
+				dd[r] = dr
+				nw |= dr
+			}
+			pend[w] = id
+			w += int(((nw | -nw) &^ (old | -old)) >> 63)
+		}
+		// Phase 2: transitions join the touched list and schedule their
+		// readers — always at strictly higher levels, so the buckets this
+		// sweep has yet to visit absorb them. Keeping the reader walk's
+		// irregular control flow out of phase 1 keeps it off the
+		// evaluation loop's critical path.
+		for _, id := range pend[:w] {
+			s.markTouched(id)
 		}
 	}
 }
 
-// Active reports whether any node deviates from golden in the current
-// cycle. When false, every output equals its golden value and comparison
-// can be skipped wholesale — the event engine's early exit.
+// Active reports whether any node deviates from golden in any slot of the
+// current cycle. When false, every output of every slot equals its golden
+// value and comparison can be skipped wholesale — the event engine's early
+// exit.
 func (s *Sim) Active() bool { return len(s.touched) > 0 }
 
 // Touched returns the nodes marked dirty this cycle — the active set of
-// the delta propagation. The slice is valid until the next BeginCycle;
-// callers must not mutate it. Diagnostics use it to measure sparsity.
+// the delta propagation, unioned across slots. The slice is valid until
+// the next BeginCycle; callers must not mutate it. Diagnostics use it to
+// measure sparsity.
 func (s *Sim) Touched() []netlist.Node { return s.touched }
 
 // OutputsActive reports whether any primary-output node may deviate from
-// golden this cycle. It is a conservative upper bound (a marked node can
-// settle back to its golden value), so a false return guarantees every
-// output field grades clean and the campaign can skip comparison.
+// golden this cycle in any slot. It is a conservative upper bound (a
+// marked node can settle back to its golden value), so a false return
+// guarantees every output field grades clean in every slot and the
+// campaign can skip comparison.
 func (s *Sim) OutputsActive() bool { return len(s.outTouched) > 0 }
 
 // OutTouched returns the primary-output nodes marked dirty this cycle — a
-// conservative superset of the outputs deviating from golden. Campaigns
-// use it to grade only the fields a batch can possibly have corrupted.
-// The slice is valid until the next BeginCycle.
+// conservative superset of the outputs deviating from golden in any slot.
+// Campaigns use it with DirtySlots to grade only the (field, slot) pairs a
+// batch can possibly have corrupted. The slice is valid until the next
+// BeginCycle.
 func (s *Sim) OutTouched() []netlist.Node { return s.outTouched }
 
+// DirtySlots returns a bitmask of the pattern slots in which node n
+// currently deviates from golden (bit r set when slot r's delta word is
+// nonzero). A clear bit is exact, not conservative: slot r's outputs at n
+// equal golden, so grading it would emit nothing.
+func (s *Sim) DirtySlots(n netlist.Node) uint32 {
+	d := &s.delta[n]
+	var m uint32
+	for r := 0; r < Slots; r++ {
+		m |= uint32((d[r]|-d[r])>>63) << r
+	}
+	return m
+}
+
+// SetReadSlot selects the pattern slot served by Node, OutputWord and
+// OutputSlice. Grading loops switch it as they walk the real slots.
+func (s *Sim) SetReadSlot(r int) { s.readSlot = r }
+
 // Clock captures cycle c's DFF next-state inputs, recording only the
-// flip-flops whose faulty state will deviate from golden in cycle c+1.
-// Flip-flops fed by clean nets converge back to the golden trace and cost
-// nothing.
+// flip-flops whose faulty state will deviate from golden in cycle c+1 in
+// some slot, and retires the cycle's deltas — every touched node's delta
+// vector is zeroed, restoring the all-clean invariant BeginCycle's
+// branch-free operand loads depend on. Flip-flops fed by clean nets
+// converge back to the golden trace and cost nothing.
 //
 //vetsim:hotpath
 func (s *Sim) Clock(c int) {
 	s.divNode = s.divNode[:0]
 	s.divWord = s.divWord[:0]
+	delta := s.delta
 	dffOff, dffFlat := s.lv.DFFOff, s.lv.DFFFlat
 	for _, n := range s.touched {
+		d := &delta[n]
+		any := d[0] | d[1] | d[2] | d[3]
+		if any == 0 {
+			continue // re-evaluated back to golden in every slot
+		}
 		lo, hi := dffOff[n], dffOff[n+1]
 		if lo == hi {
+			*d = vec{}
 			continue // latched by nothing
 		}
-		cur := s.state[n].cur
-		if cur == s.gb(n) {
-			continue // re-evaluated back to golden
+		g := &s.gqcur[n]
+		var cur vec
+		for r := 0; r < Slots; r++ {
+			cur[r] = g[r] ^ d[r]
 		}
+		*d = vec{}
 		for _, di := range dffFlat[lo:hi] {
 			s.divNode = append(s.divNode, s.nl.DFFs[di])
 			s.divWord = append(s.divWord, cur)
@@ -351,11 +514,13 @@ func (s *Sim) Clock(c int) {
 	}
 }
 
-// Node returns node n's current value word, one machine per bit lane.
+// Node returns node n's current value word under the read slot's pattern,
+// one machine per bit lane.
 func (s *Sim) Node(n netlist.Node) uint64 { return s.val(n) }
 
 // OutputWord assembles the value of a named output field for machine
-// lane, LSB first — the same contract as netlist.Simulator.OutputWord.
+// lane under the read slot's pattern, LSB first — the same contract as
+// netlist.Simulator.OutputWord.
 func (s *Sim) OutputWord(field string, lane int) uint64 {
 	var v uint64
 	for _, o := range s.nl.Outputs {
@@ -367,8 +532,8 @@ func (s *Sim) OutputWord(field string, lane int) uint64 {
 }
 
 // OutputSlice assembles a field value for machine lane from an explicit
-// output-bit list, LSB first — the same contract as
-// netlist.Simulator.OutputSlice.
+// output-bit list under the read slot's pattern, LSB first — the same
+// contract as netlist.Simulator.OutputSlice.
 func (s *Sim) OutputSlice(outs []netlist.Output, lane int) uint64 {
 	var v uint64
 	for _, o := range outs {

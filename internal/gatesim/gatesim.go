@@ -192,9 +192,30 @@ type Config struct {
 	// influences grading, and the serial path ignores it.
 	Timeline *ShardTimeline
 
+	// PatternBlock is the pattern-parallel packing width: up to this many
+	// patterns share one lane-packed golden evaluation (one pattern per
+	// bit lane), and their faulty passes fan out as (pattern × 64-lane
+	// group) work items. Wider blocks amortize the golden pass 64x and
+	// give shard workers a deeper, better-balanced item space; results
+	// are byte-identical at every width (parallel_test.go). 0 selects the
+	// full 64-lane width; 1 pins the one-pattern-at-a-time reference.
+	PatternBlock int
+
 	// forceShard routes width-1 runs through the sharded path; tests use
 	// it to hold the sharding machinery itself to the serial reference.
 	forceShard bool
+}
+
+// blockWidth resolves the pattern-packing width against the pattern list.
+func (c Config) blockWidth(nPatterns int) int {
+	w := c.PatternBlock
+	if w <= 0 || w > 64 {
+		w = 64
+	}
+	if w > nPatterns && nPatterns > 0 {
+		w = nPatterns
+	}
+	return w
 }
 
 // Campaign runs the exhaustive stuck-at campaign for one unit over the
@@ -279,98 +300,24 @@ func CampaignCollapsedCfg(u *units.Unit, patterns []units.Pattern, cm Collapse, 
 
 // laneReader is the view of one faulty batch the classification loop
 // reads: per-node lane words. Both the full simulator (netlist.Simulator)
-// and the event engine (engine.Sim) satisfy it. gradeCycle is generic
-// over it so the per-output calls devirtualize and inline for each
-// engine.
+// and the event engine (engine.Sim, under its current read slot) satisfy
+// it. recordCycle is generic over it so the per-output calls devirtualize
+// and inline for each engine.
 type laneReader interface {
 	Node(n netlist.Node) uint64
 }
 
 // grader carries the classification state of one campaignRun: the field
-// grouping, the per-cycle golden field values, and the per-fault verdict
-// accumulators shared by every batch of every pattern.
+// grouping and the per-fault verdict accumulators shared by every batch
+// of every pattern. Golden field values live per pattern slot in the
+// campaign context (goldenField) and are passed into the grading loops.
 type grader struct {
 	fields      []fieldSpan
-	goldenField [][]uint64 // per cycle, per field value
-	members     [][]int32  // nil when sim IS the full list
-	single      [1]int32   // scratch member list for the uncollapsed path
-	ws          []uint64   // scratch: lane words of the field under grade
+	members     [][]int32 // nil when sim IS the full list
+	single      [1]int32  // scratch member list for the uncollapsed path
+	ws          []uint64  // scratch: lane words of the field under grade
 	hang, swerr []bool
 	sink        EventSink
-}
-
-// gradeCycle grades output fields of cycle c against golden and fans
-// events out to the fault universe — the classification inner loop,
-// shared by both engines so their event streams cannot diverge.
-//
-// fieldMask bit fi set means field fi may deviate and must be graded; the
-// full engine passes all-ones, the event engine derives the mask from the
-// output nodes its delta propagation actually touched (a clean field's
-// anyDiff is identically zero, so skipping it emits exactly nothing —
-// byte-identity is preserved). Fields at index ≥64 are always graded.
-//
-//vetsim:hotpath
-func gradeCycle[S laneReader](g *grader, p units.Pattern, c, base, groupLen int, ls S, fieldMask uint64) {
-	for fi := range g.fields {
-		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {
-			continue
-		}
-		fs := &g.fields[fi]
-		golden := g.goldenField[c][fi]
-		// Cheap pre-check: diff word across all lanes, keeping each
-		// output's lane word so deviating lanes assemble their field
-		// value from registers instead of re-reading the simulator.
-		ws := g.ws[:len(fs.outs)]
-		var anyDiff uint64
-		for i, o := range fs.outs {
-			w := ls.Node(o.Node)
-			ws[i] = w
-			gbit := uint64(0)
-			if golden>>o.Bit&1 == 1 {
-				gbit = ^uint64(0)
-			}
-			anyDiff |= w ^ gbit
-		}
-		if anyDiff == 0 {
-			continue
-		}
-		for lane := 0; lane < groupLen; lane++ {
-			if anyDiff>>lane&1 == 0 {
-				continue
-			}
-			si := base + lane
-			var faulty uint64
-			for i, o := range fs.outs {
-				faulty |= (ws[i] >> uint(lane) & 1) << o.Bit
-			}
-			if faulty == golden {
-				continue
-			}
-			// Expand the event to every fault sharing this faulty
-			// circuit.
-			var mem []int32
-			if g.members == nil {
-				g.single[0] = int32(si)
-				mem = g.single[:]
-			} else {
-				mem = g.members[si]
-			}
-			for _, m := range mem {
-				idx := int(m)
-				if fs.hang {
-					if !g.hang[idx] && g.sink != nil {
-						g.sink.Hang(idx, p, fs.name)
-					}
-					g.hang[idx] = true
-				} else {
-					g.swerr[idx] = true
-					if g.sink != nil {
-						g.sink.Corruption(idx, p, fs.name, golden, faulty)
-					}
-				}
-			}
-		}
-	}
 }
 
 // groupHasDelay reports whether a fault batch contains a delay fault and
@@ -398,12 +345,24 @@ func (e *evStats) add(o evStats) {
 }
 
 // campaignCtx is the shared state of one campaignRun: the stimulus, the
-// fault universe, the field grouping, the per-pattern golden traces and
+// fault universe, the field grouping, the per-block golden traces and
 // the per-fault verdict accumulators. The serial reference path
 // (runSerial) and the sharded path (runSharded, shard.go) both execute
-// over it; only the batch-execution strategy differs. During a sharded
-// pattern the golden traces and fieldMaskOf are read-only to workers,
-// while the grader, activated and sink stay owned by the main goroutine.
+// over it; only the item-execution strategy differs. During a sharded
+// block round the golden traces and fieldMaskOf are read-only to
+// workers, while the grader, activated and sink stay owned by the main
+// goroutine.
+//
+// Patterns are processed in blocks of up to blockCap: one lane-packed
+// golden pass evaluates the whole block (pattern slot q on bit lane q).
+// The faulty passes then cover the block quad by quad — engine.Slots
+// consecutive pattern slots share each packed event sweep — forming a
+// flat work-item space of ceil(len(block)/Slots)×nGroups items, item i
+// covering fault group i%nGroups of quad i/nGroups. Every item records
+// its corruption occurrences per slot, and the recorded events replay
+// pattern-major (quad ascending, slot ascending, group ascending) — the
+// legacy serial traversal — which is what keeps summaries and sink
+// streams byte-identical at every packing width and worker count.
 type campaignCtx struct {
 	u        *units.Unit
 	patterns []units.Pattern
@@ -418,64 +377,111 @@ type campaignCtx struct {
 	maxOuts   int
 	timeline  *ShardTimeline
 
-	gsim        *netlist.Simulator
-	goldenNode  [][]uint64 // per cycle: golden node bits, packed 64 per word
-	goldenField [][]uint64 // aliases g.goldenField
-	fieldMaskOf []uint64   // event engine: per node, bit fi set when it feeds field fi (<64)
+	gsim       *netlist.Simulator
+	blockCap   int    // patterns packed per golden pass (1..64)
+	nGroups    int    // 64-lane fault groups in sim
+	groupDelay []bool // per group: contains a delay fault (full-sim fallback)
+
+	// Golden state of the current block, rebuilt by goldenPassBlock and
+	// read-only until the next block:
+	//
+	//   packedNode[c][n]       node n's lane words in cycle c (lane = slot)
+	//   goldenView[q][c]       slot q's bit-packed trace (64 nodes/word),
+	//                          the layout engine.BindGoldenPack consumes
+	//   goldenField[q][c][fi]  slot q's golden value of field fi
+	//
+	// All three are carved from flat per-campaign slabs.
+	packedNode  [][]uint64
+	goldenView  [][][]uint64
+	goldenField [][][]uint64
+	fieldMaskOf []uint64 // event engine: per node, bit fi set when it feeds field fi (<64)
 
 	ev evStats
 }
 
-// goldenPass runs the fault-free simulation of one pattern, packing every
-// node's value per cycle into goldenNode and assembling the per-field
-// golden words every grader compares against.
-func (cc *campaignCtx) goldenPass(p units.Pattern) {
+// goldenPassBlock runs the fault-free simulation of a block of patterns
+// in one lane-packed sweep: pattern slot q drives bit lane q, so a single
+// Eval per cycle yields every slot's golden values. Unit stimulus is a
+// pure function of (pattern, cycle) — the campaign contract — so each
+// lane's trace is exactly the broadcast trace the one-pattern golden
+// pass would produce. The packed node words are transposed into the
+// per-slot bit-packed views the event engine binds, and each slot's
+// golden field values are assembled from its lane.
+//
+//vetsim:hotpath
+func (cc *campaignCtx) goldenPassBlock(block []units.Pattern) {
 	u, nl, gsim := cc.u, cc.u.NL, cc.gsim
 	gsim.Reset()
 	gsim.SetFaults(nil)
+	nWords := (len(nl.Cells) + 63) / 64
 	for c := 0; c < u.Cycles; c++ {
-		u.Drive(gsim, p, c)
-		gsim.Eval()
-		gw := cc.goldenNode[c]
-		for i := range gw {
-			gw[i] = 0
+		for q, p := range block {
+			gsim.SetLaneMask(1 << uint(q))
+			u.Drive(gsim, p, c)
 		}
-		for n := 0; n < len(nl.Cells); n++ {
-			if gsim.Node(netlist.Node(n))&1 != 0 {
-				gw[n/64] |= 1 << (n % 64)
+		gsim.SetLaneMask(^uint64(0))
+		gsim.Eval()
+		pw := cc.packedNode[c]
+		gsim.CopyNodes(pw)
+		// Transpose (node, lane) to (lane, node), 64x64 bits at a time:
+		// chunk w covers nodes 64w..64w+63, row r of the scratch matrix is
+		// node 64w+r's lane words; after the transpose, row q is slot q's
+		// packed bits for those nodes. Lanes >= len(block) carry stale
+		// values, but their rows land in slots never read.
+		var m [64]uint64
+		for w := 0; w < nWords; w++ {
+			base := w * 64
+			n := copy(m[:], pw[base:min(base+64, len(pw))])
+			for r := n; r < 64; r++ {
+				m[r] = 0
+			}
+			transpose64(&m)
+			for q := range block {
+				cc.goldenView[q][c][w] = m[q]
 			}
 		}
-		if cc.goldenField[c] == nil {
-			cc.goldenField[c] = make([]uint64, len(cc.g.fields))
-		}
-		for fi := range cc.g.fields {
-			cc.goldenField[c][fi] = gsim.OutputSlice(cc.g.fields[fi].outs, 0)
+		for q := range block {
+			gf := cc.goldenField[q][c]
+			for fi := range cc.g.fields {
+				gf[fi] = gsim.OutputSlice(cc.g.fields[fi].outs, q)
+			}
 		}
 		gsim.Clock()
 	}
 }
 
-// markActivated grades activation over the full fault list from the
-// current pattern's golden trace: a stuck-at (n, v) is activated when the
-// golden value at n differs from v in any cycle; a delay fault when the
-// node toggles between consecutive cycles.
-func (cc *campaignCtx) markActivated() {
+// markActivatedBlock grades activation over the full fault list from the
+// block's packed golden trace, all patterns of the block at once: a
+// stuck-at (n, v) is activated when any lane's golden value at n differs
+// from v in any cycle; a delay fault when any lane toggles between
+// consecutive cycles. Activation is a pure OR over (pattern, cycle), so
+// the lane-parallel form accumulates exactly what the per-pattern scan
+// did.
+//
+//vetsim:hotpath
+func (cc *campaignCtx) markActivatedBlock(blockLen int) {
 	u := cc.u
+	lanes := laneOnes(blockLen)
 	for fi, f := range cc.full {
 		if cc.activated[fi] {
 			continue
 		}
-		for c := 0; c < u.Cycles; c++ {
-			bit := cc.goldenNode[c][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
-			if f.Kind == netlist.Delay {
-				if c > 0 {
-					prev := cc.goldenNode[c-1][int(f.Node)/64]>>(int(f.Node)%64)&1 == 1
-					if prev != bit {
-						cc.activated[fi] = true
-						break
-					}
+		n := f.Node
+		if f.Kind == netlist.Delay {
+			for c := 1; c < u.Cycles; c++ {
+				if (cc.packedNode[c][n]^cc.packedNode[c-1][n])&lanes != 0 {
+					cc.activated[fi] = true
+					break
 				}
-			} else if bit != f.Stuck {
+			}
+			continue
+		}
+		want := uint64(0) // lanes where golden equals the stuck level
+		if f.Stuck {
+			want = ^uint64(0)
+		}
+		for c := 0; c < u.Cycles; c++ {
+			if (cc.packedNode[c][n]^want)&lanes != 0 {
 				cc.activated[fi] = true
 				break
 			}
@@ -483,8 +489,15 @@ func (cc *campaignCtx) markActivated() {
 	}
 }
 
-// runSerial is the single-threaded reference batch loop — the code path
+// runSerial is the single-threaded reference item loop — the code path
 // every sharded width is held byte-identical to (parallel_test.go).
+//
+// The engine simulates up to engine.Slots patterns per sweep, so grading
+// visits a quad's slots cycle-interleaved rather than pattern-major. Like
+// the sharded path, the loop therefore records corruption occurrences into
+// per-slot buffers and replays them through mergeEvents after each quad —
+// slot by slot, groups ascending — restoring exactly the legacy
+// one-pattern-at-a-time event order the sinks observe.
 func (cc *campaignCtx) runSerial() {
 	u, nl, g := cc.u, cc.u.NL, cc.g
 	fsim := netlist.NewSimulator(nl)
@@ -492,47 +505,62 @@ func (cc *campaignCtx) runSerial() {
 	if cc.eng == EngineEvent {
 		esim = engine.New(nl, nil)
 	}
+	var bufs [engine.Slots][]shardEvent
 
-	for _, p := range cc.patterns {
-		cc.goldenPass(p)
-		cc.markActivated()
+	for bs := 0; bs < len(cc.patterns); bs += cc.blockCap {
+		block := cc.patterns[bs:min(bs+cc.blockCap, len(cc.patterns))]
+		cc.goldenPassBlock(block)
+		cc.markActivatedBlock(len(block))
 
-		// Faulty passes, 64 lanes at a time.
-		if esim != nil {
-			esim.BindGolden(cc.goldenNode)
-		}
-		for base := 0; base < len(cc.sim); base += 64 {
-			group := cc.sim[base:min(base+64, len(cc.sim))]
-			if esim != nil && !groupHasDelay(group) {
-				// Event-driven: seed only the faulty pins and diverged
-				// flip-flops, propagate deltas through the fanout, skip
-				// output grading entirely on quiet cycles.
-				esim.SetFaults(group)
-				cc.ev.cycles += int64(u.Cycles)
-				for c := 0; c < u.Cycles; c++ {
-					esim.BeginCycle(c)
-					if esim.Active() {
-						cc.ev.active++
-						cc.ev.touched += int64(len(esim.Touched()))
-						var mask uint64
-						for _, n := range esim.OutTouched() {
-							mask |= cc.fieldMaskOf[n]
-						}
-						if mask != 0 || len(g.fields) > 64 {
-							gradeCycle(g, p, c, base, len(group), esim, mask)
-						}
-					}
-					esim.Clock(c)
-				}
-				continue
+		// Faulty passes, one pattern quad at a time: fault groups iterate
+		// inside the quad, so a single golden binding covers nGroups
+		// packed sweeps.
+		for q0 := 0; q0 < len(block); q0 += engine.Slots {
+			qlen := min(engine.Slots, len(block)-q0)
+			for r := 0; r < qlen; r++ {
+				bufs[r] = bufs[r][:0]
 			}
-			fsim.Reset()
-			fsim.SetFaults(group)
-			for c := 0; c < u.Cycles; c++ {
-				u.Drive(fsim, p, c)
-				fsim.Eval()
-				gradeCycle(g, p, c, base, len(group), fsim, ^uint64(0))
-				fsim.Clock()
+			bound := false
+			for gi := 0; gi < cc.nGroups; gi++ {
+				base := gi * 64
+				group := cc.sim[base:min(base+64, len(cc.sim))]
+				if esim != nil && !cc.groupDelay[gi] {
+					// Event-driven: seed only the faulty pins and diverged
+					// flip-flops, propagate deltas through the fanout —
+					// all slots in one pass — and skip output grading
+					// entirely on quiet cycles.
+					if !bound {
+						esim.BindGoldenPack(cc.goldenView[q0 : q0+qlen])
+						bound = true
+					}
+					esim.SetFaults(group)
+					cc.ev.cycles += int64(u.Cycles) * int64(qlen)
+					for c := 0; c < u.Cycles; c++ {
+						esim.BeginCycle(c)
+						if esim.Active() {
+							cc.ev.active++
+							cc.ev.touched += int64(len(esim.Touched()))
+							cc.recordQuadCycle(esim, q0, qlen, base, len(group), c, g.ws, &bufs)
+						}
+						esim.Clock(c)
+					}
+					continue
+				}
+				for r := 0; r < qlen; r++ {
+					p := block[q0+r]
+					gf := cc.goldenField[q0+r]
+					fsim.Reset()
+					fsim.SetFaults(group)
+					for c := 0; c < u.Cycles; c++ {
+						u.Drive(fsim, p, c)
+						fsim.Eval()
+						bufs[r] = recordCycle(g, base, len(group), fsim, ^uint64(0), gf[c], g.ws, bufs[r])
+						fsim.Clock()
+					}
+				}
+			}
+			for r := 0; r < qlen; r++ {
+				cc.mergeEvents(block[q0+r], bufs[r])
 			}
 		}
 	}
@@ -567,13 +595,12 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 		}
 	}
 	g := &grader{
-		fields:      fields,
-		goldenField: make([][]uint64, u.Cycles),
-		members:     members,
-		ws:          make([]uint64, maxOuts),
-		hang:        make([]bool, len(full)),
-		swerr:       make([]bool, len(full)),
-		sink:        sink,
+		fields:  fields,
+		members: members,
+		ws:      make([]uint64, maxOuts),
+		hang:    make([]bool, len(full)),
+		swerr:   make([]bool, len(full)),
+		sink:    sink,
 	}
 
 	var fieldMaskOf []uint64 // per node, bit fi set when the node feeds field fi (<64)
@@ -589,26 +616,59 @@ func campaignRun(u *units.Unit, patterns []units.Pattern, full, sim []netlist.Fa
 		}
 	}
 
-	// goldenNode[c][n] is node n's golden value in cycle c (packed bits).
-	nWords := (len(nl.Cells) + 63) / 64
-	goldenNode := make([][]uint64, u.Cycles)
-	for c := range goldenNode {
-		goldenNode[c] = make([]uint64, nWords)
+	blockCap := cfg.blockWidth(len(patterns))
+	nGroups := (len(sim) + 63) / 64
+	groupDelay := make([]bool, nGroups)
+	for gi := range groupDelay {
+		groupDelay[gi] = groupHasDelay(sim[gi*64 : min(gi*64+64, len(sim))])
+	}
+
+	// Per-campaign golden arenas, sized once and reused block after block
+	// (steady-state allocation stays flat in the pattern count):
+	//
+	//   packedNode[c]     one lane word per node, cycle-major
+	//   goldenView[q][c]  slot q's bit-packed trace, 64 nodes per word
+	//   goldenField[q][c] slot q's golden field values
+	nCells := len(nl.Cells)
+	nWords := (nCells + 63) / 64
+	packedNode := make([][]uint64, u.Cycles)
+	pnSlab := make([]uint64, u.Cycles*nCells)
+	for c := range packedNode {
+		packedNode[c] = pnSlab[c*nCells : (c+1)*nCells : (c+1)*nCells]
+	}
+	goldenView := make([][][]uint64, blockCap)
+	gvSlab := make([]uint64, blockCap*u.Cycles*nWords)
+	goldenField := make([][][]uint64, blockCap)
+	gfSlab := make([]uint64, blockCap*u.Cycles*len(fields))
+	for q := 0; q < blockCap; q++ {
+		goldenView[q] = make([][]uint64, u.Cycles)
+		goldenField[q] = make([][]uint64, u.Cycles)
+		for c := 0; c < u.Cycles; c++ {
+			o := (q*u.Cycles + c) * nWords
+			goldenView[q][c] = gvSlab[o : o+nWords : o+nWords]
+			o = (q*u.Cycles + c) * len(fields)
+			goldenField[q][c] = gfSlab[o : o+len(fields) : o+len(fields)]
+		}
 	}
 
 	cc := &campaignCtx{
 		u: u, patterns: patterns, full: full, sim: sim, members: members,
 		sink: sink, eng: cfg.Engine,
-		g:          g,
-		activated:  make([]bool, len(full)),
-		maxOuts:    maxOuts,
-		timeline:   cfg.Timeline,
-		gsim:       netlist.NewSimulator(nl),
-		goldenNode: goldenNode, goldenField: g.goldenField,
+		g:           g,
+		activated:   make([]bool, len(full)),
+		maxOuts:     maxOuts,
+		timeline:    cfg.Timeline,
+		gsim:        netlist.NewSimulator(nl),
+		blockCap:    blockCap,
+		nGroups:     nGroups,
+		groupDelay:  groupDelay,
+		packedNode:  packedNode,
+		goldenView:  goldenView,
+		goldenField: goldenField,
 		fieldMaskOf: fieldMaskOf,
 	}
 
-	if p := cfg.shardWidth(len(sim)); p > 1 || cfg.forceShard {
+	if p := cfg.shardWidth(blockCap * nGroups); p > 1 || cfg.forceShard {
 		cc.runSharded(p)
 	} else {
 		cc.runSerial()

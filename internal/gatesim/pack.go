@@ -1,0 +1,31 @@
+package gatesim
+
+// transpose64 transposes a 64x64 bit matrix in place: bit c of row r moves
+// to bit r of row c, with bits numbered LSB-first. Hacker's Delight
+// figure 7-3 (recursive block swap) mirrored for LSB-first columns: at
+// step j the matrix is treated as 2x2 blocks of j x j bits and the
+// off-diagonal blocks are exchanged, j halving from 32 to 1.
+//
+// The golden pass uses it to turn node-major lane words (lane = pattern
+// slot) into per-slot bit-packed traces (bit = node), the layout the event
+// engine's golden lookups consume.
+//
+//vetsim:hotpath
+func transpose64(a *[64]uint64) {
+	m := uint64(0xFFFFFFFF00000000)
+	for j := 32; j != 0; j, m = j>>1, m^(m>>uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k] ^ a[k|j]<<uint(j)) & m
+			a[k] ^= t
+			a[k|j] ^= t >> uint(j)
+		}
+	}
+}
+
+// laneOnes returns a mask of the n lowest lanes (n in 0..64).
+func laneOnes(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}

@@ -1,0 +1,40 @@
+package gatesim
+
+import "testing"
+
+// TestTranspose64 checks the bit transpose against the naive definition on
+// a deterministic pseudo-random matrix: bit c of row r must land on bit r
+// of row c.
+func TestTranspose64(t *testing.T) {
+	var a, want [64]uint64
+	s := uint64(0x9E3779B97F4A7C15)
+	for r := range a {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		a[r] = s
+	}
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			want[c] |= (a[r] >> uint(c) & 1) << uint(r)
+		}
+	}
+	got := a
+	transpose64(&got)
+	if got != want {
+		t.Fatalf("transpose64 mismatch")
+	}
+	transpose64(&got)
+	if got != a {
+		t.Fatalf("transpose64 is not an involution")
+	}
+}
+
+func TestLaneOnes(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 63: ^uint64(0) >> 1, 64: ^uint64(0)}
+	for n, want := range cases {
+		if got := laneOnes(n); got != want {
+			t.Fatalf("laneOnes(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}

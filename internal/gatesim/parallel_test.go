@@ -50,22 +50,34 @@ func compareRuns(t *testing.T, label string, wantJS []byte, wantEv []recordedEve
 }
 
 // TestShardedCampaignMatchesSerial is the determinism gate for the
-// intra-campaign sharding: for every unit, both engines, with and without
-// fault collapsing, campaigns at widths 1 (forced through the sharded
-// machinery), 2 and 8 must reproduce the serial reference byte for byte —
+// intra-campaign sharding and the pattern-parallel packing: for every
+// unit, both engines, with and without fault collapsing, campaigns across
+// a sweep of (workers × PatternBlock) widths — including width 1 forced
+// through the sharded machinery and partial packing blocks — must
+// reproduce the one-pattern-at-a-time serial reference byte for byte,
 // Summary JSON and sink event stream alike. Run under -race by
 // scripts/verify.sh, this also proves the fan-out itself race-clean.
 func TestShardedCampaignMatchesSerial(t *testing.T) {
+	type width struct{ workers, block int }
 	for _, u := range units.All() {
 		t.Run(u.Name, func(t *testing.T) {
 			for _, eng := range []Engine{EngineEvent, EngineFull} {
-				// Pattern counts are budgeted for the -race run in
+				// Pattern and width budgets are set for the -race run in
 				// scripts/verify.sh: WSC on the full engine is ~50x the
 				// cost of the small units, and each (engine, collapse)
-				// cell repeats the campaign at four widths.
+				// cell repeats the campaign at every width.
 				n := 12
+				widths := []width{
+					{1, 64}, // blocked serial path
+					{1, 2},  // sharded machinery at width 1, partial blocks
+					{2, 3},  // uneven block vs pattern count
+					{2, 64}, // default packing, small fan-out
+					{8, 1},  // wide fan-out, packing pinned off
+					{8, 64}, // wide fan-out, full packing
+				}
 				if u.Name == "wsc" {
 					n = 8
+					widths = []width{{1, 64}, {2, 3}, {8, 64}}
 					if eng == EngineFull {
 						n = 3
 					}
@@ -77,11 +89,11 @@ func TestShardedCampaignMatchesSerial(t *testing.T) {
 						cm = analyze.Collapse(u.NL)
 					}
 					label := fmt.Sprintf("eng=%v collapse=%v", eng, collapse)
-					wantJS, wantEv := runCfg(t, u, patterns, cm, Config{Engine: eng, Workers: 1})
-					for _, p := range []int{1, 2, 8} {
-						cfg := Config{Engine: eng, Workers: p, forceShard: true}
+					wantJS, wantEv := runCfg(t, u, patterns, cm, Config{Engine: eng, Workers: 1, PatternBlock: 1})
+					for _, w := range widths {
+						cfg := Config{Engine: eng, Workers: w.workers, PatternBlock: w.block, forceShard: w.workers == 1 && w.block == 2}
 						gotJS, gotEv := runCfg(t, u, patterns, cm, cfg)
-						compareRuns(t, fmt.Sprintf("%s workers=%d", label, p), wantJS, wantEv, gotJS, gotEv)
+						compareRuns(t, fmt.Sprintf("%s workers=%d block=%d", label, w.workers, w.block), wantJS, wantEv, gotJS, gotEv)
 					}
 				}
 			}
@@ -113,10 +125,10 @@ func TestShardedMixedFaultListMatchesSerial(t *testing.T) {
 		return js, sink.events
 	}
 	for _, eng := range []Engine{EngineEvent, EngineFull} {
-		wantJS, wantEv := run(Config{Engine: eng, Workers: 1})
-		for _, p := range []int{2, 8} {
-			gotJS, gotEv := run(Config{Engine: eng, Workers: p})
-			compareRuns(t, fmt.Sprintf("mixed eng=%v workers=%d", eng, p), wantJS, wantEv, gotJS, gotEv)
+		wantJS, wantEv := run(Config{Engine: eng, Workers: 1, PatternBlock: 1})
+		for _, w := range []struct{ workers, block int }{{2, 64}, {8, 3}} {
+			gotJS, gotEv := run(Config{Engine: eng, Workers: w.workers, PatternBlock: w.block})
+			compareRuns(t, fmt.Sprintf("mixed eng=%v workers=%d block=%d", eng, w.workers, w.block), wantJS, wantEv, gotJS, gotEv)
 		}
 	}
 }

@@ -1,28 +1,34 @@
-// Intra-campaign fault-batch sharding.
+// Intra-campaign work-item sharding.
 //
-// A campaign's hot loop is pattern × 64-lane fault batch, and every batch
-// is independent given the pattern's golden trace: the golden node/field
-// arrays are fault-free state, computed once per pattern and read-only
-// thereafter. runSharded exploits that structure. The main goroutine runs
-// the golden pass, then fans the pattern's batches out to P persistent
-// workers over a dynamic (work-stealing) batch counter; each worker owns a
+// A campaign's hot loop is pattern quad × 64-lane fault batch, and every
+// such work item is independent given its patterns' golden traces: the
+// golden arrays are fault-free state, computed once per pattern block and
+// read-only thereafter. runSharded exploits that structure. The main
+// goroutine runs the block's lane-packed golden pass, then fans the
+// block's ceil(len(block)/engine.Slots)×nGroups items out to P persistent
+// workers over a dynamic (work-stealing) counter; each worker owns a
 // private full simulator, event engine and grading scratch, so the
 // simulation inner loops take no locks and share no mutable state.
+// Pattern-parallel blocks give the counter a deeper item space than the
+// old one-pattern rounds, which is what lets the adaptive pull stride
+// amortize counter traffic while keeping the straggler tail short.
 //
-// Determinism: workers do not touch the grader. Instead each batch records
+// Determinism: workers do not touch the grader. Instead each item records
 // its corruption occurrences — (field, sim-index, golden, faulty) tuples,
-// appended in the (cycle, field, lane) order gradeCycle visits them — into
-// a per-batch buffer. After the per-pattern join, the main goroutine
-// replays the buffers in ascending batch order, performing member
-// expansion, hang dedup and sink callbacks exactly as the serial loop
-// would. The replayed sequence IS the serial sequence, so summaries,
-// classifications and sink event streams are byte-identical at every
-// worker count (enforced by parallel_test.go under -race).
+// appended in the (cycle, field, lane) order recordCycle visits them —
+// into its worker's per-slot buffers, and publishes one buffer span per
+// pattern slot. After the per-block join, the main goroutine replays the
+// spans pattern-major — quad ascending, slot ascending, group ascending,
+// the serial traversal — performing member expansion, hang dedup and sink
+// callbacks exactly as a one-pattern-at-a-time loop would. The replayed
+// sequence IS the serial sequence, so summaries, classifications and sink
+// event streams are byte-identical at every worker count and packing
+// width (enforced by parallel_test.go under -race).
 //
-// Steady state allocates nothing: simulators, engines, scratch words and
-// event buffers are created once per campaign and reused across patterns
-// (buffers are truncated, not freed), and telemetry accumulates in
-// per-worker locals merged once at the end.
+// Steady state allocates nothing: simulators, engines, scratch words,
+// per-worker event buffers and the span table are created once per
+// campaign and reused across blocks (buffers are truncated, not freed),
+// and telemetry accumulates in per-worker locals merged once at the end.
 package gatesim
 
 //vetsim:instrumented
@@ -40,11 +46,11 @@ import (
 	"gpufaultsim/internal/units"
 )
 
-// shardWidth resolves the intra-campaign worker count against the fault
-// list: Workers 1 pins the serial reference path, 0 takes GOMAXPROCS, and
-// the width never exceeds the number of 64-lane batches (extra workers
-// would only idle).
-func (c Config) shardWidth(nSim int) int {
+// shardWidth resolves the intra-campaign worker count against the round's
+// work-item space (patterns per block × 64-lane fault groups): Workers 1
+// pins the serial reference path, 0 takes GOMAXPROCS, and the width never
+// exceeds the item count (extra workers would only idle).
+func (c Config) shardWidth(nItems int) int {
 	if c.Workers == 1 {
 		return 1
 	}
@@ -52,8 +58,8 @@ func (c Config) shardWidth(nSim int) int {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	if nb := (nSim + 63) / 64; p > nb {
-		p = nb
+	if p > nItems {
+		p = nItems
 	}
 	if p < 1 {
 		p = 1
@@ -61,10 +67,38 @@ func (c Config) shardWidth(nSim int) int {
 	return p
 }
 
+// shardStride resolves the work-stealing pull granularity of one block
+// round: how many consecutive items a worker claims per counter bump.
+// Profile-driven (shard timeline + gatesim_shard_idle_seconds): one-item
+// pulls bounce the shared counter's cache line once per ~100µs batch,
+// while coarse static chunks leave stragglers holding the round open.
+// The compromise keeps at least 16 pulls per worker — a short tail — and
+// caps the stride at 64 so a single pull never dominates a round.
+func shardStride(nItems, workers int) int {
+	s := nItems / (workers * 16)
+	if s < 1 {
+		s = 1
+	}
+	if s > 64 {
+		s = 64
+	}
+	return s
+}
+
+// paddedCounter is the shared dynamic work-item counter, alone on its
+// cache line: the leading pad keeps it clear of whatever the allocator
+// places before it, the trailing pad keeps the round state declared after
+// it from false-sharing with worker Add traffic.
+type paddedCounter struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
 // shardEvent is one corruption occurrence recorded by a worker: sim fault
 // si corrupted field (making it faulty where golden was expected). The
 // pattern and cycle are implicit in the buffer position — merging happens
-// per pattern, and buffers are appended in cycle order.
+// per (item, slot) span, and buffers are appended in cycle order.
 type shardEvent struct {
 	field  int32
 	si     int32
@@ -72,32 +106,50 @@ type shardEvent struct {
 	faulty uint64
 }
 
-// shardWorker is the per-worker mutable state: private simulators and
-// grading scratch, plus event-engine counters merged once per campaign.
+// evSpan locates one (work item, pattern slot)'s recorded events: the
+// half-open range [start, end) of the worker's per-slot event buffer.
+// Each span is written by exactly one worker (the item's owner) before
+// the round join and read by the main goroutine after it — disjoint
+// writes, WaitGroup-ordered reads.
+type evSpan struct {
+	worker, start, end int32
+}
+
+// shardWorker is the per-worker mutable state: private simulators,
+// grading scratch and per-slot event buffers, plus event-engine counters
+// merged once per campaign.
 type shardWorker struct {
-	fsim *netlist.Simulator
-	esim *engine.Sim // nil for EngineFull
-	ws   []uint64    // lane words of the field under grade
-	ev   evStats
-	// busyRound is the worker's busy seconds in the current pattern
-	// round: written by the worker before its doneWg.Done, read by the
-	// main goroutine after the Wait (WaitGroup happens-before edge).
+	fsim  *netlist.Simulator
+	esim  *engine.Sim // nil for EngineFull
+	ws    []uint64    // lane words of the field under grade
+	evbuf [engine.Slots][]shardEvent
+	lastQ int // pattern quad the engine's golden is bound to
+	ev    evStats
+	// busyRound is the worker's busy seconds in the current block round:
+	// written by the worker before its doneWg.Done, read by the main
+	// goroutine after the Wait (WaitGroup happens-before edge).
 	busyRound float64
 }
 
-// recordCycle is gradeCycle's recording twin: identical field/lane
-// traversal and identical skip conditions, but instead of expanding
-// members and calling the sink it appends the occurrence to buf. Kept
-// textually parallel to gradeCycle — any change there must land here.
+// recordCycle is the classification inner loop: it grades the output
+// fields of one cycle under one pattern slot against the slot's golden
+// field values gf, appending every corruption occurrence to buf in
+// (field, lane) order. fieldMask bit fi set means field fi may deviate
+// and must be graded; the full engine passes all-ones, the event engine
+// derives per-slot masks from the output nodes its delta propagation
+// dirtied (a clean field's anyDiff is identically zero, so skipping it
+// emits exactly nothing — byte-identity is preserved). Fields at index
+// ≥64 are always graded. Member expansion, hang dedup and sink callbacks
+// happen later, in mergeEvents, on the main goroutine.
 //
 //vetsim:hotpath
-func recordCycle[S laneReader](g *grader, c, base, groupLen int, ls S, fieldMask uint64, ws []uint64, buf []shardEvent) []shardEvent {
+func recordCycle[S laneReader](g *grader, base, groupLen int, ls S, fieldMask uint64, gf []uint64, ws []uint64, buf []shardEvent) []shardEvent {
 	for fi := range g.fields {
 		if fi < 64 && fieldMask>>uint(fi)&1 == 0 {
 			continue
 		}
 		fs := &g.fields[fi]
-		golden := g.goldenField[c][fi]
+		golden := gf[fi]
 		lw := ws[:len(fs.outs)]
 		var anyDiff uint64
 		for i, o := range fs.outs {
@@ -129,53 +181,82 @@ func recordCycle[S laneReader](g *grader, c, base, groupLen int, ls S, fieldMask
 	return buf
 }
 
-// runBatch simulates one 64-lane fault batch of pattern p on this
-// worker's private machines, recording corruption occurrences into buf.
-// It mirrors runSerial's batch body exactly, with recordCycle standing in
-// for gradeCycle.
+// recordQuadCycle grades one active cycle of a quad-packed event sweep.
+// The per-slot field masks come from the touched output nodes gated by
+// DirtySlots — exact per slot, so a slot whose fault cone stayed clean
+// this cycle records nothing extra — and each graded slot's corruption
+// occurrences append to that slot's buffer for the pattern-major replay.
+func (cc *campaignCtx) recordQuadCycle(es *engine.Sim, q0, qlen, base, groupLen, c int, ws []uint64, bufs *[engine.Slots][]shardEvent) {
+	var mask [engine.Slots]uint64
+	for _, n := range es.OutTouched() {
+		fm := cc.fieldMaskOf[n]
+		ds := es.DirtySlots(n)
+		for r := 0; r < engine.Slots; r++ {
+			mask[r] |= fm & -uint64(ds>>uint(r)&1)
+		}
+	}
+	big := len(cc.g.fields) > 64
+	for r := 0; r < qlen; r++ {
+		if mask[r] == 0 && !big {
+			continue
+		}
+		es.SetReadSlot(r)
+		bufs[r] = recordCycle(cc.g, base, groupLen, es, mask[r], cc.goldenField[q0+r][c], ws, bufs[r])
+	}
+}
+
+// runBatch simulates one work item — fault group gi under the pattern
+// quad starting at block slot q0 — on this worker's private machines,
+// recording corruption occurrences into the worker's per-slot buffers.
+// It mirrors runSerial's item body exactly; the event engine's golden
+// binding is cached per quad (lastQ), so stride runs over one quad
+// rebind nothing.
 //
 //vetsim:hotpath
-func (w *shardWorker) runBatch(cc *campaignCtx, p units.Pattern, b int, buf []shardEvent) []shardEvent {
+func (w *shardWorker) runBatch(cc *campaignCtx, block []units.Pattern, qb, q0, qlen, gi int) {
 	u := cc.u
-	base := b * 64
+	base := gi * 64
 	group := cc.sim[base:min(base+64, len(cc.sim))]
-	if w.esim != nil && !groupHasDelay(group) {
+	if w.esim != nil && !cc.groupDelay[gi] {
+		if qb != w.lastQ {
+			w.esim.BindGoldenPack(cc.goldenView[q0 : q0+qlen])
+			w.lastQ = qb
+		}
 		w.esim.SetFaults(group)
-		w.ev.cycles += int64(u.Cycles)
+		w.ev.cycles += int64(u.Cycles) * int64(qlen)
 		for c := 0; c < u.Cycles; c++ {
 			w.esim.BeginCycle(c)
 			if w.esim.Active() {
 				w.ev.active++
 				w.ev.touched += int64(len(w.esim.Touched()))
-				var mask uint64
-				for _, n := range w.esim.OutTouched() {
-					mask |= cc.fieldMaskOf[n]
-				}
-				if mask != 0 || len(cc.g.fields) > 64 {
-					buf = recordCycle(cc.g, c, base, len(group), w.esim, mask, w.ws, buf)
-				}
+				cc.recordQuadCycle(w.esim, q0, qlen, base, len(group), c, w.ws, &w.evbuf)
 			}
 			w.esim.Clock(c)
 		}
-		return buf
+		return
 	}
 	// Full-simulator fallback: delay faults in the batch, or EngineFull.
-	w.fsim.Reset()
-	w.fsim.SetFaults(group)
-	for c := 0; c < u.Cycles; c++ {
-		u.Drive(w.fsim, p, c)
-		w.fsim.Eval()
-		buf = recordCycle(cc.g, c, base, len(group), w.fsim, ^uint64(0), w.ws, buf)
-		w.fsim.Clock()
+	// One full pass per real slot — the packed engine's width does not
+	// apply here, but the per-slot recording and replay do.
+	for r := 0; r < qlen; r++ {
+		p := block[q0+r]
+		gf := cc.goldenField[q0+r]
+		w.fsim.Reset()
+		w.fsim.SetFaults(group)
+		for c := 0; c < u.Cycles; c++ {
+			u.Drive(w.fsim, p, c)
+			w.fsim.Eval()
+			w.evbuf[r] = recordCycle(cc.g, base, len(group), w.fsim, ^uint64(0), gf[c], w.ws, w.evbuf[r])
+			w.fsim.Clock()
+		}
 	}
-	return buf
 }
 
-// mergeEvents replays one batch's recorded events into the grader on the
-// main goroutine. Buffers replay in ascending batch order and each was
-// appended in (cycle, field, lane) order — the serial traversal — so
-// member expansion, hang dedup and sink callbacks fire in exactly the
-// sequence runSerial produces.
+// mergeEvents replays recorded events into the grader on the main
+// goroutine. Spans replay pattern-major (quad, slot, group ascending) and
+// each was appended in (cycle, field, lane) order — together the legacy
+// serial traversal — so member expansion, hang dedup and sink callbacks
+// fire in exactly the sequence a one-pattern-at-a-time loop produces.
 //
 //vetsim:hotpath
 func (cc *campaignCtx) mergeEvents(p units.Pattern, events []shardEvent) {
@@ -207,26 +288,25 @@ func (cc *campaignCtx) mergeEvents(p units.Pattern, events []shardEvent) {
 	}
 }
 
-// runSharded executes the campaign's batch loop across p persistent
-// worker goroutines. Per pattern: the main goroutine runs the golden
-// pass, releases the workers (one token each), overlaps activation
-// grading with their batch fan-out, joins, and replays the recorded
-// events. Shared per-pattern state (golden traces, the current pattern)
-// is written only before the token sends and read only after the
-// receives; per-batch buffers pass back through the WaitGroup join — all
+// runSharded executes the campaign's item loop across p persistent worker
+// goroutines. Per pattern block: the main goroutine runs the lane-packed
+// golden pass, releases the workers (one token each), overlaps activation
+// grading with their item fan-out, joins, and replays the recorded
+// events. Shared per-round state (golden arenas, the current block, the
+// pull stride) is written only before the token sends and read only after
+// the receives; per-item spans pass back through the WaitGroup join — all
 // accesses are ordered by channel/WaitGroup happens-before edges, so the
 // hot loop itself is lock-free and the whole campaign is race-clean.
 //
-// Utilization accounting rides the existing per-batch timer: each worker
+// Utilization accounting rides the existing per-item timer: each worker
 // sums its busy seconds per round into a worker-owned slot read after
 // the join, and the main goroutine charges the difference against the
 // round's wall-clock as idle time (gatesim_shard_idle_seconds). With
-// cc.timeline set, every batch additionally records a timeline interval
+// cc.timeline set, every item additionally records a timeline interval
 // on the campaign-relative clock and a flight-recorder span — gated so
 // the default path stays allocation-free.
 func (cc *campaignCtx) runSharded(p int) {
 	nl := cc.u.NL
-	nBatches := (len(cc.sim) + 63) / 64
 	tl := cc.timeline
 	clock := telemetry.StartTimer(nil) // campaign-relative clock; Stop only reads
 
@@ -244,43 +324,59 @@ func (cc *campaignCtx) runSharded(p int) {
 		}
 		workers[i] = w
 	}
-	evBuf := make([][]shardEvent, nBatches)
+	qbCap := (cc.blockCap + engine.Slots - 1) / engine.Slots
+	spanOf := make([]evSpan, qbCap*cc.nGroups*engine.Slots)
 
 	var (
-		cur    units.Pattern // pattern under simulation; written pre-token
-		curPat int           // pattern round index; written pre-token
-		next   atomic.Int64  // dynamic batch counter (work stealing)
-		start  = make(chan struct{})
-		doneWg sync.WaitGroup
+		curBlock   []units.Pattern // block under simulation; written pre-token
+		blockStart int             // global index of curBlock[0]; written pre-token
+		nItems     int             // items this round; written pre-token
+		stride     int             // pull granularity; written pre-token
+		next       paddedCounter   // dynamic item counter (work stealing)
+		start      = make(chan struct{})
+		doneWg     sync.WaitGroup
 	)
 	for wi, w := range workers {
 		go func(wi int, w *shardWorker) {
 			for range start {
 				telBatchBusy.Add(1)
-				if w.esim != nil {
-					w.esim.BindGolden(cc.goldenNode)
+				w.lastQ = -1
+				for r := range w.evbuf {
+					w.evbuf[r] = w.evbuf[r][:0]
 				}
 				busy := 0.0
 				for {
-					b := int(next.Add(1)) - 1
-					if b >= nBatches {
+					lo := int(next.v.Add(int64(stride))) - stride
+					if lo >= nItems {
 						break
 					}
-					var sp *telemetry.Span
-					if tl != nil {
-						sp = telemetry.StartSpan("shard:batch")
-					}
-					tm := telemetry.StartTimer(telBatchSec)
-					evBuf[b] = w.runBatch(cc, cur, b, evBuf[b][:0])
-					sec := tm.Stop()
-					busy += sec
-					if tl != nil {
-						end := clock.Stop()
-						tl.add(ShardInterval{Worker: wi, Pattern: curPat, Batch: b, StartSec: end - sec, EndSec: end})
-						sp.SetAttr("worker", strconv.Itoa(wi))
-						sp.SetAttr("batch", strconv.Itoa(b))
-						sp.SetAttr("pattern", strconv.Itoa(curPat))
-						sp.End()
+					for item, hi := lo, min(lo+stride, nItems); item < hi; item++ {
+						qb, gi := item/cc.nGroups, item%cc.nGroups
+						q0 := qb * engine.Slots
+						qlen := min(engine.Slots, len(curBlock)-q0)
+						var sp *telemetry.Span
+						if tl != nil {
+							sp = telemetry.StartSpan("shard:batch")
+						}
+						tm := telemetry.StartTimer(telBatchSec)
+						var s0 [engine.Slots]int
+						for r := 0; r < qlen; r++ {
+							s0[r] = len(w.evbuf[r])
+						}
+						w.runBatch(cc, curBlock, qb, q0, qlen, gi)
+						for r := 0; r < qlen; r++ {
+							spanOf[item*engine.Slots+r] = evSpan{worker: int32(wi), start: int32(s0[r]), end: int32(len(w.evbuf[r]))}
+						}
+						sec := tm.Stop()
+						busy += sec
+						if tl != nil {
+							end := clock.Stop()
+							tl.add(ShardInterval{Worker: wi, Pattern: blockStart + q0, Batch: gi, StartSec: end - sec, EndSec: end})
+							sp.SetAttr("worker", strconv.Itoa(wi))
+							sp.SetAttr("batch", strconv.Itoa(gi))
+							sp.SetAttr("pattern", strconv.Itoa(blockStart+q0))
+							sp.End()
+						}
 					}
 				}
 				w.busyRound = busy
@@ -291,19 +387,25 @@ func (cc *campaignCtx) runSharded(p int) {
 	}
 
 	idleSec := 0.0
-	for pi, pat := range cc.patterns {
-		cc.goldenPass(pat)
-		cur = pat
-		curPat = pi
-		next.Store(0)
+	quads := 0
+	for bs := 0; bs < len(cc.patterns); bs += cc.blockCap {
+		block := cc.patterns[bs:min(bs+cc.blockCap, len(cc.patterns))]
+		cc.goldenPassBlock(block)
+		qbs := (len(block) + engine.Slots - 1) / engine.Slots
+		quads += qbs
+		curBlock = block
+		blockStart = bs
+		nItems = qbs * cc.nGroups
+		stride = shardStride(nItems, p)
+		next.v.Store(0)
 		doneWg.Add(p)
 		roundStart := clock.Stop()
 		for range workers {
 			start <- struct{}{}
 		}
-		// Activation reads only the golden trace, which workers never
-		// write — overlap it with the batch fan-out.
-		cc.markActivated()
+		// Activation reads only the packed golden trace, which workers
+		// never write — overlap it with the item fan-out.
+		cc.markActivatedBlock(len(block))
 		doneWg.Wait()
 		// Idle per worker this round: wall-clock minus its busy time.
 		// Workers that drained the counter early sit idle until the
@@ -314,8 +416,18 @@ func (cc *campaignCtx) runSharded(p int) {
 				idleSec += d
 			}
 		}
-		for b := 0; b < nBatches; b++ {
-			cc.mergeEvents(pat, evBuf[b])
+		// Replay pattern-major: quad, then slot, then group — the serial
+		// event order every width is held byte-identical to.
+		for qb := 0; qb < qbs; qb++ {
+			q0 := qb * engine.Slots
+			qlen := min(engine.Slots, len(block)-q0)
+			for r := 0; r < qlen; r++ {
+				pat := block[q0+r]
+				for gi := 0; gi < cc.nGroups; gi++ {
+					sp := spanOf[(qb*cc.nGroups+gi)*engine.Slots+r]
+					cc.mergeEvents(pat, workers[sp.worker].evbuf[r][sp.start:sp.end])
+				}
+			}
 		}
 	}
 	close(start)
@@ -325,8 +437,9 @@ func (cc *campaignCtx) runSharded(p int) {
 	}
 	if tl != nil {
 		tl.Workers = p
-		tl.Batches = nBatches
+		tl.Batches = cc.nGroups
 		tl.Patterns = len(cc.patterns)
+		tl.Quads = quads
 		tl.IdleSec = idleSec
 		tl.WallSec = clock.Stop()
 	}

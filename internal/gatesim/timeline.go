@@ -13,9 +13,11 @@ import (
 	"sync"
 )
 
-// ShardInterval is one busy interval of one shard worker: batch b of
-// pattern round p simulated on worker w, in seconds since the campaign
-// started. The gaps between a worker's intervals — and between its last
+// ShardInterval is one busy interval of one shard worker: batch b of one
+// pattern quad simulated on worker w, in seconds since the campaign
+// started. Pattern is the global index of the quad's first pattern (a
+// work item covers up to engine.Slots consecutive patterns in one packed
+// sweep). The gaps between a worker's intervals — and between its last
 // interval and the round join — are its idle time.
 type ShardInterval struct {
 	Worker   int     `json:"worker"`
@@ -27,13 +29,16 @@ type ShardInterval struct {
 
 // ShardTimeline collects the per-worker busy intervals of one sharded
 // campaign (Config.Timeline). Safe for the concurrent appends the shard
-// workers perform; read it only after the campaign returns.
+// workers perform; read it only after the campaign returns. Quads is the
+// number of pattern quads the campaign fanned out — Quads×Batches is the
+// work-item count and the expected interval count.
 type ShardTimeline struct {
 	mu sync.Mutex
 
 	Workers   int             `json:"workers"`
 	Batches   int             `json:"batches"`
 	Patterns  int             `json:"patterns"`
+	Quads     int             `json:"pattern_quads"`
 	WallSec   float64         `json:"wall_sec"`
 	IdleSec   float64         `json:"idle_sec"`
 	Intervals []ShardInterval `json:"intervals"`

@@ -10,9 +10,9 @@ import (
 
 // TestShardTimelineRecordsEveryBatch runs a sharded campaign with the
 // timeline attached and checks the record is complete and coherent:
-// every (pattern, batch) cell appears exactly once, intervals are
-// well-formed on the campaign clock, and attaching the timeline does not
-// perturb the campaign result (same Summary as an untimed run).
+// every (pattern quad, batch) work item appears exactly once, intervals
+// are well-formed on the campaign clock, and attaching the timeline does
+// not perturb the campaign result (same Summary as an untimed run).
 func TestShardTimelineRecordsEveryBatch(t *testing.T) {
 	u := units.Decoder()
 	patterns := diffPatterns(7, 6)
@@ -26,7 +26,7 @@ func TestShardTimelineRecordsEveryBatch(t *testing.T) {
 	if tl.Workers != 2 {
 		t.Fatalf("Workers = %d, want 2", tl.Workers)
 	}
-	if tl.Patterns == 0 || tl.Batches == 0 {
+	if tl.Patterns == 0 || tl.Batches == 0 || tl.Quads == 0 {
 		t.Fatalf("empty timeline dimensions: %+v", tl)
 	}
 	if tl.WallSec <= 0 {
@@ -42,8 +42,8 @@ func TestShardTimelineRecordsEveryBatch(t *testing.T) {
 		}
 		seen[[2]int{iv.Pattern, iv.Batch}]++
 	}
-	if want := tl.Patterns * tl.Batches; len(seen) != want {
-		t.Fatalf("timeline covers %d (pattern, batch) cells, want %d", len(seen), want)
+	if want := tl.Quads * tl.Batches; len(seen) != want {
+		t.Fatalf("timeline covers %d (quad, batch) cells, want %d", len(seen), want)
 	}
 	for cell, n := range seen {
 		if n != 1 {

@@ -1,9 +1,11 @@
 package lintrules
 
 import (
+	"go/ast"
 	"go/token"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -50,11 +52,34 @@ var InstrumentedFiles = []string{
 	"internal/store/store.go",
 }
 
+// HotPathFuncs are the simulation inner-loop functions held to the
+// hotpath analyzer (no fmt, no local append, no locks), keyed
+// "file:FuncName" relative to the module root: the golden/faulty kernel
+// sweeps, the event engine's delta propagation, and the sharded grading
+// and replay loops. Removing a //vetsim:hotpath marker from — or
+// renaming away — any of these is a diagnostic, so the governed set can
+// grow but never silently shrink.
+var HotPathFuncs = []string{
+	"internal/gatesim/engine/engine.go:BeginCycle",
+	"internal/gatesim/engine/engine.go:Clock",
+	"internal/gatesim/engine/engine.go:SetFaults",
+	"internal/gatesim/engine/engine.go:markTouched",
+	"internal/gatesim/engine/engine.go:seed",
+	"internal/gatesim/gatesim.go:goldenPassBlock",
+	"internal/gatesim/gatesim.go:markActivatedBlock",
+	"internal/gatesim/pack.go:transpose64",
+	"internal/gatesim/shard.go:mergeEvents",
+	"internal/gatesim/shard.go:recordCycle",
+	"internal/gatesim/shard.go:runBatch",
+	"internal/netlist/eval.go:Eval",
+}
+
 // CheckMarkers verifies the canonical lists against the loaded packages:
-// every DeterministicPkgs package must carry //vetsim:deterministic and
-// every InstrumentedFiles file must carry //vetsim:instrumented. It only
-// judges packages present in the load, so partial loads (single-package
-// runs) stay quiet about the rest of the tree.
+// every DeterministicPkgs package must carry //vetsim:deterministic,
+// every InstrumentedFiles file must carry //vetsim:instrumented, and
+// every HotPathFuncs function must exist and carry //vetsim:hotpath. It
+// only judges packages present in the load, so partial loads
+// (single-package runs) stay quiet about the rest of the tree.
 func CheckMarkers(moduleRoot string, pkgs []*Package) []Diagnostic {
 	wantPkg := make(map[string]bool, len(DeterministicPkgs))
 	for _, p := range DeterministicPkgs {
@@ -63,6 +88,17 @@ func CheckMarkers(moduleRoot string, pkgs []*Package) []Diagnostic {
 	wantFile := make(map[string]bool, len(InstrumentedFiles))
 	for _, f := range InstrumentedFiles {
 		wantFile[f] = true
+	}
+	wantHot := make(map[string]map[string]bool)
+	for _, e := range HotPathFuncs {
+		file, name, ok := strings.Cut(e, ":")
+		if !ok {
+			continue
+		}
+		if wantHot[file] == nil {
+			wantHot[file] = make(map[string]bool)
+		}
+		wantHot[file][name] = true
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -93,6 +129,37 @@ func CheckMarkers(moduleRoot string, pkgs []*Package) []Diagnostic {
 					Message: "file " + relFile + " is telemetry-instrumented but carries no //vetsim:instrumented marker",
 				})
 			}
+			if names := wantHot[relFile]; names != nil {
+				seen := make(map[string]bool, len(names))
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || !names[fn.Name.Name] {
+						continue
+					}
+					seen[fn.Name.Name] = true
+					if !funcHasDirectiveKind(pkg.Fset, dirs, fn, "hotpath") {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.Fset.Position(fn.Pos()),
+							Rule:    "markers",
+							Message: "function " + fn.Name.Name + " in " + relFile + " is a governed hot path but carries no //vetsim:hotpath marker",
+						})
+					}
+				}
+				missing := make([]string, 0, len(names))
+				for name := range names {
+					if !seen[name] {
+						missing = append(missing, name)
+					}
+				}
+				sort.Strings(missing)
+				for _, name := range missing {
+					diags = append(diags, Diagnostic{
+						Pos:     token.Position{Filename: relFile, Line: 1, Column: 1},
+						Rule:    "markers",
+						Message: "hot-path function " + name + " not found in " + relFile + " — update lintrules.HotPathFuncs if it moved",
+					})
+				}
+			}
 		}
 	}
 	return diags
@@ -106,6 +173,26 @@ func hasDirectiveKind(dirs map[string]map[int][]Directive, kind string) bool {
 					return true
 				}
 			}
+		}
+	}
+	return false
+}
+
+// funcHasDirectiveKind is Pass.FuncHasDirective for the marker
+// cross-check, which runs outside an analyzer pass: the function's doc
+// comment or the line directly above its declaration must carry the kind.
+func funcHasDirectiveKind(fset *token.FileSet, dirs map[string]map[int][]Directive, fn *ast.FuncDecl, kind string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if d, ok := parseDirective(c.Text); ok && d.Kind == kind {
+				return true
+			}
+		}
+	}
+	pos := fset.Position(fn.Pos())
+	for _, d := range dirs[pos.Filename][pos.Line-1] {
+		if d.Kind == kind {
+			return true
 		}
 	}
 	return false

@@ -58,10 +58,12 @@ func DelayFaultList(nl *Netlist) []Fault {
 // stuck-at campaigns 64x cheaper than serial simulation (the classic
 // parallel fault simulation technique).
 type Simulator struct {
-	nl    *Netlist
-	vals  []uint64 // current node values
-	state []uint64 // DFF state, indexed like nl.DFFs
-	in    []uint64 // pending input values (broadcast masks)
+	nl       *Netlist
+	kern     *Kernels // branch-free evaluation program (nl.Kernels())
+	vals     []uint64 // current node values
+	state    []uint64 // DFF state, indexed like nl.DFFs
+	in       []uint64 // pending input values (broadcast masks)
+	laneMask uint64   // lanes SetInput writes; ^0 broadcasts (the default)
 
 	// Per-group fault overrides, dense by node: setArr bits are forced to
 	// 1, clrArr bits to 0, and delayArr bits take the node's previous-
@@ -74,8 +76,16 @@ type Simulator struct {
 
 // NewSimulator builds a simulator with all state reset to 0.
 func NewSimulator(nl *Netlist) *Simulator {
+	kern := nl.kern
+	if kern == nil {
+		// Hand-assembled netlists (tests) bypass Build; compile privately
+		// rather than mutating the shared netlist.
+		kern = buildKernels(nl)
+	}
 	return &Simulator{
 		nl:       nl,
+		kern:     kern,
+		laneMask: ^uint64(0),
 		vals:     make([]uint64, len(nl.Cells)),
 		state:    make([]uint64, len(nl.DFFs)),
 		in:       make([]uint64, len(nl.Inputs)),
@@ -123,14 +133,22 @@ func (s *Simulator) SetFaults(group []Fault) {
 }
 
 // SetInput drives primary input i (by declaration order) with a logic
-// level, broadcast to all machines.
+// level, written to the lanes selected by the current lane mask (all 64
+// by default).
 func (s *Simulator) SetInput(i int, v bool) {
+	var w uint64
 	if v {
-		s.in[i] = ^uint64(0)
-	} else {
-		s.in[i] = 0
+		w = ^uint64(0)
 	}
+	s.in[i] = (s.in[i] &^ s.laneMask) | (w & s.laneMask)
 }
+
+// SetLaneMask restricts subsequent SetInput/SetInputBus writes to the
+// masked lanes, leaving the other lanes' pending values untouched. The
+// default (and the reset value) is all-ones — broadcast. Campaigns use
+// per-lane masks to pack independent patterns into one golden
+// evaluation, one pattern per lane.
+func (s *Simulator) SetLaneMask(m uint64) { s.laneMask = m }
 
 // SetInputBus drives a width-w slice of inputs starting at base from an
 // integer value, LSB first.
@@ -142,8 +160,16 @@ func (s *Simulator) SetInputBus(base, width int, value uint64) {
 
 // Eval propagates the current inputs through the combinational logic
 // (fault overrides applied at every node) without clocking the DFFs.
+//
+// The combinational sweep streams through the netlist's precompiled
+// kernel program (Kernels): one branch-free truth-table expression per
+// gate, no per-gate kind dispatch. Stuck-at masks are applied
+// unconditionally on the fast path — they are identically zero when no
+// fault is installed — so the only per-Eval branch left is the delay
+// split.
+//
+//vetsim:hotpath
 func (s *Simulator) Eval() {
-	cells := s.nl.Cells
 	vals := s.vals
 	set, clr := s.setArr, s.clrArr
 
@@ -163,46 +189,39 @@ func (s *Simulator) Eval() {
 		vals[id] = v
 	}
 
+	k := s.kern
 	inIdx := 0
 	for _, id := range s.nl.Inputs {
 		apply(id, s.in[inIdx])
 		inIdx++
 	}
-	for id, c := range cells {
-		if c.Kind == KConst {
-			var v uint64
-			if c.In[0] == 1 {
-				v = ^uint64(0)
-			}
-			apply(Node(id), v)
-		}
+	for i, id := range k.ConstNode {
+		apply(id, k.ConstWord[i])
 	}
 	for i, id := range s.nl.DFFs {
 		apply(id, s.state[i])
 	}
-	for _, id := range s.nl.order {
-		c := &cells[id]
-		var v uint64
-		switch c.Kind {
-		case KBuf:
-			v = vals[c.In[0]]
-		case KInv:
-			v = ^vals[c.In[0]]
-		case KAnd:
-			v = vals[c.In[0]] & vals[c.In[1]]
-		case KOr:
-			v = vals[c.In[0]] | vals[c.In[1]]
-		case KXor:
-			v = vals[c.In[0]] ^ vals[c.In[1]]
-		case KNand:
-			v = ^(vals[c.In[0]] & vals[c.In[1]])
-		case KNor:
-			v = ^(vals[c.In[0]] | vals[c.In[1]])
-		case KMux:
-			sel := vals[c.In[2]]
-			v = (vals[c.In[0]] &^ sel) | (vals[c.In[1]] & sel)
+
+	in0, in1, in2 := k.PIn0, k.PIn1, k.PIn2
+	outn := k.POut
+	tlo, thi := k.PLo, k.PHi
+	if !s.hasDelay {
+		for i, id := range outn {
+			a, b, c := vals[in0[i]], vals[in1[i]], vals[in2[i]]
+			ml, mh := &KernelMasks[tlo[i]], &KernelMasks[thi[i]]
+			vl := (ml[0]&^a|ml[1]&a)&^b | (ml[2]&^a|ml[3]&a)&b
+			vh := (mh[0]&^a|mh[1]&a)&^b | (mh[2]&^a|mh[3]&a)&b
+			v := vl&^c | vh&c
+			vals[id] = (v | set[id]) &^ clr[id]
 		}
-		apply(id, v)
+		return
+	}
+	for i, id := range outn {
+		a, b, c := vals[in0[i]], vals[in1[i]], vals[in2[i]]
+		ml, mh := &KernelMasks[tlo[i]], &KernelMasks[thi[i]]
+		vl := (ml[0]&^a|ml[1]&a)&^b | (ml[2]&^a|ml[3]&a)&b
+		vh := (mh[0]&^a|mh[1]&a)&^b | (mh[2]&^a|mh[3]&a)&b
+		apply(Node(id), vl&^c|vh&c)
 	}
 }
 
@@ -221,6 +240,11 @@ func (s *Simulator) Step() {
 
 // Node returns the current value word of a node.
 func (s *Simulator) Node(n Node) uint64 { return s.vals[n] }
+
+// CopyNodes copies every node's current value word into dst (one word per
+// node, lane k = machine k). Campaigns snapshot the lane-packed golden
+// evaluation this way — one bulk copy instead of per-node reads.
+func (s *Simulator) CopyNodes(dst []uint64) { copy(dst, s.vals) }
 
 // OutputWord assembles the value of a named output field for machine lane,
 // LSB first.

@@ -1,0 +1,192 @@
+// Branch-free cell kernels: every primitive gate evaluates as a 4-entry
+// truth table applied with mask arithmetic, so the simulation inner loops
+// (Simulator.Eval here, the event engine's delta sweep in
+// gatesim/engine) run one straight-line expression per gate instead of a
+// per-gate switch dispatch — the GATSPI-style formulation of gate
+// evaluation as table lookups over packed lanes.
+//
+// Encoding: a 2-input function f(a, b) is the 4-bit table t with bit
+// j = f(j&1, j>>1) — index j = (b<<1)|a. Lifting f to 64 lanes at once
+// needs each table bit as a full-width mask, which is what KernelMasks
+// provides: KernelMasks[t][j] is all-ones when bit j of t is set. The
+// lane-parallel evaluation is then
+//
+//	m := &KernelMasks[t]
+//	v := ((m[0]&^a | m[1]&a) &^ b) | ((m[2]&^a | m[3]&a) & b)
+//
+// — pure AND/OR/ANDNOT, no branches, no data-dependent control flow.
+// MUX needs two tables (output = In[0] when sel=0, In[1] when sel=1):
+// the lo table selects across (a, b) with sel low, the hi table with sel
+// high, blended by v = vlo&^sel | vhi&sel. Non-MUX cells carry lo == hi,
+// making the blend the identity regardless of the (unused) third input.
+package netlist
+
+// Truth tables for the 2-input kernel encoding (bit j = f(j&1, j>>1)).
+// Unary cells duplicate their input into both operands, so only the
+// diagonal entries (j = 0, 3) are ever selected.
+const (
+	tabBuf  = 0xA // f = a
+	tabInv  = 0x5 // f = ^a
+	tabAnd  = 0x8
+	tabOr   = 0xE
+	tabXor  = 0x6
+	tabNand = 0x7
+	tabNor  = 0x1
+	tabSelA = 0xA // MUX lo half: output follows In[0]
+	tabSelB = 0xC // MUX hi half: output follows In[1]
+)
+
+// KernelMasks spreads each 4-bit truth table into lane masks:
+// KernelMasks[t][j] = ^0 when bit j of t is set, else 0. 512 bytes,
+// resident in L1 for the whole campaign.
+var KernelMasks [16][4]uint64
+
+// ANFMasks holds each table's Reed-Muller (algebraic normal form)
+// coefficients as lane masks: f(a, b) = c0 ^ c1·a ^ c2·b ^ c3·a·b with
+// c0 = t0, c1 = t0^t1, c2 = t0^t2, c3 = t0^t1^t2^t3. The lane-parallel
+// evaluation
+//
+//	m := &ANFMasks[t]
+//	v := m[0] ^ m[1]&a ^ m[2]&b ^ m[3]&(a&b)
+//
+// costs six logic ops against the mask form's ten — the event engine's
+// sweep uses it for every lo==hi gate. Like KernelMasks, 512 bytes and
+// L1-resident.
+var ANFMasks [16][4]uint64
+
+func init() {
+	for t := range KernelMasks {
+		for j := range KernelMasks[t] {
+			KernelMasks[t][j] = -uint64(t >> j & 1)
+		}
+		t0, t1, t2, t3 := t&1, t>>1&1, t>>2&1, t>>3&1
+		ANFMasks[t][0] = -uint64(t0)
+		ANFMasks[t][1] = -uint64(t0 ^ t1)
+		ANFMasks[t][2] = -uint64(t0 ^ t2)
+		ANFMasks[t][3] = -uint64(t0 ^ t1 ^ t2 ^ t3)
+	}
+}
+
+// Kernels is a netlist's precompiled branch-free evaluation program, built
+// once by Build and shared by every simulator bound to the netlist.
+//
+// Two views of the same tables:
+//
+//   - The P-arrays are the dense program, parallel to EvalOrder():
+//     Simulator.Eval streams through them front to back.
+//   - The K-arrays are indexed by node: the event engine's levelized
+//     sweep evaluates scheduled nodes in arbitrary order.
+//
+// Source cells (inputs, constants, DFFs) never evaluate through the
+// kernels — their K-entries are zeroed and no P-entry exists. Unused
+// operand slots alias In[0], so every load is in-bounds and the mask
+// arithmetic ignores the duplicate.
+type Kernels struct {
+	// Dense program, parallel to EvalOrder().
+	PIn0, PIn1, PIn2 []int32
+	POut             []int32
+	PLo, PHi         []uint8
+
+	// By-node tables for the event engine.
+	KIn0, KIn1, KIn2 []int32
+	KLo, KHi         []uint8
+
+	// KCells packs the by-node tables into one 16-byte record per node
+	// for the event engine's sparse sweep: a scheduled gate's whole
+	// kernel — operands and both tables — arrives in a single cache
+	// line instead of five parallel-array loads.
+	KCells []KCell
+
+	// Constant cells and their broadcast lane words, replacing the
+	// per-Eval scan over all cells.
+	ConstNode []Node
+	ConstWord []uint64
+}
+
+// KCell is one node's packed kernel record (see Kernels.KCells).
+type KCell struct {
+	In0, In1, In2 int32
+	Lo, Hi        uint8
+	_             [2]byte
+}
+
+// kernelOf returns the kernel encoding of one cell: operand nodes and the
+// lo/hi truth tables. ok is false for source cells (no kernel).
+func kernelOf(c *Cell) (in0, in1, in2 Node, lo, hi uint8, ok bool) {
+	a, b, sel := c.In[0], c.In[0], c.In[0]
+	var t uint8
+	switch c.Kind {
+	case KBuf:
+		t = tabBuf
+	case KInv:
+		t = tabInv
+	case KAnd:
+		t, b = tabAnd, c.In[1]
+	case KOr:
+		t, b = tabOr, c.In[1]
+	case KXor:
+		t, b = tabXor, c.In[1]
+	case KNand:
+		t, b = tabNand, c.In[1]
+	case KNor:
+		t, b = tabNor, c.In[1]
+	case KMux:
+		b, sel = c.In[1], c.In[2]
+		return a, b, sel, tabSelA, tabSelB, true
+	default: // KInput, KConst, KDFF: seeded, never evaluated
+		return 0, 0, 0, 0, 0, false
+	}
+	return a, b, sel, t, t, true
+}
+
+// buildKernels compiles the netlist's kernel tables. Called by Build once
+// nl.order exists.
+func buildKernels(nl *Netlist) *Kernels {
+	n := len(nl.Cells)
+	k := &Kernels{
+		KIn0: make([]int32, n), KIn1: make([]int32, n), KIn2: make([]int32, n),
+		KLo: make([]uint8, n), KHi: make([]uint8, n),
+	}
+	for id := range nl.Cells {
+		c := &nl.Cells[id]
+		if c.Kind == KConst {
+			var w uint64
+			if c.In[0] == 1 {
+				w = ^uint64(0)
+			}
+			k.ConstNode = append(k.ConstNode, Node(id))
+			k.ConstWord = append(k.ConstWord, w)
+			continue
+		}
+		in0, in1, in2, lo, hi, ok := kernelOf(c)
+		if !ok {
+			continue
+		}
+		k.KIn0[id], k.KIn1[id], k.KIn2[id] = int32(in0), int32(in1), int32(in2)
+		k.KLo[id], k.KHi[id] = lo, hi
+	}
+	k.KCells = make([]KCell, n)
+	for id := range k.KCells {
+		k.KCells[id] = KCell{
+			In0: k.KIn0[id], In1: k.KIn1[id], In2: k.KIn2[id],
+			Lo: k.KLo[id], Hi: k.KHi[id],
+		}
+	}
+	m := len(nl.order)
+	k.PIn0 = make([]int32, m)
+	k.PIn1 = make([]int32, m)
+	k.PIn2 = make([]int32, m)
+	k.POut = make([]int32, m)
+	k.PLo = make([]uint8, m)
+	k.PHi = make([]uint8, m)
+	for i, id := range nl.order {
+		k.PIn0[i], k.PIn1[i], k.PIn2[i] = k.KIn0[id], k.KIn1[id], k.KIn2[id]
+		k.POut[i] = int32(id)
+		k.PLo[i], k.PHi[i] = k.KLo[id], k.KHi[id]
+	}
+	return k
+}
+
+// Kernels returns the netlist's precompiled branch-free evaluation
+// program. Callers must not mutate it.
+func (n *Netlist) Kernels() *Kernels { return n.kern }

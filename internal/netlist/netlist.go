@@ -70,7 +70,8 @@ type Netlist struct {
 	Outputs []Output
 	DFFs    []Node // DFF cell nodes, in declaration order
 
-	order []Node // combinational evaluation order (excludes inputs, consts, DFFs)
+	order []Node   // combinational evaluation order (excludes inputs, consts, DFFs)
+	kern  *Kernels // branch-free evaluation program, compiled by Build
 }
 
 // NumCells reports the gate count (including inputs and DFFs).
@@ -274,6 +275,7 @@ func (b *Builder) Build() (*Netlist, error) {
 		return nil, &BuildError{Name: b.name, Diags: diags}
 	}
 	nl.order = topoOrder(nl)
+	nl.kern = buildKernels(nl)
 	return nl, nil
 }
 
